@@ -1,0 +1,127 @@
+package mtpa_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/bench"
+)
+
+func TestCompileReportsParseErrors(t *testing.T) {
+	_, err := mtpa.Compile("bad.clk", "int main( { }")
+	if err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Errorf("expected a parse error, got %v", err)
+	}
+}
+
+func TestCompileReportsCheckErrors(t *testing.T) {
+	_, err := mtpa.Compile("bad.clk", "int main() { return zz; }")
+	if err == nil || !strings.Contains(err.Error(), "check") {
+		t.Errorf("expected a check error, got %v", err)
+	}
+}
+
+func TestCompileCollectsWarnings(t *testing.T) {
+	prog, err := mtpa.Compile("warn.clk", `
+int f() { return 1; }
+`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	found := false
+	for _, w := range prog.Warnings {
+		if strings.Contains(w, "no main") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warnings = %v", prog.Warnings)
+	}
+}
+
+func TestAnalyzeWithoutMainFails(t *testing.T) {
+	prog, err := mtpa.Compile("nomain.clk", "int f() { return 1; }")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := prog.Analyze(mtpa.Options{}); err == nil {
+		t.Error("expected an error for a program without main")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if mtpa.Multithreaded.String() != "Multithreaded" || mtpa.Sequential.String() != "Sequential" {
+		t.Error("mode names wrong")
+	}
+}
+
+// TestSequentialNeverMorePreciseViolated documents the relationship the
+// paper establishes in §4.4: the Sequential algorithm is an upper bound on
+// achievable precision — for every access, its location-set count is at
+// most the Multithreaded one, on every corpus program.
+func TestSequentialIsUpperBoundOnCorpus(t *testing.T) {
+	progs, err := bench.Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		prog, err := mtpa.Compile(p.Name+".clk", p.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		mt, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		seq, err := prog.Analyze(mtpa.Options{Mode: mtpa.Sequential})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// Merge per access (max over contexts) for both algorithms.
+		maxOf := func(res *mtpa.Result) map[int]int {
+			out := map[int]int{}
+			for _, s := range res.Metrics.AccessSamples() {
+				n, _ := s.Count()
+				if n > out[s.AccID] {
+					out[s.AccID] = n
+				}
+			}
+			return out
+		}
+		mtMax, seqMax := maxOf(mt), maxOf(seq)
+		for acc, sn := range seqMax {
+			if mn, ok := mtMax[acc]; ok && sn > mn {
+				t.Errorf("%s: access %d: sequential needs %d locsets, multithreaded only %d — the unsound baseline should never be less precise",
+					p.Name, acc, sn, mn)
+			}
+		}
+	}
+}
+
+// TestCorpusRaceDetectorRuns exercises the detector over every benchmark
+// (sanity: it terminates and private-global and temp noise is filtered).
+func TestCorpusAnalysisDeterministic(t *testing.T) {
+	p, err := bench.Load("cholesky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := mtpa.Compile("cholesky.clk", p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.MainOut.C.Equal(r2.MainOut.C) || !r1.MainOut.E.Equal(r2.MainOut.E) {
+		t.Error("repeated analyses of the same program must agree")
+	}
+	if r1.ContextsTotal() != r2.ContextsTotal() {
+		t.Errorf("context counts differ: %d vs %d", r1.ContextsTotal(), r2.ContextsTotal())
+	}
+}

@@ -1,0 +1,315 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§4), plus per-program analysis-time benches
+// (Figure 10's rows) and ablation benches for the design choices the
+// analysis relies on (context caching, strong updates, ghost merging).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The harness reports the paper's metrics through testing.B custom metrics
+// (b.ReportMetric), so the regenerated rows appear directly in the bench
+// output.
+package mtpa_test
+
+import (
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/bench"
+	"mtpa/internal/metrics"
+)
+
+func compileCorpus(b *testing.B) []struct {
+	bench.Program
+	Compiled *mtpa.Program
+} {
+	b.Helper()
+	progs, err := bench.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]struct {
+		bench.Program
+		Compiled *mtpa.Program
+	}, 0, len(progs))
+	for _, p := range progs {
+		c, err := mtpa.Compile(p.Name+".clk", p.Source)
+		if err != nil {
+			b.Fatalf("%s: %v", p.Name, err)
+		}
+		out = append(out, struct {
+			bench.Program
+			Compiled *mtpa.Program
+		}{p, c})
+	}
+	return out
+}
+
+// BenchmarkTable1Characteristics regenerates Table 1: program
+// characteristics of the 18-benchmark corpus. Reported metrics aggregate
+// the corpus (total lines, loads, stores, pointer location sets).
+func BenchmarkTable1Characteristics(b *testing.B) {
+	var rows []metrics.ProgramStats
+	for i := 0; i < b.N; i++ {
+		rows = rows[:0]
+		for _, p := range compileCorpus(b) {
+			rows = append(rows, metrics.Characteristics(p.Name, p.Description, p.Source, p.Compiled.IR))
+		}
+	}
+	var loc, loads, stores, ptrLocs int
+	for _, r := range rows {
+		loc += r.LoC
+		loads += r.Loads
+		stores += r.Stores
+		ptrLocs += r.PtrLocSets
+	}
+	b.ReportMetric(float64(loc), "corpus-LoC")
+	b.ReportMetric(float64(loads), "loads")
+	b.ReportMetric(float64(stores), "stores")
+	b.ReportMetric(float64(ptrLocs), "ptr-locsets")
+}
+
+// BenchmarkTable2SeparateContexts regenerates Table 2: per-(access,
+// context) location-set counts under the Multithreaded analysis.
+func BenchmarkTable2SeparateContexts(b *testing.B) {
+	var one, multi, uninit int
+	for i := 0; i < b.N; i++ {
+		one, multi, uninit = 0, 0, 0
+		for _, p := range compileCorpus(b) {
+			r, err := p.Compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := metrics.SeparateContexts(p.Compiled.IR, r)
+			for n, c := range d.Loads {
+				if n == 1 {
+					one += c.Total
+				} else {
+					multi += c.Total
+				}
+				uninit += c.Uninit
+			}
+			for n, c := range d.Stores {
+				if n == 1 {
+					one += c.Total
+				} else {
+					multi += c.Total
+				}
+				uninit += c.Uninit
+			}
+		}
+	}
+	b.ReportMetric(float64(one), "accesses-1-locset")
+	b.ReportMetric(float64(multi), "accesses-multi-locset")
+	b.ReportMetric(float64(uninit), "accesses-maybe-uninit")
+}
+
+// BenchmarkTable3Convergence regenerates Table 3: parallel-construct
+// analyses and mean iterations to the interference fixed point.
+func BenchmarkTable3Convergence(b *testing.B) {
+	var analyses int
+	var maxIters float64
+	for i := 0; i < b.N; i++ {
+		analyses = 0
+		maxIters = 0
+		for _, p := range compileCorpus(b) {
+			r, err := p.Compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := metrics.ConvergenceOf(p.Name, r)
+			analyses += c.Analyses
+			if c.MeanIters > maxIters {
+				maxIters = c.MeanIters
+			}
+		}
+	}
+	b.ReportMetric(float64(analyses), "par-analyses")
+	b.ReportMetric(maxIters, "max-mean-iters")
+}
+
+// BenchmarkTable4MergedContexts regenerates Table 4: merged-context counts
+// with ghost location sets replaced by actuals, for the Multithreaded and
+// Sequential algorithms — the paper's headline precision claim is that the
+// two distributions are virtually identical.
+func BenchmarkTable4MergedContexts(b *testing.B) {
+	var same, differ int
+	for i := 0; i < b.N; i++ {
+		same, differ = 0, 0
+		for _, p := range compileCorpus(b) {
+			mt, err := p.Compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				b.Fatal(err)
+			}
+			seq, err := p.Compiled.Analyze(mtpa.Options{Mode: mtpa.Sequential})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dm := metrics.MergedContexts(p.Compiled.IR, mt)
+			ds := metrics.MergedContexts(p.Compiled.IR, seq)
+			if distEqual(dm, ds) {
+				same++
+			} else {
+				differ++
+			}
+		}
+	}
+	b.ReportMetric(float64(same), "programs-identical")
+	b.ReportMetric(float64(differ), "programs-differing")
+}
+
+func distEqual(a, c *metrics.Dist) bool {
+	eq := func(x, y map[int]*metrics.Cell) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for n, cx := range x {
+			cy, ok := y[n]
+			if !ok || cx.Total != cy.Total || cx.Uninit != cy.Uninit {
+				return false
+			}
+		}
+		return true
+	}
+	return eq(a.Loads, c.Loads) && eq(a.Stores, c.Stores)
+}
+
+// BenchmarkFigure8LoadHistogram regenerates Figure 8: the aggregated
+// location-set histogram for pointer-dereferencing loads.
+func BenchmarkFigure8LoadHistogram(b *testing.B) {
+	agg := metrics.NewDist()
+	for i := 0; i < b.N; i++ {
+		agg = metrics.NewDist()
+		for _, p := range compileCorpus(b) {
+			r, err := p.Compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg.Merge(metrics.SeparateContexts(p.Compiled.IR, r))
+		}
+	}
+	if c := agg.Loads[1]; c != nil {
+		b.ReportMetric(float64(c.Total), "loads-1-locset")
+	}
+	b.ReportMetric(float64(agg.MaxN()), "max-locsets-per-access")
+}
+
+// BenchmarkFigure9StoreHistogram regenerates Figure 9 for stores.
+func BenchmarkFigure9StoreHistogram(b *testing.B) {
+	agg := metrics.NewDist()
+	for i := 0; i < b.N; i++ {
+		agg = metrics.NewDist()
+		for _, p := range compileCorpus(b) {
+			r, err := p.Compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				b.Fatal(err)
+			}
+			agg.Merge(metrics.SeparateContexts(p.Compiled.IR, r))
+		}
+	}
+	if c := agg.Stores[1]; c != nil {
+		b.ReportMetric(float64(c.Total), "stores-1-locset")
+	}
+	b.ReportMetric(float64(agg.MaxN()), "max-locsets-per-access")
+}
+
+// BenchmarkAnalysisTime regenerates Figure 10: per-program analysis times
+// for the Sequential and Multithreaded algorithms. The per-benchmark ns/op
+// values are the figure's rows.
+func BenchmarkAnalysisTime(b *testing.B) {
+	for _, mode := range []mtpa.Mode{mtpa.Sequential, mtpa.Multithreaded} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for _, p := range compileCorpus(b) {
+				p := p
+				b.Run(p.Name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := p.Compiled.Analyze(mtpa.Options{Mode: mode}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// ablationSubset is the set of benchmarks the ablation configurations run
+// on. Disabling the context cache makes the analysis cost exponential in
+// the call-tree depth (each call site re-analyses its callee, which
+// re-analyses its callees, ...), so the deep divide-and-conquer programs
+// are excluded — that blow-up is precisely what the cache prevents
+// (§3.10's motivation for caching multithreaded partial transfer
+// functions).
+var ablationSubset = map[string]bool{
+	"fib": true, "queens": true, "knapsack": true, "knary": true,
+	"game": true, "heat": true, "cilksort": true, "magic": true,
+}
+
+// benchAblation measures Multithreaded analysis time over the ablation
+// subset under a configuration tweak. Ablated configurations may
+// legitimately fail on some programs (ghost merging disabled makes
+// stack-recursive programs exceed the context valve — that is the
+// finding); failures are counted rather than fatal.
+func benchAblation(b *testing.B, opts mtpa.Options) {
+	var progs []*mtpa.Program
+	for _, p := range compileCorpus(b) {
+		if ablationSubset[p.Name] {
+			progs = append(progs, p.Compiled)
+		}
+	}
+	failures := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		failures = 0
+		for _, p := range progs {
+			if _, err := p.Analyze(opts); err != nil {
+				failures++
+			}
+		}
+	}
+	b.ReportMetric(float64(failures), "nonconverging-programs")
+}
+
+// BenchmarkAblation isolates the design choices §3.10 motivates: caching
+// multithreaded partial transfer functions, strong updates, and the
+// merging of ghost location sets for stack-recursive structures.
+func BenchmarkAblation(b *testing.B) {
+	b.Run("Baseline", func(b *testing.B) {
+		benchAblation(b, mtpa.Options{Mode: mtpa.Multithreaded})
+	})
+	b.Run("NoContextCache", func(b *testing.B) {
+		benchAblation(b, mtpa.Options{Mode: mtpa.Multithreaded, DisableContextCache: true})
+	})
+	b.Run("NoStrongUpdates", func(b *testing.B) {
+		benchAblation(b, mtpa.Options{Mode: mtpa.Multithreaded, DisableStrongUpdates: true})
+	})
+	b.Run("NoGhostMerging", func(b *testing.B) {
+		// Bounded: without merging, pousse-style stack recursion would
+		// generate contexts forever; the context valve stops it.
+		benchAblation(b, mtpa.Options{
+			Mode:                mtpa.Multithreaded,
+			DisableGhostMerging: true,
+			MaxContexts:         20000,
+			MaxRounds:           60,
+		})
+	})
+}
+
+// BenchmarkCompile measures the frontend (lex/parse/check/lower) over the
+// whole corpus.
+func BenchmarkCompile(b *testing.B) {
+	progs, err := bench.Programs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			if _, err := mtpa.Compile(p.Name+".clk", p.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

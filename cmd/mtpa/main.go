@@ -1,0 +1,167 @@
+// Command mtpa analyses a MiniCilk program with the multithreaded pointer
+// analysis of Rugina and Rinard (PLDI 1999).
+//
+//	mtpa [flags] file.clk
+//
+//	-mode mt|seq       analysis algorithm (multithreaded or the unsound
+//	                   sequential baseline)
+//	-summary           print the points-to graph at main's exit (default)
+//	-accesses          print the location sets of every pointer access
+//	-stats             print program characteristics and convergence data
+//	-race              run the static race detector
+//	-dump-ir           print the lowered parallel flow graph
+//	-run               execute the program under the interpreter
+//	-seed n            scheduler seed for -run
+//	-corpus name       analyse an embedded benchmark instead of a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtpa"
+	"mtpa/internal/ast"
+	"mtpa/internal/bench"
+	"mtpa/internal/interp"
+	"mtpa/internal/locset"
+	"mtpa/internal/metrics"
+	"mtpa/internal/race"
+)
+
+func main() {
+	mode := flag.String("mode", "mt", "analysis mode: mt (multithreaded) or seq (sequential baseline)")
+	summary := flag.Bool("summary", true, "print the points-to graph at main's exit")
+	accesses := flag.Bool("accesses", false, "print location sets per pointer access")
+	stats := flag.Bool("stats", false, "print program characteristics and convergence")
+	raceFlag := flag.Bool("race", false, "run the static race detector")
+	indepFlag := flag.Bool("independence", false, "classify each parallel construct as independent or conflicting (§4.4)")
+	dumpIR := flag.Bool("dump-ir", false, "print the lowered parallel flow graph")
+	format := flag.Bool("format", false, "pretty-print the parsed program and exit")
+	runFlag := flag.Bool("run", false, "execute the program under the interpreter")
+	seed := flag.Int64("seed", 1, "scheduler seed for -run")
+	corpus := flag.String("corpus", "", "analyse an embedded benchmark program by name")
+	flag.Parse()
+
+	if err := run(*mode, *summary, *accesses, *stats, *raceFlag, *indepFlag, *dumpIR, *format, *runFlag, *seed, *corpus, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "mtpa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, format, runFlag bool, seed int64, corpus string, args []string) error {
+	var name, src string
+	switch {
+	case corpus != "":
+		p, err := bench.Load(corpus)
+		if err != nil {
+			return err
+		}
+		name, src = corpus+".clk", p.Source
+	case len(args) == 1:
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		name, src = args[0], string(data)
+	default:
+		return fmt.Errorf("usage: mtpa [flags] file.clk (or -corpus name)")
+	}
+
+	prog, err := mtpa.Compile(name, src)
+	if err != nil {
+		return err
+	}
+	for _, w := range prog.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+
+	if format {
+		fmt.Print(ast.Print(prog.AST))
+		return nil
+	}
+	if dumpIR {
+		fmt.Print(prog.IR.Format())
+	}
+
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+	if mode == "seq" {
+		opts.Mode = mtpa.Sequential
+	}
+	res, err := prog.Analyze(opts)
+	if err != nil {
+		return err
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "analysis warning:", w)
+	}
+
+	tab := prog.Table()
+	if summary {
+		fmt.Printf("== %s analysis: points-to graph at main's exit ==\n", opts.Mode)
+		fmt.Println(res.MainOut.C.FormatFiltered(tab, func(id mtpa.LocSetID) bool {
+			k := tab.Get(id).Block.Kind
+			return k == locset.KindTemp || k == locset.KindRet
+		}))
+		fmt.Printf("(%d contexts, %d fixed-point rounds)\n", res.ContextsTotal(), res.Rounds)
+	}
+
+	if accesses {
+		fmt.Println("== pointer accesses (per analysis context) ==")
+		for _, s := range res.Metrics.AccessSamples() {
+			acc := prog.IR.Accesses[s.AccID]
+			kind := "load"
+			if acc.Instr.IsStoreInstr() {
+				kind = "store"
+			}
+			n, uninit := s.Count()
+			mark := ""
+			if uninit {
+				mark = " (potentially uninitialised)"
+			}
+			var names []string
+			for _, l := range s.Locs {
+				names = append(names, tab.String(l))
+			}
+			fmt.Printf("%s %s ctx%d: %d location set(s)%s %v\n",
+				acc.Instr.Pos, kind, s.CtxID, n, mark, names)
+		}
+	}
+
+	if stats {
+		st := metrics.Characteristics(name, "", src, prog.IR)
+		fmt.Println(metrics.RenderTable1([]metrics.ProgramStats{st}))
+		fmt.Println(metrics.RenderTable3([]metrics.Convergence{metrics.ConvergenceOf(name, res)}))
+	}
+
+	if raceFlag {
+		races := race.New(prog.IR, res).Detect()
+		fmt.Printf("== race detector: %d potential race(s) ==\n", len(races))
+		for _, r := range races {
+			fmt.Println(" ", r)
+			var names []string
+			for _, l := range r.Shared {
+				names = append(names, tab.String(l))
+			}
+			fmt.Printf("    shared locations: %v\n", names)
+		}
+	}
+
+	if indepFlag {
+		cs := race.New(prog.IR, res).CheckIndependence()
+		fmt.Printf("== independence: %d parallel construct(s) ==\n", len(cs))
+		for _, c := range cs {
+			fmt.Println(" ", c)
+		}
+	}
+
+	if runFlag {
+		m := interp.New(prog.IR, os.Stdout, seed)
+		code, err := m.Run()
+		if err != nil {
+			return fmt.Errorf("interpreter: %w", err)
+		}
+		fmt.Printf("== program exited with %d (seed %d) ==\n", code, seed)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Command mttables regenerates the tables and figures of the paper's
+// evaluation (§4) over the embedded benchmark corpus:
+//
+//	mttables -table 1      program characteristics        (Table 1)
+//	mttables -table 2      per-context counts             (Table 2)
+//	mttables -table 3      convergence measurements       (Table 3)
+//	mttables -table 4      merged-context counts, MT+Seq  (Table 4)
+//	mttables -table fig8   load histogram                 (Figure 8)
+//	mttables -table fig9   store histogram                (Figure 9)
+//	mttables -table fig10  analysis times                 (Figure 10)
+//	mttables -table all    everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mtpa"
+	"mtpa/internal/bench"
+	"mtpa/internal/metrics"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, all")
+	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
+	flag.Parse()
+
+	if err := run(*table, *timingRuns); err != nil {
+		fmt.Fprintln(os.Stderr, "mttables:", err)
+		os.Exit(1)
+	}
+}
+
+type analysed struct {
+	bench.Program
+	Compiled *mtpa.Program
+	MT       *mtpa.Result
+	Seq      *mtpa.Result
+}
+
+func analyseCorpus() ([]analysed, error) {
+	progs, err := bench.Programs()
+	if err != nil {
+		return nil, err
+	}
+	var out []analysed
+	for _, p := range progs {
+		compiled, err := mtpa.Compile(p.Name+".clk", p.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		mt, err := compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+		if err != nil {
+			return nil, fmt.Errorf("%s (multithreaded): %w", p.Name, err)
+		}
+		seq, err := compiled.Analyze(mtpa.Options{Mode: mtpa.Sequential})
+		if err != nil {
+			return nil, fmt.Errorf("%s (sequential): %w", p.Name, err)
+		}
+		out = append(out, analysed{Program: p, Compiled: compiled, MT: mt, Seq: seq})
+	}
+	return out, nil
+}
+
+func run(table string, timingRuns int) error {
+	all, err := analyseCorpus()
+	if err != nil {
+		return err
+	}
+
+	want := func(t string) bool { return table == "all" || table == t }
+
+	if want("1") {
+		var rows []metrics.ProgramStats
+		for _, a := range all {
+			rows = append(rows, metrics.Characteristics(a.Name, a.Description, a.Source, a.Compiled.IR))
+		}
+		fmt.Println(metrics.RenderTable1(rows))
+	}
+
+	if want("2") || want("fig8") || want("fig9") {
+		names := make([]string, 0, len(all))
+		dists := map[string]*metrics.Dist{}
+		agg := metrics.NewDist()
+		for _, a := range all {
+			d := metrics.SeparateContexts(a.Compiled.IR, a.MT)
+			names = append(names, a.Name)
+			dists[a.Name] = d
+			agg.Merge(d)
+		}
+		if want("fig8") {
+			fmt.Println(metrics.RenderHistogram(
+				"Figure 8: Location Set Histogram for Load Instructions (all contexts)", agg.Loads))
+		}
+		if want("fig9") {
+			fmt.Println(metrics.RenderHistogram(
+				"Figure 9: Location Set Histogram for Store Instructions (all contexts)", agg.Stores))
+		}
+		if want("2") {
+			fmt.Println(metrics.RenderPerProgramCounts(
+				"Table 2: Location Sets per Access — Separate Contexts, Ghost Location Sets",
+				names, dists))
+		}
+	}
+
+	if want("3") {
+		var rows []metrics.Convergence
+		for _, a := range all {
+			rows = append(rows, metrics.ConvergenceOf(a.Name, a.MT))
+		}
+		fmt.Println(metrics.RenderTable3(rows))
+	}
+
+	if want("4") {
+		names := make([]string, 0, len(all))
+		mtDists := map[string]*metrics.Dist{}
+		seqDists := map[string]*metrics.Dist{}
+		for _, a := range all {
+			names = append(names, a.Name)
+			mtDists[a.Name] = metrics.MergedContexts(a.Compiled.IR, a.MT)
+			seqDists[a.Name] = metrics.MergedContexts(a.Compiled.IR, a.Seq)
+		}
+		fmt.Println(metrics.RenderPerProgramCounts(
+			"Table 4: Location Sets per Access — Merged Contexts, Ghosts Replaced by Actuals (Multithreaded)",
+			names, mtDists))
+		fmt.Println(metrics.RenderPerProgramCounts(
+			"Table 4 (comparison): Same Metric for the Sequential Baseline",
+			names, seqDists))
+	}
+
+	if want("fig10") {
+		var rows []metrics.TimeRow
+		for _, a := range all {
+			rows = append(rows, metrics.TimeRow{
+				Name:         a.Name,
+				SeqSeconds:   timeAnalysis(a.Compiled, mtpa.Sequential, timingRuns),
+				MultiSeconds: timeAnalysis(a.Compiled, mtpa.Multithreaded, timingRuns),
+			})
+		}
+		fmt.Println(metrics.RenderTimes(rows))
+	}
+	return nil
+}
+
+func timeAnalysis(p *mtpa.Program, mode mtpa.Mode, runs int) float64 {
+	best := 0.0
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := p.Analyze(mtpa.Options{Mode: mode}); err != nil {
+			return 0
+		}
+		d := time.Since(start).Seconds()
+		if i == 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,104 @@
+// Load/store disambiguation (§5.1): the MIT RAW compiler used this pointer
+// analysis in an instruction scheduler to determine statically which memory
+// a load or store may touch. This example runs the analysis over a corpus
+// benchmark and prints, for every pointer-dereferencing access, the merged
+// set of actual location sets it may access — plus a summary comparing how
+// often the Multithreaded analysis pins an access to a unique location
+// against the flow-insensitive baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mtpa"
+	"mtpa/internal/bench"
+	"mtpa/internal/flowinsens"
+	"mtpa/internal/locset"
+)
+
+func main() {
+	name := flag.String("program", "cilksort", "corpus benchmark to disambiguate")
+	verbose := flag.Bool("v", false, "print every access")
+	flag.Parse()
+
+	prog, err := bench.Compile(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi := flowinsens.Analyze(prog.IR)
+	tab := prog.Table()
+
+	// Merge the per-context samples per access, expanding ghosts.
+	merged := map[int]map[mtpa.LocSetID]bool{}
+	for _, s := range res.Metrics.AccessSamples() {
+		m, ok := merged[s.AccID]
+		if !ok {
+			m = map[mtpa.LocSetID]bool{}
+			merged[s.AccID] = m
+		}
+		for _, id := range res.ExpandGhosts(s) {
+			m[id] = true
+		}
+	}
+
+	uniqueMT, uniqueFI, total := 0, 0, 0
+	fmt.Printf("== %s: per-access target location sets (Multithreaded, merged contexts) ==\n", *name)
+	for accID, acc := range prog.IR.Accesses {
+		locs := merged[accID]
+		if locs == nil {
+			continue // unreachable access
+		}
+		total++
+		n := 0
+		uninit := false
+		var names []string
+		for id := range locs {
+			if id == locset.UnkID {
+				uninit = true
+				continue
+			}
+			n++
+			names = append(names, tab.String(id))
+		}
+		if n <= 1 && !uninit {
+			uniqueMT++
+		}
+		fn, fu := fi.AccessCount(prog.IR, acc)
+		if fn <= 1 && !fu {
+			uniqueFI++
+		}
+		if *verbose {
+			kind := "load"
+			if acc.Instr.IsStoreInstr() {
+				kind = "store"
+			}
+			mark := ""
+			if uninit {
+				mark = " +unk"
+			}
+			fmt.Printf("  %-18s %-5s -> %v%s\n", acc.Instr.Pos, kind, names, mark)
+		}
+	}
+
+	fmt.Printf("\naccesses measured:                         %4d\n", total)
+	fmt.Printf("pinned to a unique, initialised location:\n")
+	fmt.Printf("  multithreaded flow-sensitive analysis:   %4d (%.0f%%)\n",
+		uniqueMT, pct(uniqueMT, total))
+	fmt.Printf("  flow-insensitive baseline (Andersen):    %4d (%.0f%%)\n",
+		uniqueFI, pct(uniqueFI, total))
+	fmt.Println("\na scheduler can reorder or bank-assign exactly the pinned accesses;")
+	fmt.Println("the flow-sensitive analysis pins at least as many as the baseline")
+}
+
+func pct(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}

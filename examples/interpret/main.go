@@ -1,0 +1,98 @@
+// Differential validation: run a multithreaded MiniCilk program under many
+// randomised schedules in the concrete interpreter and check that every
+// observed pointer fact is predicted by the static analysis — the
+// soundness contract of the paper, witnessed dynamically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+
+	"mtpa"
+	"mtpa/internal/interp"
+	"mtpa/internal/ptgraph"
+)
+
+const program = `
+struct node { int value; struct node *next; };
+struct node *stack;
+int x, y;
+int *watch;
+
+cilk void pusher(int base) {
+  int i;
+  struct node *n;
+  for (i = 0; i < 4; i++) {
+    n = (struct node *)malloc(sizeof(struct node));
+    n->value = base + i;
+    n->next = stack;       /* racy push: by design */
+    stack = n;
+  }
+}
+
+int main() {
+  int seen;
+  watch = &x;
+  par {
+    { pusher(100); }
+    { pusher(200); watch = &y; }
+  }
+  seen = 0;
+  while (stack != NULL) {
+    seen = seen + 1;
+    stack = stack->next;
+  }
+  *watch = seen;
+  return seen;
+}
+`
+
+func main() {
+	schedules := flag.Int("schedules", 64, "number of randomised schedules to run")
+	flag.Parse()
+
+	prog, err := mtpa.Compile("pushers.clk", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var static []interp.EdgePair
+	for _, g := range []*ptgraph.Graph{res.MainOut.C, res.MainOut.E} {
+		for _, e := range g.Edges() {
+			static = append(static, interp.EdgePair{Src: e.Src, Dst: e.Dst})
+		}
+	}
+
+	outcomes := map[int]int{}
+	allFacts := map[interp.Fact]struct{}{}
+	uncovered := 0
+	for seed := int64(0); seed < int64(*schedules); seed++ {
+		m := interp.New(prog.IR, io.Discard, seed)
+		code, err := m.Run()
+		if err != nil {
+			log.Fatalf("seed %d: %v", seed, err)
+		}
+		outcomes[code]++
+		for f := range m.Facts {
+			allFacts[f] = struct{}{}
+			if !interp.CoveredEdges(prog.Table(), static, f) {
+				uncovered++
+				fmt.Printf("UNSOUND: seed %d produced fact %s not predicted by the analysis\n", seed, f)
+			}
+		}
+	}
+
+	fmt.Printf("ran %d schedules of a racy two-thread stack pusher\n", *schedules)
+	fmt.Printf("exit values observed (racy pushes may be lost): %v\n", outcomes)
+	fmt.Printf("distinct dynamic points-to facts observed: %d\n", len(allFacts))
+	if uncovered == 0 {
+		fmt.Println("every dynamic fact is covered by the static analysis: soundness holds")
+	} else {
+		fmt.Printf("%d uncovered facts — soundness violated!\n", uncovered)
+	}
+}

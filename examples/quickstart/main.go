@@ -1,0 +1,108 @@
+// Quickstart: analyse the paper's Figure 1 example and reproduce the
+// Figure 7 walk-through — the multithreaded points-to information ⟨C,I,E⟩
+// before, inside, and after the par construct.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtpa"
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+)
+
+const figure1 = `
+int x, y;
+int *p, **q;
+int main() {
+  x = 0; y = 0;
+  p = &x;
+  q = &p;
+  par {
+    { *p = 1; }
+    { *q = &y; }
+  }
+  *p = 2;
+  return 0;
+}
+`
+
+func main() {
+	prog, err := mtpa.Compile("figure1.clk", figure1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded, RecordPoints: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := prog.Table()
+	hideTemps := func(id mtpa.LocSetID) bool {
+		k := tab.Get(id).Block.Kind
+		return k == locset.KindTemp || k == locset.KindRet
+	}
+
+	fmt.Println("Figure 1 program:")
+	fmt.Print(figure1)
+	fmt.Println()
+
+	// Locate the par construct and its neighbourhood in main's flow graph.
+	var par *ir.Node
+	for _, n := range prog.IR.Main.AllNodes {
+		if n.Kind == ir.NodePar {
+			par = n
+		}
+	}
+	if par == nil {
+		log.Fatal("no par construct found")
+	}
+
+	show := func(label string, t *mtpa.Triple) {
+		if t == nil {
+			fmt.Printf("%-34s (not recorded)\n", label)
+			return
+		}
+		fmt.Printf("%-34s C = %s\n", label, t.C.FormatFiltered(tab, hideTemps))
+		fmt.Printf("%-34s I = %s\n", "", t.I.FormatFiltered(tab, hideTemps))
+		fmt.Printf("%-34s E = %s\n", "", t.E.FormatFiltered(tab, hideTemps))
+	}
+
+	// The point before the par construct is the end of its predecessor
+	// block; the point after is the start of its successor.
+	pre := par.Preds[0]
+	show("before par:", res.PointAt(core.PointKey{Node: pre, Idx: len(pre.Instrs), Ctx: 0}))
+	fmt.Println()
+
+	for i, th := range par.Threads {
+		entry := th.Entry
+		show(fmt.Sprintf("at start of thread %d:", i+1), res.PointAt(core.PointKey{Node: entry, Idx: 0, Ctx: 0}))
+		fmt.Println()
+	}
+
+	post := par.Succs[0]
+	show("after par:", res.PointAt(core.PointKey{Node: post, Idx: 0, Ctx: 0}))
+	fmt.Println()
+
+	fmt.Println("Key facts reproduced from the paper:")
+	fmt.Println("  * inside thread 1, p may point to x or y (interference from *q=&y)")
+	fmt.Println("  * after the par, p definitely points to y: the strong update in")
+	fmt.Println("    thread 2 kills p->x and the parend intersection keeps the kill")
+
+	// The measured store *p = 1 inside thread 1.
+	for _, s := range res.Metrics.AccessSamples() {
+		acc := prog.IR.Accesses[s.AccID]
+		if acc.Instr.Op != ir.OpDataStore {
+			continue
+		}
+		n, uninit := s.Count()
+		var names []string
+		for _, l := range s.Locs {
+			names = append(names, tab.String(l))
+		}
+		fmt.Printf("\nthe store *p = ... at %s may write %d location set(s) %v (uninitialised: %v)\n",
+			acc.Instr.Pos, n, names, uninit)
+		break
+	}
+}

@@ -1,0 +1,149 @@
+// Race detection (§5.2): analyse a multithreaded work-queue program with
+// a pointer-mediated data race, report it, then show that the repaired
+// version (disjoint output slots) is race-free. This is the
+// software-engineering tool the paper motivates: the pointer analysis
+// reveals which statements from parallel threads may touch the same
+// memory, over all executions rather than a single test run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtpa"
+	"mtpa/internal/locset"
+	"mtpa/internal/race"
+)
+
+// buggy: both worker threads push results through the same tail pointer.
+const buggy = `
+struct result { int value; struct result *next; };
+struct result *results;
+
+int inputs[16];
+
+cilk void worker(int lo, int hi) {
+  int i;
+  struct result *r;
+  for (i = lo; i < hi; i++) {
+    r = (struct result *)malloc(sizeof(struct result));
+    r->value = inputs[i] * inputs[i];
+    r->next = results;     /* read of the shared list head */
+    results = r;           /* racy write of the shared list head */
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 16; i++) { inputs[i] = i; }
+  results = NULL;
+  par {
+    { worker(0, 8); }
+    { worker(8, 16); }
+  }
+  return 0;
+}
+`
+
+// fixed: each thread builds a private list; main links them after the join.
+const fixed = `
+struct result { int value; struct result *next; };
+struct result *left;
+struct result *right;
+
+int inputs[16];
+
+cilk struct result *worker(int lo, int hi) {
+  int i;
+  struct result *head;
+  struct result *r;
+  head = NULL;
+  for (i = lo; i < hi; i++) {
+    r = (struct result *)malloc(sizeof(struct result));
+    r->value = inputs[i] * inputs[i];
+    r->next = head;
+    head = r;
+  }
+  return head;
+}
+
+int main() {
+  int i;
+  struct result *walk;
+  for (i = 0; i < 16; i++) { inputs[i] = i; }
+  left = spawn worker(0, 8);
+  right = spawn worker(8, 16);
+  sync;
+  walk = left;
+  while (walk != NULL && walk->next != NULL) {
+    walk = walk->next;
+  }
+  if (walk != NULL) {
+    walk->next = right;
+  }
+  return 0;
+}
+`
+
+// globalRaces counts races whose shared location is a global variable —
+// the reports a programmer would act on. Races on a single heap
+// allocation-site block are the site abstraction conflating per-thread
+// private allocations (every malloc at one syntactic site is one abstract
+// block, exactly as in the paper).
+func globalRaces(prog *mtpa.Program, races []*race.Race) int {
+	tab := prog.Table()
+	n := 0
+	for _, r := range races {
+		for _, l := range r.Shared {
+			if tab.Get(l).Block.Kind == locset.KindGlobal {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func report(name, src string) (int, int) {
+	prog, err := mtpa.Compile(name, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		log.Fatal(err)
+	}
+	races := race.New(prog.IR, res).Detect()
+	fmt.Printf("== %s: %d potential race(s) ==\n", name, len(races))
+	tab := prog.Table()
+	shown := 0
+	for _, r := range races {
+		var names []string
+		for _, l := range r.Shared {
+			names = append(names, tab.String(l))
+		}
+		fmt.Printf("  %s\n    shared: %v\n", r, names)
+		shown++
+		if shown >= 6 {
+			fmt.Printf("  ... and %d more\n", len(races)-shown)
+			break
+		}
+	}
+	fmt.Println()
+	return len(races), globalRaces(prog, races)
+}
+
+func main() {
+	_, buggyGlobal := report("workqueue-buggy.clk", buggy)
+	fixedTotal, fixedGlobal := report("workqueue-fixed.clk", fixed)
+	switch {
+	case buggyGlobal == 0:
+		fmt.Println("UNEXPECTED: the buggy program should race on the shared list head")
+	case fixedGlobal > 0:
+		fmt.Println("UNEXPECTED: the repaired program should have no shared-variable races")
+	default:
+		fmt.Printf("the detector flags the shared list head in the buggy version and\n")
+		fmt.Printf("clears the repaired one (its %d remaining reports are allocation-site\n", fixedTotal)
+		fmt.Printf("conflation: each thread's private mallocs share one abstract block)\n")
+	}
+}

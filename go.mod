@@ -1,0 +1,3 @@
+module mtpa
+
+go 1.22

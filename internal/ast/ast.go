@@ -1,0 +1,458 @@
+// Package ast defines the abstract syntax tree for MiniCilk programs.
+//
+// The parser resolves type syntax directly to *types.Type (struct tags are
+// interned in a program-level table), so AST nodes reference semantic types
+// rather than a separate type-expression layer. The sem package fills in
+// expression types and symbol links.
+package ast
+
+import (
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Program and declarations
+
+// Program is a parsed MiniCilk translation unit.
+type Program struct {
+	File    string
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    *types.Type // Kind Struct, fields filled in
+}
+
+// Pos returns the declaration position.
+func (d *StructDecl) Pos() token.Pos { return d.NamePos }
+
+// VarDecl declares a variable: a global (possibly thread-private) or a
+// local inside a block.
+type VarDecl struct {
+	NamePos token.Pos
+	Name    string
+	Type    *types.Type
+	Private bool // private global variable (§3.9)
+	Init    Expr // optional initialiser; nil if absent
+
+	Sym *Symbol // filled by sem
+}
+
+// Pos returns the declaration position.
+func (d *VarDecl) Pos() token.Pos { return d.NamePos }
+
+// Param is a formal parameter of a function.
+type Param struct {
+	NamePos token.Pos
+	Name    string
+	Type    *types.Type
+
+	Sym *Symbol // filled by sem
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	NamePos token.Pos
+	Name    string
+	Cilk    bool // declared with the cilk keyword (spawnable)
+	Result  *types.Type
+	Params  []*Param
+	Body    *BlockStmt // nil for a prototype
+
+	Sym *Symbol // filled by sem
+}
+
+// Pos returns the declaration position.
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+// Type returns the function type of the declaration.
+func (d *FuncDecl) Type() *types.Type {
+	ps := make([]*types.Type, len(d.Params))
+	for i, p := range d.Params {
+		ps[i] = p.Type
+	}
+	return types.FuncOf(d.Result, ps)
+}
+
+// ---------------------------------------------------------------------------
+// Symbols
+
+// SymKind classifies a resolved symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGlobal SymKind = iota
+	SymPrivateGlobal
+	SymLocal
+	SymParam
+	SymFunc
+)
+
+// Symbol is a resolved program entity. One Symbol exists per declaration;
+// Ident nodes point at it after semantic analysis.
+type Symbol struct {
+	Kind SymKind
+	Name string
+	Type *types.Type
+	Decl Node // *VarDecl, *Param or *FuncDecl
+
+	// Func is set for SymFunc symbols.
+	Func *FuncDecl
+
+	// Owner is the enclosing function for locals and params.
+	Owner *FuncDecl
+
+	// ID is a dense index assigned by sem, unique program-wide.
+	ID int
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is { stmt* }.
+type BlockStmt struct {
+	Lbrace token.Pos
+	List   []Stmt
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// DeclGroup is a multi-declarator local declaration ("int a, b;"); unlike
+// a block, it introduces no scope.
+type DeclGroup struct {
+	Decls []*DeclStmt
+}
+
+// IfStmt is if (Cond) Then else Else.
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// DoWhileStmt is do Body while (Cond);
+type DoWhileStmt struct {
+	DoPos token.Pos
+	Body  Stmt
+	Cond  Expr
+}
+
+// ForStmt is for (Init; Cond; Post) Body. Init/Cond/Post may be nil.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   Stmt // ExprStmt or DeclStmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+}
+
+// ReturnStmt is return Value; (Value may be nil).
+type ReturnStmt struct {
+	RetPos token.Pos
+	Value  Expr
+}
+
+// BreakStmt is break;.
+type BreakStmt struct{ BrPos token.Pos }
+
+// ContinueStmt is continue;.
+type ContinueStmt struct{ CtPos token.Pos }
+
+// EmptyStmt is a bare semicolon.
+type EmptyStmt struct{ SemiPos token.Pos }
+
+// ParStmt is the structured parallel construct:
+//
+//	par { { t1 } { t2 } ... }
+//
+// Each element of Threads executes in a concurrently running child thread;
+// the parent blocks at the end of the construct until all complete.
+type ParStmt struct {
+	ParPos  token.Pos
+	Threads []*BlockStmt
+}
+
+// ParForStmt is the parallel loop construct:
+//
+//	parfor (init; cond; post) body
+//
+// Iterations execute as a statically unbounded number of parallel threads
+// running the same body (§3.8).
+type ParForStmt struct {
+	ParPos token.Pos
+	Init   Stmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+}
+
+// SpawnStmt is spawn f(args); or x = spawn f(args);. The spawned call runs
+// in parallel with the continuation of the parent until the next sync.
+type SpawnStmt struct {
+	SpawnPos token.Pos
+	LHS      Expr // optional result target; may be nil
+	Call     *CallExpr
+}
+
+// SyncStmt is sync; — the parent blocks until outstanding spawns complete.
+type SyncStmt struct{ SyncPos token.Pos }
+
+// Pos implementations.
+func (s *BlockStmt) Pos() token.Pos    { return s.Lbrace }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *DeclStmt) Pos() token.Pos     { return s.Decl.Pos() }
+func (s *DeclGroup) Pos() token.Pos    { return s.Decls[0].Pos() }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.DoPos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.RetPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.BrPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.CtPos }
+func (s *EmptyStmt) Pos() token.Pos    { return s.SemiPos }
+func (s *ParStmt) Pos() token.Pos      { return s.ParPos }
+func (s *ParForStmt) Pos() token.Pos   { return s.ParPos }
+func (s *SpawnStmt) Pos() token.Pos    { return s.SpawnPos }
+func (s *SyncStmt) Pos() token.Pos     { return s.SyncPos }
+
+func (*BlockStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()     {}
+func (*DeclStmt) stmtNode()     {}
+func (*DeclGroup) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*EmptyStmt) stmtNode()    {}
+func (*ParStmt) stmtNode()      {}
+func (*ParForStmt) stmtNode()   {}
+func (*SpawnStmt) stmtNode()    {}
+func (*SyncStmt) stmtNode()     {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	// Type returns the semantic type, available after sem runs.
+	Type() *types.Type
+	exprNode()
+}
+
+// exprBase carries the type filled in by sem.
+type exprBase struct {
+	Typ *types.Type
+}
+
+// Type returns the expression type computed by semantic analysis.
+func (e *exprBase) Type() *types.Type { return e.Typ }
+
+// SetType records the expression type (used by sem).
+func (e *exprBase) SetType(t *types.Type) { e.Typ = t }
+
+// Ident is a name reference.
+type Ident struct {
+	exprBase
+	NamePos token.Pos
+	Name    string
+	Sym     *Symbol // filled by sem
+}
+
+// IntLit is an integer (or numeric) literal.
+type IntLit struct {
+	exprBase
+	LitPos token.Pos
+	Value  int64
+	Text   string
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	exprBase
+	LitPos token.Pos
+	Value  byte
+}
+
+// StringLit is a string literal; it denotes a distinct char-array block.
+type StringLit struct {
+	exprBase
+	LitPos token.Pos
+	Value  string
+}
+
+// NullLit is the NULL keyword. NULL points to the unknown location (§4.2).
+type NullLit struct {
+	exprBase
+	LitPos token.Pos
+}
+
+// UnaryExpr is op X for op in - ! ~ * &.
+type UnaryExpr struct {
+	exprBase
+	OpPos token.Pos
+	Op    token.Kind // MINUS, NOT, TILDE, STAR (deref), AMP (address-of)
+	X     Expr
+}
+
+// BinaryExpr is X op Y for arithmetic, comparison and logical operators.
+type BinaryExpr struct {
+	exprBase
+	OpPos token.Pos
+	Op    token.Kind
+	X, Y  Expr
+}
+
+// AssignExpr is X = Y or X op= Y.
+type AssignExpr struct {
+	exprBase
+	OpPos token.Pos
+	Op    token.Kind // ASSIGN, PLUSASSIGN, ...
+	X, Y  Expr
+}
+
+// IncDecExpr is X++ or X-- (postfix; prefix parses to the same node).
+type IncDecExpr struct {
+	exprBase
+	OpPos token.Pos
+	Op    token.Kind // INC or DEC
+	X     Expr
+}
+
+// CallExpr is Fun(Args). Fun is an Ident naming a function or an expression
+// of function-pointer type.
+type CallExpr struct {
+	exprBase
+	LparenPos token.Pos
+	Fun       Expr
+	Args      []Expr
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	exprBase
+	LbrackPos token.Pos
+	X         Expr
+	Index     Expr
+}
+
+// MemberExpr is X.Name or X->Name (Arrow true).
+type MemberExpr struct {
+	exprBase
+	DotPos token.Pos
+	X      Expr
+	Name   string
+	Arrow  bool
+	Field  *types.Field // filled by sem
+}
+
+// CastExpr is (To) X.
+type CastExpr struct {
+	exprBase
+	LparenPos token.Pos
+	To        *types.Type
+	X         Expr
+}
+
+// SizeofExpr is sizeof(T) or sizeof(expr); sem resolves it to a constant.
+type SizeofExpr struct {
+	exprBase
+	SzPos token.Pos
+	Of    *types.Type // non-nil for sizeof(type)
+	X     Expr        // non-nil for sizeof(expr)
+}
+
+// CondExpr is Cond ? Then : Else.
+type CondExpr struct {
+	exprBase
+	QPos token.Pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// AllocExpr is malloc(Size) or calloc(N, Size): a heap allocation site.
+// Each syntactic occurrence is a distinct allocation-site memory block.
+type AllocExpr struct {
+	exprBase
+	AllocPos token.Pos
+	Size     Expr
+	Count    Expr // non-nil for calloc
+	// SiteType is the element type inferred from an enclosing cast or the
+	// assignment target; void when unknown.
+	SiteType *types.Type
+	// SiteID is a dense allocation-site number assigned by sem.
+	SiteID int
+}
+
+// Pos implementations.
+func (e *Ident) Pos() token.Pos      { return e.NamePos }
+func (e *IntLit) Pos() token.Pos     { return e.LitPos }
+func (e *CharLit) Pos() token.Pos    { return e.LitPos }
+func (e *StringLit) Pos() token.Pos  { return e.LitPos }
+func (e *NullLit) Pos() token.Pos    { return e.LitPos }
+func (e *UnaryExpr) Pos() token.Pos  { return e.OpPos }
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *AssignExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *IncDecExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *CallExpr) Pos() token.Pos   { return e.Fun.Pos() }
+func (e *IndexExpr) Pos() token.Pos  { return e.X.Pos() }
+func (e *MemberExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *CastExpr) Pos() token.Pos   { return e.LparenPos }
+func (e *SizeofExpr) Pos() token.Pos { return e.SzPos }
+func (e *CondExpr) Pos() token.Pos   { return e.Cond.Pos() }
+func (e *AllocExpr) Pos() token.Pos  { return e.AllocPos }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*CharLit) exprNode()    {}
+func (*StringLit) exprNode()  {}
+func (*NullLit) exprNode()    {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*AssignExpr) exprNode() {}
+func (*IncDecExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+func (*IndexExpr) exprNode()  {}
+func (*MemberExpr) exprNode() {}
+func (*CastExpr) exprNode()   {}
+func (*SizeofExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*AllocExpr) exprNode()  {}

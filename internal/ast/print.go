@@ -1,0 +1,416 @@
+// AST pretty-printing: renders a program back to MiniCilk source. The
+// printer is used for debugging, golden tests, and the parser round-trip
+// property (parse∘print is idempotent up to formatting).
+
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+// Print renders the whole program as MiniCilk source text.
+func Print(p *Program) string {
+	pr := &printer{}
+	for _, sd := range p.Structs {
+		pr.structDecl(sd)
+		pr.nl()
+	}
+	for _, g := range p.Globals {
+		if g.Private {
+			pr.ws("private ")
+		}
+		pr.ws(declString(g.Type, g.Name))
+		if g.Init != nil {
+			pr.ws(" = ")
+			pr.expr(g.Init, 0)
+		}
+		pr.ws(";")
+		pr.nl()
+	}
+	for _, fd := range p.Funcs {
+		pr.nl()
+		pr.funcDecl(fd)
+	}
+	return pr.sb.String()
+}
+
+// PrintStmt renders a single statement.
+func PrintStmt(s Stmt) string {
+	pr := &printer{}
+	pr.stmt(s)
+	return pr.sb.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	pr := &printer{}
+	pr.expr(e, 0)
+	return pr.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) ws(s string) { p.sb.WriteString(s) }
+
+func (p *printer) nl() {
+	p.sb.WriteString("\n")
+}
+
+func (p *printer) line(s string) {
+	p.sb.WriteString(strings.Repeat("  ", p.indent))
+	p.sb.WriteString(s)
+	p.nl()
+}
+
+func (p *printer) open(s string) {
+	p.line(s)
+	p.indent++
+}
+
+func (p *printer) close(s string) {
+	p.indent--
+	p.line(s)
+}
+
+// declString renders "type name" with C declarator syntax, including
+// arrays and function pointers.
+func declString(t *types.Type, name string) string {
+	switch t.Kind {
+	case types.Array:
+		// Peel array suffixes.
+		suffix := ""
+		for t.Kind == types.Array {
+			suffix += fmt.Sprintf("[%d]", t.Len)
+			t = t.Elem
+		}
+		return declString(t, name+suffix)
+	case types.Pointer:
+		if t.Elem.IsFunc() {
+			ft := t.Elem
+			params := make([]string, len(ft.Params))
+			for i, pt := range ft.Params {
+				params[i] = declString(pt, "")
+			}
+			return fmt.Sprintf("%s (*%s)(%s)", typeName(ft.Result), name, strings.Join(params, ", "))
+		}
+		return declString(t.Elem, "*"+name)
+	default:
+		n := typeName(t)
+		if name == "" {
+			return n
+		}
+		return n + " " + strings.TrimLeft(name, " ")
+	}
+}
+
+func typeName(t *types.Type) string {
+	switch t.Kind {
+	case types.Void:
+		return "void"
+	case types.Int:
+		return "int"
+	case types.Char:
+		return "char"
+	case types.Float:
+		return "float"
+	case types.Double:
+		return "double"
+	case types.Struct:
+		return "struct " + t.Name
+	}
+	return t.String()
+}
+
+func (p *printer) structDecl(sd *StructDecl) {
+	p.open(fmt.Sprintf("struct %s {", sd.Name))
+	for _, f := range sd.Type.Fields {
+		p.line(declString(f.Type, f.Name) + ";")
+	}
+	p.close("};")
+}
+
+func (p *printer) funcDecl(fd *FuncDecl) {
+	var sb strings.Builder
+	if fd.Cilk {
+		sb.WriteString("cilk ")
+	}
+	params := make([]string, len(fd.Params))
+	for i, pa := range fd.Params {
+		params[i] = declString(pa.Type, pa.Name)
+	}
+	sig := fmt.Sprintf("%s(%s)", fd.Name, strings.Join(params, ", "))
+	sb.WriteString(declString(fd.Result, sig))
+	if fd.Body == nil {
+		p.line(sb.String() + ";")
+		return
+	}
+	p.open(sb.String() + " {")
+	for _, s := range fd.Body.List {
+		p.stmt(s)
+	}
+	p.close("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *BlockStmt:
+		p.open("{")
+		for _, st := range s.List {
+			p.stmt(st)
+		}
+		p.close("}")
+	case *ExprStmt:
+		p.line(PrintExpr(s.X) + ";")
+	case *DeclStmt:
+		d := declString(s.Decl.Type, s.Decl.Name)
+		if s.Decl.Init != nil {
+			d += " = " + PrintExpr(s.Decl.Init)
+		}
+		p.line(d + ";")
+	case *DeclGroup:
+		for _, d := range s.Decls {
+			p.stmt(d)
+		}
+	case *IfStmt:
+		p.open("if (" + PrintExpr(s.Cond) + ") {")
+		p.blockish(s.Then)
+		if s.Else != nil {
+			p.indent--
+			p.line("} else {")
+			p.indent++
+			p.blockish(s.Else)
+		}
+		p.close("}")
+	case *WhileStmt:
+		p.open("while (" + PrintExpr(s.Cond) + ") {")
+		p.blockish(s.Body)
+		p.close("}")
+	case *DoWhileStmt:
+		p.open("do {")
+		p.blockish(s.Body)
+		p.close("} while (" + PrintExpr(s.Cond) + ");")
+	case *ForStmt:
+		p.open("for (" + forHeader(s.Init, s.Cond, s.Post) + ") {")
+		p.blockish(s.Body)
+		p.close("}")
+	case *ParForStmt:
+		p.open("parfor (" + forHeader(s.Init, s.Cond, s.Post) + ") {")
+		p.blockish(s.Body)
+		p.close("}")
+	case *ParStmt:
+		p.open("par {")
+		for _, th := range s.Threads {
+			p.stmt(th)
+		}
+		p.close("}")
+	case *SpawnStmt:
+		if s.LHS != nil {
+			p.line(PrintExpr(s.LHS) + " = spawn " + PrintExpr(s.Call) + ";")
+		} else {
+			p.line("spawn " + PrintExpr(s.Call) + ";")
+		}
+	case *SyncStmt:
+		p.line("sync;")
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.line("return " + PrintExpr(s.Value) + ";")
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *EmptyStmt:
+		p.line(";")
+	default:
+		p.line(fmt.Sprintf("/* unknown statement %T */", s))
+	}
+}
+
+// blockish prints a statement that is the body of a control construct,
+// flattening block bodies into the already-open braces.
+func (p *printer) blockish(s Stmt) {
+	if blk, ok := s.(*BlockStmt); ok {
+		for _, st := range blk.List {
+			p.stmt(st)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+func forHeader(init Stmt, cond, post Expr) string {
+	var parts [3]string
+	switch init := init.(type) {
+	case nil:
+	case *ExprStmt:
+		parts[0] = PrintExpr(init.X)
+	case *DeclStmt:
+		parts[0] = strings.TrimSuffix(PrintStmt(init), ";\n")
+	default:
+		parts[0] = strings.TrimSuffix(strings.TrimSpace(PrintStmt(init)), ";")
+	}
+	if cond != nil {
+		parts[1] = PrintExpr(cond)
+	}
+	if post != nil {
+		parts[2] = PrintExpr(post)
+	}
+	return parts[0] + "; " + parts[1] + "; " + parts[2]
+}
+
+// precedence levels mirror the parser's grammar for minimal-paren output.
+func exprPrec(e Expr) int {
+	switch e := e.(type) {
+	case *AssignExpr:
+		return 1
+	case *CondExpr:
+		return 2
+	case *BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return 3
+		case token.LAND:
+			return 4
+		case token.PIPE:
+			return 5
+		case token.CARET:
+			return 6
+		case token.AMP:
+			return 7
+		case token.EQ, token.NEQ:
+			return 8
+		case token.LT, token.GT, token.LE, token.GE:
+			return 9
+		case token.SHL, token.SHR:
+			return 10
+		case token.PLUS, token.MINUS:
+			return 11
+		default:
+			return 12
+		}
+	case *UnaryExpr, *CastExpr, *SizeofExpr:
+		return 13
+	default:
+		return 14
+	}
+}
+
+func (p *printer) expr(e Expr, parentPrec int) {
+	prec := exprPrec(e)
+	if prec < parentPrec {
+		p.ws("(")
+		defer p.ws(")")
+	}
+	switch e := e.(type) {
+	case *Ident:
+		p.ws(e.Name)
+	case *IntLit:
+		if e.Text != "" {
+			p.ws(e.Text)
+		} else {
+			p.ws(strconv.FormatInt(e.Value, 10))
+		}
+	case *CharLit:
+		p.ws("'" + escapeChar(e.Value) + "'")
+	case *StringLit:
+		p.ws(strconv.Quote(e.Value))
+	case *NullLit:
+		p.ws("NULL")
+	case *UnaryExpr:
+		p.ws(e.Op.String())
+		p.expr(e.X, 13)
+	case *BinaryExpr:
+		p.expr(e.X, prec)
+		p.ws(" " + e.Op.String() + " ")
+		p.expr(e.Y, prec+1)
+	case *AssignExpr:
+		p.expr(e.X, 14)
+		p.ws(" " + e.Op.String() + " ")
+		p.expr(e.Y, 1)
+	case *IncDecExpr:
+		p.expr(e.X, 14)
+		p.ws(e.Op.String())
+	case *CallExpr:
+		p.expr(e.Fun, 14)
+		p.ws("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.ws(", ")
+			}
+			p.expr(a, 1)
+		}
+		p.ws(")")
+	case *IndexExpr:
+		p.expr(e.X, 14)
+		p.ws("[")
+		p.expr(e.Index, 0)
+		p.ws("]")
+	case *MemberExpr:
+		p.expr(e.X, 14)
+		if e.Arrow {
+			p.ws("->")
+		} else {
+			p.ws(".")
+		}
+		p.ws(e.Name)
+	case *CastExpr:
+		p.ws("(" + declString(e.To, "") + ")")
+		p.expr(e.X, 13)
+	case *SizeofExpr:
+		if e.Of != nil {
+			p.ws("sizeof(" + declString(e.Of, "") + ")")
+		} else {
+			p.ws("sizeof(")
+			p.expr(e.X, 0)
+			p.ws(")")
+		}
+	case *CondExpr:
+		p.expr(e.Cond, 3)
+		p.ws(" ? ")
+		p.expr(e.Then, 0)
+		p.ws(" : ")
+		p.expr(e.Else, 2)
+	case *AllocExpr:
+		if e.Count != nil {
+			p.ws("calloc(")
+			p.expr(e.Count, 1)
+			p.ws(", ")
+			p.expr(e.Size, 1)
+			p.ws(")")
+		} else {
+			p.ws("malloc(")
+			p.expr(e.Size, 1)
+			p.ws(")")
+		}
+	default:
+		p.ws(fmt.Sprintf("/* unknown expr %T */", e))
+	}
+}
+
+func escapeChar(b byte) string {
+	switch b {
+	case '\n':
+		return "\\n"
+	case '\t':
+		return "\\t"
+	case '\r':
+		return "\\r"
+	case 0:
+		return "\\0"
+	case '\'':
+		return "\\'"
+	case '\\':
+		return "\\\\"
+	}
+	return string(b)
+}

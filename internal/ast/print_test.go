@@ -1,0 +1,167 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/parser"
+)
+
+const sample = `
+struct node {
+  int value;
+  struct node *next;
+};
+int x, y;
+int *p;
+int table[8];
+int (*handler)(int, char *);
+private int scratch;
+
+cilk int work(struct node *n, int depth) {
+  int acc;
+  struct node *w;
+  acc = 0;
+  w = n;
+  while (w != NULL && depth > 0) {
+    acc += w->value;
+    w = w->next;
+    depth--;
+  }
+  if (acc > 4) {
+    return acc;
+  } else {
+    return -acc;
+  }
+}
+
+int main(int argc) {
+  int i;
+  struct node *head;
+  head = (struct node *)malloc(sizeof(struct node));
+  head->value = table[2];
+  head->next = NULL;
+  for (i = 0; i < 8; i++) {
+    table[i] = i * 2 + 1;
+  }
+  par {
+    { x = work(head, 3); }
+    { y = work(head, 4); }
+  }
+  parfor (i = 0; i < 4; i++) {
+    table[i % 8] = i;
+  }
+  i = spawn work(head, 1);
+  sync;
+  do { i--; } while (i > 0);
+  return x > y ? x : y;
+}
+`
+
+// TestPrintRoundTrip checks the parse∘print fixpoint: printing a parsed
+// program and re-parsing yields a program that prints identically.
+func TestPrintRoundTrip(t *testing.T) {
+	p1, err := parser.Parse("sample.clk", sample)
+	if err != nil {
+		t.Fatalf("parse 1: %v", err)
+	}
+	out1 := ast.Print(p1)
+	p2, err := parser.Parse("printed.clk", out1)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, out1)
+	}
+	out2 := ast.Print(p2)
+	if out1 != out2 {
+		t.Errorf("print is not a parse fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+}
+
+func TestPrintRoundTripPreservesStructure(t *testing.T) {
+	p1, err := parser.Parse("sample.clk", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := parser.Parse("printed.clk", ast.Print(p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Structs) != len(p2.Structs) || len(p1.Globals) != len(p2.Globals) || len(p1.Funcs) != len(p2.Funcs) {
+		t.Fatalf("top-level shape changed: %d/%d/%d vs %d/%d/%d",
+			len(p1.Structs), len(p1.Globals), len(p1.Funcs),
+			len(p2.Structs), len(p2.Globals), len(p2.Funcs))
+	}
+	for i := range p1.Globals {
+		if p1.Globals[i].Name != p2.Globals[i].Name ||
+			p1.Globals[i].Type.String() != p2.Globals[i].Type.String() ||
+			p1.Globals[i].Private != p2.Globals[i].Private {
+			t.Errorf("global %d changed: %s %s vs %s %s",
+				i, p1.Globals[i].Type, p1.Globals[i].Name, p2.Globals[i].Type, p2.Globals[i].Name)
+		}
+	}
+}
+
+func TestPrintExprPrecedence(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{"a + b * c", "a + b * c"},
+		{"(a + b) * c", "(a + b) * c"},
+		{"a - (b - c)", "a - (b - c)"},
+		{"a - b - c", "a - b - c"},
+		{"*p + 1", "*p + 1"},
+		{"-x * y", "-x * y"},
+		{"a && b || c", "a && b || c"},
+		{"a && (b || c)", "a && (b || c)"},
+		{"p == NULL", "p == NULL"},
+	}
+	for _, tt := range tests {
+		prog, err := parser.Parse("e.clk", "int main() { zz = "+tt.src+"; return 0; }")
+		if err != nil {
+			t.Fatalf("%q: %v", tt.src, err)
+		}
+		es := prog.Funcs[0].Body.List[0].(*ast.ExprStmt)
+		assign := es.X.(*ast.AssignExpr)
+		got := ast.PrintExpr(assign.Y)
+		if got != tt.want {
+			t.Errorf("PrintExpr(%q) = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestDeclStringForms(t *testing.T) {
+	srcs := []string{
+		"int x;",
+		"int *p;",
+		"int a[4];",
+		"char *names[3];",
+		"int (*fp)(int, char *);",
+		"struct s { int n; };\nstruct s *sp;",
+	}
+	for _, src := range srcs {
+		p1, err := parser.Parse("d.clk", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		printed := ast.Print(p1)
+		if _, err := parser.Parse("d2.clk", printed); err != nil {
+			t.Errorf("printed decl does not re-parse: %q -> %q: %v", src, printed, err)
+		}
+	}
+}
+
+// TestCorpusStyleProgramRoundTrips runs the round-trip over a corpus-like
+// program with every parallel construct form.
+func TestPrintKeepsParallelConstructs(t *testing.T) {
+	p1, err := parser.Parse("sample.clk", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ast.Print(p1)
+	for _, needle := range []string{"par {", "parfor (", "spawn work", "sync;", "cilk int work", "private int scratch"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("printed program missing %q:\n%s", needle, out)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package bench embeds the benchmark corpus: MiniCilk re-implementations
+// of the 18 Cilk programs of the paper's evaluation (§4, Table 1). The
+// programs keep the structural properties the paper highlights — divide and
+// conquer algorithms with recursively generated concurrency, parameters
+// that point into heap or stack allocated data structures, octrees, sparse
+// quadtree matrices, parallel hash tables, pointer arithmetic, casts, and
+// (in pousse) a linked list of unbounded size built on the call stack.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+
+	"mtpa"
+)
+
+//go:embed corpus/*.clk
+var corpusFS embed.FS
+
+// Program is one corpus entry.
+type Program struct {
+	Name        string
+	Description string
+	Source      string
+}
+
+// descriptions follow Table 1.
+var descriptions = map[string]string{
+	"barnes":   "Barnes-Hut N-body Simulation",
+	"block":    "Blocked Matrix Multiply",
+	"cholesky": "Sparse Cholesky Factorization",
+	"cilksort": "Parallel Sort",
+	"ck":       "Checkers Program",
+	"fft":      "Fast Fourier Transform",
+	"fib":      "Fibonacci Calculation",
+	"game":     "Simple Game",
+	"heat":     "Heat Diffusion on Mesh",
+	"knapsack": "Knapsack, Branch and Bound",
+	"knary":    "Synthetic Benchmark",
+	"lu":       "LU Decomposition",
+	"magic":    "Magic Squares",
+	"mol":      "Viral Protein Simulation",
+	"notemp":   "Blocked Matrix Multiply",
+	"pousse":   "Pousse Game Program",
+	"queens":   "N Queens Program",
+	"space":    "Blocked Matrix Multiply",
+}
+
+// paperOrder is the row order of the paper's tables.
+var paperOrder = []string{
+	"barnes", "block", "cholesky", "cilksort", "ck", "fft", "fib", "game",
+	"heat", "knapsack", "knary", "lu", "magic", "mol", "notemp", "pousse",
+	"queens", "space",
+}
+
+// Programs returns the corpus in the paper's table order.
+func Programs() ([]Program, error) {
+	entries, err := corpusFS.ReadDir("corpus")
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Program{}
+	for _, e := range entries {
+		name := e.Name()
+		name = name[:len(name)-len(".clk")]
+		data, err := corpusFS.ReadFile("corpus/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		byName[name] = Program{
+			Name:        name,
+			Description: descriptions[name],
+			Source:      string(data),
+		}
+	}
+	var out []Program
+	for _, name := range paperOrder {
+		if p, ok := byName[name]; ok {
+			out = append(out, p)
+			delete(byName, name)
+		}
+	}
+	// Any extra corpus programs come after, sorted.
+	var rest []string
+	for name := range byName {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+// Load returns one corpus program by name.
+func Load(name string) (Program, error) {
+	data, err := corpusFS.ReadFile("corpus/" + name + ".clk")
+	if err != nil {
+		return Program{}, fmt.Errorf("bench: unknown program %q", name)
+	}
+	return Program{Name: name, Description: descriptions[name], Source: string(data)}, nil
+}
+
+// Compile compiles one corpus program.
+func Compile(name string) (*mtpa.Program, error) {
+	p, err := Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return mtpa.Compile(name+".clk", p.Source)
+}

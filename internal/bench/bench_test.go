@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/metrics"
+)
+
+// TestCorpusCompilesAndAnalyzes is the corpus gate: every program must
+// parse, type-check, lower, and reach a fixed point under both algorithms.
+func TestCorpusCompilesAndAnalyzes(t *testing.T) {
+	progs, err := Programs()
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	if len(progs) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			prog, err := mtpa.Compile(p.Name+".clk", p.Source)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			for _, w := range prog.Warnings {
+				if strings.Contains(w, "unstructured spawn") {
+					t.Errorf("corpus program has unstructured spawn: %s", w)
+				}
+			}
+			mt, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				t.Fatalf("multithreaded analysis: %v", err)
+			}
+			if _, err := prog.Analyze(mtpa.Options{Mode: mtpa.Sequential}); err != nil {
+				t.Fatalf("sequential analysis: %v", err)
+			}
+			st := metrics.Characteristics(p.Name, p.Description, p.Source, prog.IR)
+			if st.ThreadSites == 0 {
+				t.Errorf("program has no thread creation sites")
+			}
+			if st.PtrLocSets == 0 {
+				t.Errorf("program has no pointer location sets")
+			}
+			d := metrics.SeparateContexts(prog.IR, mt)
+			if len(d.Loads)+len(d.Stores) == 0 && st.PtrLoads+st.PtrStores > 0 {
+				t.Errorf("no precision samples despite %d pointer accesses", st.PtrLoads+st.PtrStores)
+			}
+		})
+	}
+}
+
+// TestCorpusComplete checks all 18 paper programs are present.
+func TestCorpusComplete(t *testing.T) {
+	progs, err := Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := map[string]bool{}
+	for _, p := range progs {
+		have[p.Name] = true
+	}
+	for _, want := range paperOrder {
+		if !have[want] {
+			t.Errorf("missing corpus program %s", want)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	if _, err := Load("nonexistent"); err == nil {
+		t.Error("expected error for unknown program")
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/interp"
+	"mtpa/internal/ptgraph"
+)
+
+// runnable lists the corpus programs small enough to execute under the
+// statement-granular interpreter within the step budget, with their
+// expected exit codes where the algorithm's result is deterministic
+// (-1 = any value).
+var runnable = []struct {
+	name string
+	want int
+}{
+	{"knapsack", -1},
+	{"game", -1},
+	{"heat", 0},
+	{"cilksort", 0},
+	{"lu", 0},
+	{"block", 0},
+	{"pousse", -1},
+}
+
+// TestCorpusProgramsExecute runs the smaller benchmarks under the concrete
+// interpreter: the corpus programs are real programs, not just analysis
+// fodder.
+func TestCorpusProgramsExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interpreter corpus runs are slow in -short mode")
+	}
+	for _, rc := range runnable {
+		rc := rc
+		t.Run(rc.name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := Compile(rc.name)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := interp.New(prog.IR, io.Discard, 1)
+			m.MaxSteps = 1 << 23
+			code, err := m.Run()
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if rc.want >= 0 && code != rc.want {
+				t.Errorf("exit code = %d, want %d", code, rc.want)
+			}
+		})
+	}
+}
+
+// TestCorpusDynamicSoundness executes a subset of the corpus and checks
+// that every dynamic pointer fact observed in globally named memory is
+// covered by the multithreaded analysis result — the soundness contract,
+// exercised on realistic divide-and-conquer programs rather than synthetic
+// snippets.
+func TestCorpusDynamicSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interpreter corpus runs are slow in -short mode")
+	}
+	subset := []string{"cilksort", "heat", "game", "pousse"}
+	for _, name := range subset {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := Compile(name)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			var static []interp.EdgePair
+			for _, g := range []*ptgraph.Graph{res.MainOut.C, res.MainOut.E} {
+				for _, e := range g.Edges() {
+					static = append(static, interp.EdgePair{Src: e.Src, Dst: e.Dst})
+				}
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				m := interp.New(prog.IR, io.Discard, seed)
+				m.MaxSteps = 1 << 23
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				for f := range m.Facts {
+					if !interp.CoveredEdges(prog.Table(), static, f) {
+						t.Errorf("seed %d: dynamic fact %s not covered by the analysis", seed, f)
+					}
+				}
+			}
+		})
+	}
+}

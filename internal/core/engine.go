@@ -1,0 +1,508 @@
+// The fixed-point analysis engine (§3.5): a worklist solver over the
+// parallel flow graph, with transfer functions for the basic statements of
+// Figures 3 and 4.
+
+package core
+
+import (
+	"fmt"
+
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph"
+)
+
+// Mode selects the analysis algorithm.
+type Mode int
+
+const (
+	// Multithreaded is the paper's algorithm: par constructs are solved
+	// with the interference fixed point of Figure 6.
+	Multithreaded Mode = iota
+	// Sequential is the unsound comparison baseline of §4.4: parbegin and
+	// parend vertices are ignored and threads are analysed in the order in
+	// which they appear in the program text. It upper-bounds the precision
+	// attainable by the ideal Interleaved algorithm.
+	Sequential
+)
+
+func (m Mode) String() string {
+	if m == Sequential {
+		return "Sequential"
+	}
+	return "Multithreaded"
+}
+
+// Options configures an analysis run.
+type Options struct {
+	Mode Mode
+
+	// DisableContextCache re-analyses procedures at every call site even
+	// when the multithreaded input context has been seen before (ablation).
+	DisableContextCache bool
+	// DisableStrongUpdates turns every update into a weak update
+	// (ablation).
+	DisableStrongUpdates bool
+	// DisableGhostMerging turns off the §3.10.3 merging of ghost location
+	// sets that correspond to the same actual location set (ablation; the
+	// MaxContexts valve guards against the resulting non-termination on
+	// programs that build linked structures on the call stack).
+	DisableGhostMerging bool
+
+	// MaxRounds bounds the outer recursion fixed point (0 = default 1000).
+	MaxRounds int
+	// MaxContexts bounds the number of analysis contexts (0 = default
+	// 100000); exceeding it returns an error.
+	MaxContexts int
+
+	// RecordPoints stores the ⟨C,I,E⟩ triple at every program point during
+	// the metrics pass, for inspection, golden tests and the differential
+	// soundness checks (memory-proportional to program points × contexts).
+	RecordPoints bool
+}
+
+func (o *Options) maxRounds() int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 1000
+}
+
+func (o *Options) maxContexts() int {
+	if o.MaxContexts > 0 {
+		return o.MaxContexts
+	}
+	return 100000
+}
+
+// callResult is the cached analysis result of a procedure in one context:
+// the output points-to graph C′_p and the created edges E′_p (the return
+// value r_p is carried inside C′_p).
+type callResult struct {
+	C *ptgraph.Graph
+	E *ptgraph.Graph
+}
+
+func newCallResult() *callResult {
+	return &callResult{C: ptgraph.New(), E: ptgraph.New()}
+}
+
+// ctxEntry is one multithreaded analysis context ⟨C_p, I_p⟩ of a procedure
+// (Definition 2) together with its current best result.
+type ctxEntry struct {
+	id  int
+	fn  *ir.Func
+	key string
+	Cp  *ptgraph.Graph
+	Ip  *ptgraph.Graph
+
+	// ghostSrc maps each ghost block appearing in this context to the
+	// actual (source-program) blocks it stands for, used for the merged
+	// metric of Table 4 and for ghost merging in deeper calls.
+	ghostSrc map[*locset.Block][]*locset.Block
+
+	result      *callResult
+	inProgress  bool
+	doneRound   int
+	metricsDone bool
+	provisional bool // result was computed using an in-progress callee
+}
+
+// Analysis is a single analysis run over one program.
+type Analysis struct {
+	prog *ir.Program
+	tab  *locset.Table
+	opts Options
+
+	entries map[*ir.Func]map[string]*ctxEntry
+	ctxList []*ctxEntry
+
+	round     int
+	changed   bool
+	metricsOn bool
+	metrics   *Metrics
+
+	warnings     []string
+	warnedUnk    map[*ir.Instr]bool
+	hasPrivates  bool
+	privBlocks   map[*locset.Block]bool
+	procAnalyses int
+}
+
+// Result is the outcome of a whole-program analysis.
+type Result struct {
+	Prog     *ir.Program
+	Table    *locset.Table
+	Opts     Options
+	Metrics  *Metrics
+	Warnings []string
+	Rounds   int
+
+	// MainOut is the points-to triple at the exit of main.
+	MainOut *Triple
+
+	// ProcAnalyses counts how many times a procedure body was analysed
+	// (cache hits excluded) across all rounds and the metrics pass.
+	ProcAnalyses int
+
+	analysis *Analysis
+}
+
+// Analyze runs the analysis to a fixed point and then performs one metrics
+// pass that records per-context precision data.
+func Analyze(prog *ir.Program, opts Options) (*Result, error) {
+	if prog.Main == nil {
+		return nil, fmt.Errorf("core: program has no main function")
+	}
+	a := &Analysis{
+		prog:       prog,
+		tab:        prog.Table,
+		opts:       opts,
+		entries:    map[*ir.Func]map[string]*ctxEntry{},
+		warnedUnk:  map[*ir.Instr]bool{},
+		metrics:    newMetrics(),
+		privBlocks: map[*locset.Block]bool{},
+	}
+	for _, b := range prog.Table.Blocks() {
+		if b.Kind == locset.KindPrivateGlobal {
+			a.privBlocks[b] = true
+			a.hasPrivates = true
+		}
+	}
+
+	rounds := 0
+	for {
+		rounds++
+		if rounds > a.opts.maxRounds() {
+			return nil, fmt.Errorf("core: recursion fixed point did not converge after %d rounds", a.opts.maxRounds())
+		}
+		a.round = rounds
+		a.changed = false
+		if _, err := a.analyzeRoot(); err != nil {
+			return nil, err
+		}
+		if !a.changed {
+			break
+		}
+	}
+
+	// Metrics pass: every context is re-analysed exactly once at the fixed
+	// point, recording the per-access and per-par-construct measurements.
+	a.metricsOn = true
+	a.round = rounds + 1
+	out, err := a.analyzeRoot()
+	if err != nil {
+		return nil, err
+	}
+	a.metrics.NumContexts = len(a.ctxList)
+
+	return &Result{
+		Prog:         prog,
+		Table:        a.tab,
+		Opts:         opts,
+		Metrics:      a.metrics,
+		Warnings:     a.warnings,
+		Rounds:       rounds,
+		MainOut:      out,
+		ProcAnalyses: a.procAnalyses,
+		analysis:     a,
+	}, nil
+}
+
+// InstrEvaluator applies single basic-statement transfer functions outside
+// a full analysis run (used by the Interleaved reference algorithm and by
+// differential tests). Calls and parallel constructs are not supported.
+type InstrEvaluator struct {
+	a *Analysis
+}
+
+// NewInstrEvaluator returns an evaluator over the program's location sets.
+func NewInstrEvaluator(prog *ir.Program) *InstrEvaluator {
+	return &InstrEvaluator{a: &Analysis{
+		prog:       prog,
+		tab:        prog.Table,
+		entries:    map[*ir.Func]map[string]*ctxEntry{},
+		warnedUnk:  map[*ir.Instr]bool{},
+		metrics:    newMetrics(),
+		privBlocks: map[*locset.Block]bool{},
+	}}
+}
+
+// Apply applies one basic statement's transfer function to the triple.
+func (ev *InstrEvaluator) Apply(in *ir.Instr, t *Triple) error {
+	if in.Op == ir.OpCall {
+		return fmt.Errorf("core: InstrEvaluator cannot apply calls")
+	}
+	return ev.a.transferInstr(in, t, nil)
+}
+
+// ApplySequentialInstr is a convenience wrapper around InstrEvaluator for
+// one-off applications.
+func ApplySequentialInstr(prog *ir.Program, in *ir.Instr, t *Triple) error {
+	return NewInstrEvaluator(prog).Apply(in, t)
+}
+
+// analyzeRoot analyses main in the empty root context and returns the
+// triple at main's exit.
+func (a *Analysis) analyzeRoot() (*Triple, error) {
+	e, err := a.getContext(a.prog.Main, ptgraph.New(), ptgraph.New(), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.analyzeContext(e); err != nil {
+		return nil, err
+	}
+	return &Triple{C: e.result.C.Clone(), I: ptgraph.New(), E: e.result.E.Clone()}, nil
+}
+
+// getContext interns an analysis context.
+func (a *Analysis) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*locset.Block][]*locset.Block) (*ctxEntry, error) {
+	key := Cp.Key() + "|" + Ip.Key() + "|" + ghostSrcKey(ghostSrc)
+	m, ok := a.entries[fn]
+	if !ok {
+		m = map[string]*ctxEntry{}
+		a.entries[fn] = m
+	}
+	if e, ok := m[key]; ok {
+		return e, nil
+	}
+	if len(a.ctxList) >= a.opts.maxContexts() {
+		return nil, fmt.Errorf("core: context limit of %d exceeded (recursion through the context cache?)", a.opts.maxContexts())
+	}
+	e := &ctxEntry{
+		id: len(a.ctxList), fn: fn, key: key,
+		Cp: Cp, Ip: Ip, ghostSrc: ghostSrc,
+		result: newCallResult(),
+	}
+	m[key] = e
+	a.ctxList = append(a.ctxList, e)
+	return e, nil
+}
+
+// analyzeContext analyses a procedure in a context, updating its current
+// best result. Recursive re-entry is handled by the outer rounds: callers
+// hitting an in-progress context consume its current best result.
+func (a *Analysis) analyzeContext(e *ctxEntry) error {
+	if e.inProgress {
+		return nil
+	}
+	if a.metricsOn {
+		if e.metricsDone {
+			return nil
+		}
+	} else if e.doneRound == a.round && !a.opts.DisableContextCache {
+		// Context cache hit: reuse the multithreaded partial transfer
+		// function computed earlier this round. With the cache disabled
+		// (ablation), the procedure is re-analysed at every call site.
+		return nil
+	}
+	e.inProgress = true
+	defer func() { e.inProgress = false }()
+	if a.metricsOn {
+		e.metricsDone = true
+	} else {
+		e.doneRound = a.round
+	}
+	a.procAnalyses++
+
+	in := &Triple{C: e.Cp.Clone(), I: e.Ip.Clone(), E: ptgraph.New()}
+	out, err := a.analyzeBody(e.fn.Body, in, e)
+	if err != nil {
+		return err
+	}
+	grew := e.result.C.Union(out.C)
+	if e.result.E.Union(out.E) {
+		grew = true
+	}
+	if grew {
+		a.changed = true
+	}
+	return nil
+}
+
+// analyzeBody runs the intraprocedural worklist algorithm over one body.
+func (a *Analysis) analyzeBody(b *ir.Body, in *Triple, ctx *ctxEntry) (*Triple, error) {
+	ins := map[*ir.Node]*Triple{b.Entry: in}
+	outs := map[*ir.Node]*Triple{}
+
+	work := []*ir.Node{b.Entry}
+	queued := map[*ir.Node]bool{b.Entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+
+		nin, ok := ins[n]
+		if !ok {
+			continue
+		}
+		nout, err := a.transferNode(n, nin.Clone(), ctx)
+		if err != nil {
+			return nil, err
+		}
+		old := outs[n]
+		if old == nil {
+			outs[n] = nout
+		} else if !old.Merge(nout) {
+			continue // no change; successors unaffected
+		}
+		cur := outs[n]
+		for _, s := range n.Succs {
+			sin := ins[s]
+			changed := false
+			if sin == nil {
+				ins[s] = cur.Clone()
+				changed = true
+			} else {
+				changed = sin.Merge(cur)
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	out := outs[b.Exit]
+	if out == nil {
+		// The exit is unreachable (the body never completes normally).
+		return NewTriple(), nil
+	}
+	return out, nil
+}
+
+// transferNode applies a node's transfer function to the (already cloned)
+// input triple.
+func (a *Analysis) transferNode(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	record := a.opts.RecordPoints && a.metricsOn
+	switch n.Kind {
+	case ir.NodeBlock:
+		for i, in := range n.Instrs {
+			if record {
+				a.recordPoint(ctx, n, i, t)
+			}
+			if err := a.transferInstr(in, t, ctx); err != nil {
+				return nil, err
+			}
+		}
+		if record {
+			a.recordPoint(ctx, n, len(n.Instrs), t)
+		}
+		return t, nil
+	case ir.NodePar:
+		return a.transferPar(n, t, ctx)
+	case ir.NodeParFor:
+		return a.transferParFor(n, t, ctx)
+	}
+	return nil, fmt.Errorf("core: unknown node kind %d", n.Kind)
+}
+
+// transferInstr implements Figures 3 and 4 plus the derived address
+// computations and calls.
+func (a *Analysis) transferInstr(in *ir.Instr, t *Triple, ctx *ctxEntry) error {
+	switch in.Op {
+	case ir.OpAddrOf:
+		a.assign(t, in.Dst, ptgraph.NewSet(in.Src))
+	case ir.OpCopy:
+		a.assign(t, in.Dst, derefPtr(ptgraph.NewSet(in.Src), t.C))
+	case ir.OpLoad:
+		addr := derefPtr(ptgraph.NewSet(in.Src), t.C)
+		a.recordAccess(ctx, in, addr)
+		a.assign(t, in.Dst, derefPtr(addr, t.C))
+	case ir.OpStore:
+		lhs := derefPtr(ptgraph.NewSet(in.Dst), t.C)
+		a.recordAccess(ctx, in, lhs)
+		if lhs.Has(locset.UnkID) && !a.warnedUnk[in] {
+			a.warnedUnk[in] = true
+			a.warnings = append(a.warnings, fmt.Sprintf("%s: store through potentially uninitialised pointer; assignment to unknown location ignored", in.Pos))
+		}
+		vals := derefPtr(ptgraph.NewSet(in.Src), t.C)
+		a.assignThrough(t, lhs, vals)
+	case ir.OpArith, ir.OpIndexAddr:
+		src := derefPtr(ptgraph.NewSet(in.Src), t.C)
+		targets := ptgraph.Set{}
+		for l := range src {
+			targets.Add(a.tab.Bump(l, in.Elem))
+		}
+		a.assign(t, in.Dst, targets)
+	case ir.OpField:
+		src := derefPtr(ptgraph.NewSet(in.Src), t.C)
+		targets := ptgraph.Set{}
+		for l := range src {
+			targets.Add(a.tab.Elem(l, in.Elem, in.PtrTarget))
+		}
+		a.assign(t, in.Dst, targets)
+	case ir.OpAlloc:
+		site := a.prog.Info.AllocSites[in.Site]
+		hb := a.tab.HeapBlock(in.Site, site.SiteType, "")
+		hl := a.tab.Intern(hb, 0, 0, in.PtrTarget)
+		a.assign(t, in.Dst, ptgraph.NewSet(hl))
+	case ir.OpNull, ir.OpUnknown:
+		a.assign(t, in.Dst, ptgraph.NewSet(locset.UnkID))
+	case ir.OpDataLoad:
+		addr := derefPtr(ptgraph.NewSet(in.Src), t.C)
+		a.recordAccess(ctx, in, addr)
+	case ir.OpDataStore:
+		lhs := derefPtr(ptgraph.NewSet(in.Dst), t.C)
+		a.recordAccess(ctx, in, lhs)
+	case ir.OpDirectLoad, ir.OpDirectStore:
+		// Direct array accesses have a statically known location set; they
+		// are counted in the program characteristics but not in the
+		// pointer-dereference precision metrics.
+	case ir.OpReturn:
+		// The return value was already copied to the ret location set.
+	case ir.OpCall:
+		return a.transferCall(in, t, ctx)
+	}
+	return nil
+}
+
+// assign implements the dataflow equations of Figure 3 for an update of a
+// single destination location set: kill (strong) or keep (weak) existing
+// edges, add the gen edges to C and E, and restore the interference edges
+// so that I ⊆ C is maintained.
+func (a *Analysis) assign(t *Triple, dst locset.ID, targets ptgraph.Set) {
+	if dst == locset.UnkID {
+		return // stores into the unknown location are ignored
+	}
+	strong := strongLoc(a.tab, dst) && !a.opts.DisableStrongUpdates
+	if strong {
+		t.C.Kill(ptgraph.NewSet(dst))
+	}
+	for d := range targets {
+		t.C.Add(dst, d)
+		t.E.Add(dst, d)
+	}
+	if strong {
+		for d := range t.I.Succs(dst) {
+			t.C.Add(dst, d)
+		}
+	}
+}
+
+// assignThrough implements the store equations: a strong update only when
+// the written location is unique and strongly updatable.
+func (a *Analysis) assignThrough(t *Triple, lhs ptgraph.Set, vals ptgraph.Set) {
+	strong := false
+	if len(lhs) == 1 && !a.opts.DisableStrongUpdates {
+		for z := range lhs {
+			strong = strongLoc(a.tab, z)
+		}
+	}
+	for z := range lhs {
+		if z == locset.UnkID {
+			continue // gen excludes {unk} × L
+		}
+		if strong {
+			t.C.Kill(ptgraph.NewSet(z))
+		}
+		for d := range vals {
+			t.C.Add(z, d)
+			t.E.Add(z, d)
+		}
+		if strong {
+			for d := range t.I.Succs(z) {
+				t.C.Add(z, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+)
+
+// figure1 is the example multithreaded program of Figure 1.
+const figure1 = `
+int x, y;
+int *p, **q;
+int main() {
+  x = 0; y = 0;
+  p = &x;
+  q = &p;
+  par {
+    { *p = 1; }
+    { *q = &y; }
+  }
+  *p = 2;
+  return 0;
+}
+`
+
+func compile(t *testing.T, src string) *mtpa.Program {
+	t.Helper()
+	prog, err := mtpa.Compile("test.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func analyze(t *testing.T, src string, opts mtpa.Options) (*mtpa.Program, *mtpa.Result) {
+	t.Helper()
+	prog := compile(t, src)
+	res, err := prog.Analyze(opts)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return prog, res
+}
+
+// loc finds the scalar location set of a named variable.
+func loc(t *testing.T, prog *mtpa.Program, name string) locset.ID {
+	t.Helper()
+	tab := prog.Table()
+	for _, b := range tab.Blocks() {
+		if b.Name == name {
+			sets := tab.LocSetsInBlock(b)
+			if len(sets) == 0 {
+				t.Fatalf("block %s has no location sets", name)
+			}
+			return sets[0]
+		}
+	}
+	t.Fatalf("no block named %s", name)
+	return 0
+}
+
+func TestFigure1Multithreaded(t *testing.T) {
+	prog, res := analyze(t, figure1, mtpa.Options{Mode: mtpa.Multithreaded})
+
+	p := loc(t, prog, "p")
+	q := loc(t, prog, "q")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+
+	// After the par construct (main's exit): p definitely points to y —
+	// the second thread always redirects p — and q still points to p.
+	C := res.MainOut.C
+	if !C.Has(p, y) {
+		t.Errorf("after par: p should point to y; C = %s", C.Format(prog.Table()))
+	}
+	if C.Has(p, x) {
+		t.Errorf("after par: p must NOT point to x (strong update in thread 2 kills it); C = %s", C.Format(prog.Table()))
+	}
+	if !C.Has(q, p) {
+		t.Errorf("after par: q should point to p; C = %s", C.Format(prog.Table()))
+	}
+	if C.Has(p, locset.UnkID) {
+		t.Errorf("after par: p should be definitely initialised; C = %s", C.Format(prog.Table()))
+	}
+
+	// Edges created by main include everything ever created.
+	E := res.MainOut.E
+	for _, e := range [][2]locset.ID{{p, x}, {p, y}, {q, p}} {
+		if !E.Has(e[0], e[1]) {
+			t.Errorf("E should contain %s->%s; E = %s",
+				prog.Table().String(e[0]), prog.Table().String(e[1]), E.Format(prog.Table()))
+		}
+	}
+
+	// Inside the first thread, the store *p = 1 sees interference from the
+	// second thread: p may point to x or to y (2 location sets, definitely
+	// initialised).
+	sample := storeSample(t, prog, res)
+	n, uninit := sample.Count()
+	if n != 2 || uninit {
+		t.Errorf("MT: *p=1 should access 2 location sets, definitely initialised; got n=%d uninit=%v locs=%v",
+			n, uninit, sample.Locs)
+	}
+	want := map[locset.ID]bool{x: true, y: true}
+	for _, l := range sample.Locs {
+		if !want[l] {
+			t.Errorf("MT: *p=1 accesses unexpected location %s", prog.Table().String(l))
+		}
+	}
+}
+
+func TestFigure1Sequential(t *testing.T) {
+	prog, res := analyze(t, figure1, mtpa.Options{Mode: mtpa.Sequential})
+
+	// The Sequential baseline analyses the threads in textual order, so it
+	// misses the interference: *p = 1 sees only x.
+	sample := storeSample(t, prog, res)
+	n, uninit := sample.Count()
+	if n != 1 || uninit {
+		t.Errorf("Seq: *p=1 should access exactly 1 location set; got n=%d uninit=%v", n, uninit)
+	}
+	x := loc(t, prog, "x")
+	if len(sample.Locs) != 1 || sample.Locs[0] != x {
+		t.Errorf("Seq: *p=1 should access x only; got %v", sample.Locs)
+	}
+
+	// The final graph agrees with the multithreaded analysis here.
+	p := loc(t, prog, "p")
+	y := loc(t, prog, "y")
+	if !res.MainOut.C.Has(p, y) || res.MainOut.C.Has(p, x) {
+		t.Errorf("Seq: after par p should point to y only; C = %s", res.MainOut.C.Format(prog.Table()))
+	}
+}
+
+// storeSample returns the access sample of the first data store in the
+// program (*p = 1 in Figure 1: thread 1's store) in the root context.
+func storeSample(t *testing.T, prog *mtpa.Program, res *mtpa.Result) *core.AccessSample {
+	t.Helper()
+	var target *ir.Instr
+	for _, acc := range prog.IR.Accesses {
+		if acc.Instr.Op == ir.OpDataStore {
+			target = acc.Instr
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no data store access found")
+	}
+	for _, s := range res.Metrics.AccessSamples() {
+		if s.AccID == target.AccID {
+			return s
+		}
+	}
+	t.Fatalf("no sample recorded for access %d", target.AccID)
+	return nil
+}
+
+func TestFigure1MultithreadedConvergence(t *testing.T) {
+	_, res := analyze(t, figure1, mtpa.Options{Mode: mtpa.Multithreaded})
+	samples := res.Metrics.ParSamples()
+	if len(samples) != 1 {
+		t.Fatalf("expected 1 parallel construct analysis, got %d", len(samples))
+	}
+	s := samples[0]
+	if s.Threads != 2 {
+		t.Errorf("threads = %d, want 2", s.Threads)
+	}
+	// Thread 2 creates a visible edge, so the fixed point needs a second
+	// iteration to confirm stability.
+	if s.Iterations != 2 {
+		t.Errorf("iterations = %d, want 2", s.Iterations)
+	}
+}
+
+// TestInterferenceThroughCall exercises the interprocedural path: the par
+// threads call functions that update a shared global pointer.
+func TestInterferenceThroughCall(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+void seta() { p = &x; }
+void setb() { p = &y; }
+int main() {
+  par {
+    { seta(); }
+    { setb(); }
+  }
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	// Either order is possible: p may point to x or y after the par.
+	if !C.Has(p, x) || !C.Has(p, y) {
+		t.Errorf("p should may-point to both x and y; C = %s", C.Format(prog.Table()))
+	}
+	if C.Has(p, locset.UnkID) {
+		t.Errorf("p is definitely assigned by both threads; C = %s", C.Format(prog.Table()))
+	}
+}
+
+// TestRecursionFibShape checks that recursion through the context cache
+// terminates and that spawn/sync sequences are recognised as par
+// constructs.
+func TestRecursionFibShape(t *testing.T) {
+	src := `
+cilk int fib(int n) {
+  int a, b;
+  if (n < 2) return n;
+  a = spawn fib(n - 1);
+  b = spawn fib(n - 2);
+  sync;
+  return a + b;
+}
+int main() { return fib(10); }
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	if prog.IR.ThreadCreationSites != 2 {
+		t.Errorf("thread creation sites = %d, want 2", prog.IR.ThreadCreationSites)
+	}
+	ps := res.Metrics.ParSamples()
+	if len(ps) != 1 {
+		t.Fatalf("expected 1 parallel construct analysis (one fib context), got %d", len(ps))
+	}
+	if ps[0].Threads != 2 || ps[0].Iterations != 1 {
+		t.Errorf("fib par: threads=%d iters=%d, want 2 and 1 (no visible pointer writes)",
+			ps[0].Threads, ps[0].Iterations)
+	}
+}

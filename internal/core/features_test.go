@@ -1,0 +1,462 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+)
+
+func TestParallelLoopInterference(t *testing.T) {
+	// Every iteration may run concurrently: the write p = &buf[i] in one
+	// iteration interferes with the read *p in another.
+	src := `
+int buf[100];
+int *p;
+int main() {
+  int i, s;
+  p = &buf[0];
+  parfor (i = 0; i < 100; i++) {
+    p = &buf[i];
+    s = *p;
+  }
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	C := res.MainOut.C
+	// p points into buf (the strided element location set).
+	found := false
+	for _, e := range C.Edges() {
+		if e.Src == p {
+			ls := prog.Table().Get(e.Dst)
+			if ls.Block.Name == "buf" && ls.Stride == 8 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("p should point to ⟨buf,0,8⟩; C = %s", C.Format(prog.Table()))
+	}
+	// The parallel loop's analysis converged.
+	if len(res.Metrics.ParSamples()) != 1 {
+		t.Fatalf("expected 1 parfor analysis, got %d", len(res.Metrics.ParSamples()))
+	}
+}
+
+func TestPrivateGlobals(t *testing.T) {
+	// scratch is thread-private: the two threads cannot interfere through
+	// it, and each thread starts with an uninitialised version.
+	src := `
+int x, y;
+private int *scratch;
+int out1, out2;
+int main() {
+  scratch = &x;
+  par {
+    { scratch = &x; out1 = *scratch; }
+    { scratch = &y; out2 = *scratch; }
+  }
+  out1 = *scratch;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+
+	// Inside thread 1, *scratch dereferences exactly {x} — no interference
+	// from thread 2's private version (and no unk: the thread assigned it).
+	samples := res.Metrics.AccessSamples()
+	if len(samples) < 3 {
+		t.Fatalf("expected 3 access samples, got %d", len(samples))
+	}
+	th1 := samples[0]
+	if n, uninit := th1.Count(); n != 1 || uninit {
+		t.Errorf("thread 1 *scratch: n=%d uninit=%v locs=%v", n, uninit, th1.Locs)
+	}
+	if len(th1.Locs) != 1 || th1.Locs[0] != x {
+		t.Errorf("thread 1 *scratch should read {x}, got %v", th1.Locs)
+	}
+	th2 := samples[1]
+	if len(th2.Locs) != 1 || th2.Locs[0] != y {
+		t.Errorf("thread 2 *scratch should read {y}, got %v", th2.Locs)
+	}
+
+	// After the par, the parent's version is restored: scratch → x.
+	sc := loc(t, prog, "scratch")
+	if !res.MainOut.C.Has(sc, x) {
+		t.Errorf("parent scratch should still point to x; C = %s", res.MainOut.C.Format(prog.Table()))
+	}
+	if res.MainOut.C.Has(sc, y) {
+		t.Errorf("child's private writes must not leak to the parent; C = %s", res.MainOut.C.Format(prog.Table()))
+	}
+}
+
+func TestFunctionPointerCaseAnalysis(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+void fa() { p = &x; }
+void fb() { p = &y; }
+void (*handler)();
+int main() {
+  if (x) { handler = fa; } else { handler = fb; }
+  handler();
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	if !C.Has(p, x) || !C.Has(p, y) {
+		t.Errorf("case analysis over {fa,fb} should make p point to x and y; C = %s", C.Format(prog.Table()))
+	}
+	// The handler variable itself points to both function blocks.
+	h := loc(t, prog, "handler")
+	fnTargets := 0
+	for _, e := range C.Edges() {
+		if e.Src == h && prog.Table().Get(e.Dst).Block.Kind == locset.KindFunc {
+			fnTargets++
+		}
+	}
+	if fnTargets != 2 {
+		t.Errorf("handler should point to 2 function blocks, got %d", fnTargets)
+	}
+}
+
+func TestConditionalSpawnKeepsKilledEdges(t *testing.T) {
+	// The child thread is spawned only on one path; its strong update of p
+	// must not remove p→x from the graph after the sync.
+	src := `
+int x, y;
+int *p;
+cilk void redirect() { p = &y; }
+int main(int argc) {
+  p = &x;
+  if (argc > 1) { spawn redirect(); }
+  sync;
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	if !C.Has(p, x) {
+		t.Errorf("conditional thread may not run: p→x must survive; C = %s", C.Format(prog.Table()))
+	}
+	if !C.Has(p, y) {
+		t.Errorf("conditional thread may run: p→y must be present; C = %s", C.Format(prog.Table()))
+	}
+}
+
+func TestUnconditionalSpawnKillsInputEdge(t *testing.T) {
+	// Same program without the if: the spawn always runs, so p→x is killed.
+	src := `
+int x, y;
+int *p;
+cilk void redirect() { p = &y; }
+int main() {
+  p = &x;
+  spawn redirect();
+  sync;
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	if C.Has(p, x) {
+		t.Errorf("unconditional redirect always runs: p→x must be killed; C = %s", C.Format(prog.Table()))
+	}
+	if !C.Has(p, y) {
+		t.Errorf("p→y must be present; C = %s", C.Format(prog.Table()))
+	}
+}
+
+func TestHeapListConstruction(t *testing.T) {
+	src := `
+struct node { int value; struct node *next; };
+struct node *head;
+int main() {
+  int i;
+  struct node *n;
+  head = NULL;
+  for (i = 0; i < 10; i++) {
+    n = (struct node *)malloc(sizeof(struct node));
+    n->value = i;
+    n->next = head;
+    head = n;
+  }
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	head := loc(t, prog, "head")
+	tab := prog.Table()
+	C := res.MainOut.C
+
+	var heapBase, heapNext locset.ID = -1, -1
+	for _, e := range C.Edges() {
+		ls := tab.Get(e.Dst)
+		if e.Src == head && ls.Block.Kind == locset.KindHeap {
+			heapBase = e.Dst
+		}
+	}
+	if heapBase == -1 {
+		t.Fatalf("head should point to the heap block; C = %s", C.Format(tab))
+	}
+	// The next field (offset 8) points back to the same heap block and to
+	// unk (the initial NULL).
+	hb := tab.Get(heapBase).Block
+	for _, id := range tab.LocSetsInBlock(hb) {
+		if tab.Get(id).Offset == 8 {
+			heapNext = id
+		}
+	}
+	if heapNext == -1 {
+		t.Fatalf("no next-field location set in heap block")
+	}
+	if !C.Has(heapNext, heapBase) {
+		t.Errorf("heap.next should point to the heap block (cyclic summary); C = %s", C.Format(tab))
+	}
+	if !C.Has(heapNext, locset.UnkID) {
+		t.Errorf("heap.next may be the NULL tail (unk); C = %s", C.Format(tab))
+	}
+	// head may be NULL (loop may not... the analysis joins the zero-trip
+	// path) — head→unk must be present too.
+	if !C.Has(head, locset.UnkID) {
+		t.Errorf("head may still be NULL on the zero-trip path; C = %s", C.Format(tab))
+	}
+}
+
+func TestStackLinkedListRecursionTerminates(t *testing.T) {
+	// The pousse pattern (§3.10.3): recursion builds a linked list of
+	// stack-allocated frames. Without ghost merging the analysis would
+	// generate unboundedly many contexts.
+	src := `
+struct frame { int depth; struct frame *up; };
+int result;
+void search(struct frame *parent, int depth) {
+  struct frame f;
+  struct frame *walk;
+  if (depth > 8) { return; }
+  f.depth = depth;
+  f.up = parent;
+  walk = &f;
+  while (walk != NULL) {
+    result = result + walk->depth;
+    walk = walk->up;
+  }
+  search(&f, depth + 1);
+}
+int main() {
+  search(NULL, 0);
+  return result;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded, MaxContexts: 5000})
+	if res.ContextsTotal() > 100 {
+		t.Errorf("ghost merging should bound contexts; got %d", res.ContextsTotal())
+	}
+	_ = prog
+}
+
+func TestStrongUpdateOnlyForSingleLocations(t *testing.T) {
+	// Writes through a pointer to an array element are weak: the old
+	// targets survive.
+	src := `
+int x, y;
+int *arr[4];
+int main() {
+  int **pp;
+  arr[0] = &x;
+  pp = &arr[0];
+  *pp = &y;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	tab := prog.Table()
+	C := res.MainOut.C
+	var arrElem locset.ID = -1
+	for _, b := range tab.Blocks() {
+		if b.Name == "arr" {
+			for _, id := range tab.LocSetsInBlock(b) {
+				if tab.Get(id).Stride == 8 {
+					arrElem = id
+				}
+			}
+		}
+	}
+	if arrElem == -1 {
+		t.Fatalf("no strided arr location set")
+	}
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	if !C.Has(arrElem, x) || !C.Has(arrElem, y) {
+		t.Errorf("array writes are weak: arr[i] should point to both x and y; C = %s", C.Format(tab))
+	}
+}
+
+func TestScalarStoreThroughUniquePointerIsStrong(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+int **pp;
+int main() {
+  p = &x;
+  pp = &p;
+  *pp = &y;
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	if C.Has(p, x) {
+		t.Errorf("*pp = &y strongly updates p (unique target): p→x should be killed; C = %s", C.Format(prog.Table()))
+	}
+	if !C.Has(p, y) {
+		t.Errorf("p should point to y; C = %s", C.Format(prog.Table()))
+	}
+}
+
+func TestDisableStrongUpdatesAblation(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+int main() {
+  p = &x;
+  p = &y;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded, DisableStrongUpdates: true})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	if !C.Has(p, x) || !C.Has(p, y) {
+		t.Errorf("with strong updates disabled, both edges survive; C = %s", C.Format(prog.Table()))
+	}
+}
+
+func TestReturnValueFlowsToCaller(t *testing.T) {
+	src := `
+int x;
+int *get() { return &x; }
+int main() {
+  int *p;
+  p = get();
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	x := loc(t, prog, "x")
+	samples := res.Metrics.AccessSamples()
+	var storeSamp *struct {
+		n      int
+		uninit bool
+		locs   []locset.ID
+	}
+	for _, s := range samples {
+		for _, acc := range prog.IR.Accesses {
+			if acc.Instr.AccID == s.AccID && acc.Instr.Op == ir.OpDataStore {
+				n, u := s.Count()
+				storeSamp = &struct {
+					n      int
+					uninit bool
+					locs   []locset.ID
+				}{n, u, s.Locs}
+			}
+		}
+	}
+	if storeSamp == nil {
+		t.Fatal("no store sample")
+	}
+	if storeSamp.n != 1 || storeSamp.uninit || storeSamp.locs[0] != x {
+		t.Errorf("*p should write exactly {x}: %+v", *storeSamp)
+	}
+}
+
+func TestContextCacheReuse(t *testing.T) {
+	// The same function called twice with the same context is analysed
+	// once.
+	src := `
+int x;
+int *id(int *q) { return q; }
+int main() {
+  int *a, *b;
+  a = id(&x);
+  b = id(&x);
+  *a = 1;
+  *b = 2;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	var idFn *ir.Func
+	for _, fn := range prog.IR.Funcs {
+		if fn.Name == "id" {
+			idFn = fn
+		}
+	}
+	if got := res.ContextCount(idFn); got != 1 {
+		t.Errorf("id should be analysed in 1 context, got %d", got)
+	}
+
+	// With the cache disabled, the procedure body is re-analysed at every
+	// call site, so the analysis does strictly more work.
+	res2, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded, DisableContextCache: true})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if res2.ProcAnalyses <= res.ProcAnalyses {
+		t.Errorf("cache-disabled run should analyse more bodies: %d vs %d",
+			res2.ProcAnalyses, res.ProcAnalyses)
+	}
+}
+
+func TestStoreThroughMaybeUninitialisedWarns(t *testing.T) {
+	// The paper's warning fires when a *pointer value* is stored through a
+	// potentially uninitialised pointer (the assignment to the unknown
+	// location set is then ignored).
+	src := `
+int x;
+int *q;
+int **pp;
+int main(int argc) {
+  if (argc > 1) { pp = &q; }
+  *pp = &x;
+  return 0;
+}
+`
+	_, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	found := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "uninitialised") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an unknown-store warning; warnings = %v", res.Warnings)
+	}
+}

@@ -1,0 +1,216 @@
+// Measurement collection for the paper's evaluation (§4): per-access
+// location-set counts in every analysis context (Tables 2 and 4, Figures 8
+// and 9) and parallel-construct convergence data (Table 3). Measurements
+// are recorded during a dedicated metrics pass that re-analyses every
+// context once at the fixed point, so each (access, context) pair is
+// sampled exactly once with converged values.
+
+package core
+
+import (
+	"sort"
+
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph"
+)
+
+// AccessSample is the measurement for one pointer-dereferencing load or
+// store instruction in one analysis context: the location sets that
+// represent the accessed memory location.
+type AccessSample struct {
+	AccID int
+	CtxID int
+	Locs  []locset.ID // sorted
+}
+
+// Count returns the number of location sets required to represent the
+// accessed location, excluding unk (at least 1), and whether the
+// dereferenced pointer is potentially uninitialised (unk present).
+func (s *AccessSample) Count() (n int, uninit bool) {
+	n = len(s.Locs)
+	for _, l := range s.Locs {
+		if l == locset.UnkID {
+			uninit = true
+			n--
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n, uninit
+}
+
+// ParSample is the measurement for one parallel-construct analysis: the
+// number of fixed-point iterations and the number of threads analysed.
+type ParSample struct {
+	NodeID     int
+	FnName     string
+	CtxID      int
+	Iterations int
+	Threads    int
+}
+
+type accKey struct {
+	acc int
+	ctx int
+}
+
+// PointKey identifies a program point: before instruction Idx of node Node
+// (Idx == len(instrs) is the point after the last instruction) in analysis
+// context Ctx.
+type PointKey struct {
+	Node *ir.Node
+	Idx  int
+	Ctx  int
+}
+
+type parKey struct {
+	node *ir.Node
+	ctx  int
+}
+
+// Metrics aggregates the measurements of one analysis run.
+type Metrics struct {
+	access map[accKey]*AccessSample
+	par    map[parKey]*ParSample
+	points map[PointKey]*Triple
+
+	// NumContexts is the total number of analysis contexts generated.
+	NumContexts int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		access: map[accKey]*AccessSample{},
+		par:    map[parKey]*ParSample{},
+		points: map[PointKey]*Triple{},
+	}
+}
+
+// recordPoint stores the triple at a program point (RecordPoints only).
+func (a *Analysis) recordPoint(ctx *ctxEntry, n *ir.Node, idx int, t *Triple) {
+	a.metrics.points[PointKey{Node: n, Idx: idx, Ctx: ctx.id}] = t.Clone()
+}
+
+// PointAt returns the recorded triple at a program point, or nil. The
+// triple is the state in which the instruction at Idx executes; contexts
+// are numbered 0..ContextsTotal()-1 and the root (main) context is 0.
+func (r *Result) PointAt(k PointKey) *Triple { return r.Metrics.points[k] }
+
+// Points returns all recorded program points (RecordPoints only).
+func (r *Result) Points() map[PointKey]*Triple { return r.Metrics.points }
+
+// AccessSamples returns all access measurements, ordered by (AccID, CtxID).
+func (m *Metrics) AccessSamples() []*AccessSample {
+	out := make([]*AccessSample, 0, len(m.access))
+	for _, s := range m.access {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AccID != out[j].AccID {
+			return out[i].AccID < out[j].AccID
+		}
+		return out[i].CtxID < out[j].CtxID
+	})
+	return out
+}
+
+// ParSamples returns all parallel-construct measurements.
+func (m *Metrics) ParSamples() []*ParSample {
+	out := make([]*ParSample, 0, len(m.par))
+	for _, s := range m.par {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FnName != out[j].FnName {
+			return out[i].FnName < out[j].FnName
+		}
+		if out[i].NodeID != out[j].NodeID {
+			return out[i].NodeID < out[j].NodeID
+		}
+		return out[i].CtxID < out[j].CtxID
+	})
+	return out
+}
+
+// recordAccess stores the deref set for a measured access in the current
+// context. Within one metrics pass a thread body can be re-analysed while
+// the par fixed point iterates, so later (converged) samples overwrite
+// earlier ones.
+func (a *Analysis) recordAccess(ctx *ctxEntry, in *ir.Instr, locs ptgraph.Set) {
+	if !a.metricsOn || in.AccID < 0 {
+		return
+	}
+	k := accKey{acc: in.AccID, ctx: ctx.id}
+	a.metrics.access[k] = &AccessSample{AccID: in.AccID, CtxID: ctx.id, Locs: locs.Sorted()}
+}
+
+// recordParAnalysis stores the convergence measurement for one parallel
+// construct analysis in the current context.
+func (a *Analysis) recordParAnalysis(ctx *ctxEntry, n *ir.Node, iterations, threads int) {
+	if !a.metricsOn {
+		return
+	}
+	k := parKey{node: n, ctx: ctx.id}
+	a.metrics.par[k] = &ParSample{
+		NodeID: n.ID, FnName: n.Fn.Name, CtxID: ctx.id,
+		Iterations: iterations, Threads: threads,
+	}
+}
+
+// GhostSources returns, for an analysis context, the actual program blocks
+// each ghost block stands for (used to compute the merged-context metric
+// of Table 4).
+func (r *Result) GhostSources(ctxID int) map[*locset.Block][]*locset.Block {
+	if ctxID < 0 || ctxID >= len(r.analysis.ctxList) {
+		return nil
+	}
+	return r.analysis.ctxList[ctxID].ghostSrc
+}
+
+// ContextCount returns the number of analysis contexts generated for the
+// given function (0 when the function was never analysed).
+func (r *Result) ContextCount(fn *ir.Func) int {
+	return len(r.analysis.entries[fn])
+}
+
+// ContextsTotal returns the total number of analysis contexts.
+func (r *Result) ContextsTotal() int { return len(r.analysis.ctxList) }
+
+// ExpandGhosts rewrites a sample's location sets, replacing ghost location
+// sets with the actual location sets that were mapped to them (Table 4's
+// counting convention). Non-ghost location sets pass through unchanged.
+func (r *Result) ExpandGhosts(s *AccessSample) []locset.ID {
+	srcs := r.GhostSources(s.CtxID)
+	tab := r.Table
+	seen := map[locset.ID]bool{}
+	var out []locset.ID
+	add := func(id locset.ID) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range s.Locs {
+		ls := tab.Get(id)
+		if ls.Block.Kind != locset.KindGhost {
+			add(id)
+			continue
+		}
+		actuals := srcs[ls.Block]
+		if len(actuals) == 0 {
+			add(id)
+			continue
+		}
+		for _, ab := range actuals {
+			if ab.Kind == locset.KindGhost {
+				add(id)
+				continue
+			}
+			add(tab.Intern(ab, ls.Offset, ls.Stride, ls.Pointer))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

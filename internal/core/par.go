@@ -1,0 +1,266 @@
+// Dataflow equations for parallel constructs: the par fixed point of
+// Figure 6 (including conditionally created threads, §3.11), the parallel
+// loop equations of §3.8, and the private-global handling of §3.9.
+
+package core
+
+import (
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph"
+)
+
+// transferPar solves the par-construct dataflow equations:
+//
+//	C_i = C ∪ ⋃_{j≠i} E_j      I_i = I ∪ ⋃_{j≠i} E_j
+//	[[t_i]]⟨C_i, I_i, ∅⟩ = ⟨C′_i, I_i, E_i⟩
+//	C′  = ∩_i C′_i             E′  = E ∪ ⋃_i E_i
+//
+// The circular dependence on the E_j is broken by iterating from E_j = ∅
+// until the created-edge sets stabilise.
+func (a *Analysis) transferPar(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	if a.opts.Mode == Sequential {
+		return a.transferParSequential(n, t, ctx)
+	}
+	k := len(n.Threads)
+	Es := make([]*ptgraph.Graph, k)
+	for i := range Es {
+		Es[i] = ptgraph.New()
+	}
+	Couts := make([]*ptgraph.Graph, k)
+	Cins := make([]*ptgraph.Graph, k)
+
+	iters := 0
+	for {
+		iters++
+		changed := false
+		for i, th := range n.Threads {
+			Ci := t.C.Clone()
+			Ii := t.I.Clone()
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				// The sibling may have run (its created edges are visible)
+				// or not (locations it wrote still hold their prior values,
+				// including the initial unk).
+				addCreatedC(Ci, Es[j])
+				Ii.Union(Es[j])
+			}
+			if a.hasPrivates {
+				a.privEnterThread(Ci)
+				a.privEnterThread(Ii)
+			}
+			Cins[i] = Ci.Clone()
+			out, err := a.analyzeBody(th, &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
+			if err != nil {
+				return nil, err
+			}
+			Couts[i] = out.C
+			Ei := out.E
+			if a.hasPrivates {
+				Ei = a.privMask(Ei)
+			}
+			if !Ei.Equal(Es[i]) {
+				Es[i] = Ei
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	a.recordParAnalysis(ctx, n, iters, k)
+
+	// Combine: intersection of the thread outputs; a conditionally created
+	// thread may not run at all, so its input graph is unioned back first
+	// (this restores every edge the thread killed, as §3.11 requires).
+	combined := make([]*ptgraph.Graph, k)
+	for i := range n.Threads {
+		ci := Couts[i]
+		if n.CondThread[i] {
+			// The thread may not have been created at all: union its input
+			// graph back, restoring every edge it killed (§3.11).
+			ci = ci.Clone()
+			unionPathC(ci, Cins[i])
+		}
+		if a.hasPrivates {
+			ci = a.privMask(ci)
+		}
+		combined[i] = ci
+	}
+	Cprime := ptgraph.IntersectAll(combined)
+	if a.hasPrivates {
+		a.privRestoreParent(Cprime, t.C)
+	}
+	Eprime := t.E.Clone()
+	for i := range Es {
+		Eprime.Union(Es[i])
+	}
+	// The interference edges known at the par construct remain valid after
+	// it; keep I ⊆ C.
+	Cprime.Union(t.I)
+	return &Triple{C: Cprime, I: t.I, E: Eprime}, nil
+}
+
+// transferParSequential analyses the threads one after another in textual
+// order, ignoring interference — the (unsound) Sequential baseline of §4.4.
+func (a *Analysis) transferParSequential(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	cur := t
+	for _, th := range n.Threads {
+		out, err := a.analyzeBody(th, &Triple{C: cur.C, I: cur.I, E: ptgraph.New()}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		e := cur.E
+		e.Union(out.E)
+		cur = &Triple{C: out.C, I: cur.I, E: e}
+	}
+	a.recordParAnalysis(ctx, n, 1, len(n.Threads))
+	return cur, nil
+}
+
+// transferParFor solves the parallel-loop equations of §3.8:
+//
+//	[[body]]⟨C ∪ E₀, I ∪ E₀, ∅⟩ = ⟨C₀′, I ∪ E₀, E₀⟩
+//	[[parfor body]]⟨C, I, E⟩ = ⟨C₀′, I, E ∪ E₀⟩
+//
+// E₀ is computed by iteration from ∅. The loop body replicates across an
+// unknown number of concurrent threads, conservatively assumed ≥ 2. As a
+// soundness refinement for loops that may execute zero iterations, the
+// input graph C is unioned into the outgoing graph (the paper's equations
+// assume the body executes).
+func (a *Analysis) transferParFor(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	if a.opts.Mode == Sequential {
+		return a.transferLoopSequential(n.Body, t, ctx)
+	}
+	E0 := ptgraph.New()
+	Cout := ptgraph.New()
+	iters := 0
+	for {
+		iters++
+		Ci := t.C.Clone()
+		addCreatedC(Ci, E0)
+		Ii := t.I.Clone()
+		Ii.Union(E0)
+		if a.hasPrivates {
+			a.privEnterThread(Ci)
+			a.privEnterThread(Ii)
+		}
+		out, err := a.analyzeBody(n.Body, &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		Cout = out.C
+		Ei := out.E
+		if a.hasPrivates {
+			Ei = a.privMask(Ei)
+		}
+		if E0.Contains(Ei) {
+			break
+		}
+		E0.Union(Ei)
+	}
+	a.recordParAnalysis(ctx, n, iters, 2)
+
+	Cprime := Cout
+	if a.hasPrivates {
+		Cprime = a.privMask(Cprime)
+	} else {
+		Cprime = Cprime.Clone()
+	}
+	unionPathC(Cprime, t.C) // zero-trip path union
+	if a.hasPrivates {
+		a.privRestoreParent(Cprime, t.C)
+	}
+	Eprime := t.E.Clone()
+	Eprime.Union(E0)
+	return &Triple{C: Cprime, I: t.I, E: Eprime}, nil
+}
+
+// transferLoopSequential analyses a parallel loop as an ordinary sequential
+// loop (for the Sequential baseline): iterate the body transfer until the
+// merged state stabilises.
+func (a *Analysis) transferLoopSequential(body *ir.Body, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	cur := t.C.Clone()
+	eAcc := ptgraph.New()
+	for {
+		out, err := a.analyzeBody(body, &Triple{C: cur.Clone(), I: t.I, E: ptgraph.New()}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		eAcc.Union(out.E)
+		if !unionPathC(cur, out.C) {
+			break
+		}
+	}
+	e := t.E
+	e.Union(eAcc)
+	return &Triple{C: cur, I: t.I, E: e}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Private global variables (§3.9)
+//
+// Each thread gets its own version of every private global. When the
+// analysis propagates information into a thread, the thread's fresh
+// versions point to unk and any pointers to the parent's versions are
+// redirected to unk. When information flows out of child threads, edges
+// mentioning the children's versions are replaced by unk, and the parent's
+// own private-global edges are restored from the graph flowing into the
+// construct.
+
+func (a *Analysis) isPrivate(id locset.ID) bool {
+	if id == locset.UnkID {
+		return false
+	}
+	return a.privBlocks[a.tab.Get(id).Block]
+}
+
+// privEnterThread rewrites a graph for a thread boundary: private-global
+// sources lose their edges (the fresh version is uninitialised, i.e. unk
+// via the deref backstop), and edges pointing at private globals are
+// redirected to unk.
+func (a *Analysis) privEnterThread(g *ptgraph.Graph) {
+	kill := ptgraph.Set{}
+	type redirect struct{ src, dst locset.ID }
+	var redirects []redirect
+	for _, e := range g.Edges() {
+		if a.isPrivate(e.Src) {
+			kill.Add(e.Src)
+		}
+		if a.isPrivate(e.Dst) {
+			redirects = append(redirects, redirect{e.Src, e.Dst})
+		}
+	}
+	g.Kill(kill)
+	for _, r := range redirects {
+		if !a.isPrivate(r.src) {
+			rm := ptgraph.New()
+			rm.Add(r.src, r.dst)
+			g.KillEdges(rm)
+			g.Add(r.src, locset.UnkID)
+		}
+	}
+}
+
+// privMask replaces occurrences of private globals with unk (edges whose
+// source becomes unk are dropped).
+func (a *Analysis) privMask(g *ptgraph.Graph) *ptgraph.Graph {
+	return g.Map(func(id locset.ID) locset.ID {
+		if a.isPrivate(id) {
+			return locset.UnkID
+		}
+		return id
+	})
+}
+
+// privRestoreParent restores the parent's private-global points-to
+// information from the graph that flowed into the parallel construct.
+func (a *Analysis) privRestoreParent(g *ptgraph.Graph, inC *ptgraph.Graph) {
+	for _, e := range inC.Edges() {
+		if a.isPrivate(e.Src) || a.isPrivate(e.Dst) {
+			g.Add(e.Src, e.Dst)
+		}
+	}
+}

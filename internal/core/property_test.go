@@ -1,0 +1,313 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph"
+)
+
+// fixtureProgram compiles a program whose main contains one instance of
+// every basic pointer statement, giving us real instructions and location
+// sets to drive the transfer functions with.
+const fixtureSrc = `
+int x, y, z;
+int *p, *q, *s;
+int **pp, **qq;
+int main() {
+  p = &x;
+  q = p;
+  pp = &p;
+  s = *pp;
+  *qq = q;
+  return 0;
+}
+`
+
+func fixture(t *testing.T) (*mtpa.Program, []*ir.Instr) {
+	t.Helper()
+	prog, err := mtpa.Compile("fixture.clk", fixtureSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var instrs []*ir.Instr
+	for _, n := range prog.IR.Main.AllNodes {
+		for _, in := range n.Instrs {
+			switch in.Op {
+			case ir.OpAddrOf, ir.OpCopy, ir.OpLoad, ir.OpStore:
+				instrs = append(instrs, in)
+			}
+		}
+	}
+	if len(instrs) < 4 {
+		t.Fatalf("fixture should produce the four basic statements, got %d", len(instrs))
+	}
+	return prog, instrs
+}
+
+// namedIDs collects the location sets of the fixture's named variables.
+func namedIDs(prog *mtpa.Program) []locset.ID {
+	tab := prog.Table()
+	var out []locset.ID
+	for _, b := range tab.Blocks() {
+		switch b.Kind {
+		case locset.KindGlobal, locset.KindTemp:
+			out = append(out, tab.LocSetsInBlock(b)...)
+		}
+	}
+	return out
+}
+
+func randomGraphOver(r *rand.Rand, ids []locset.ID, edges int) *ptgraph.Graph {
+	g := ptgraph.New()
+	for i := 0; i < edges; i++ {
+		g.Add(ids[r.Intn(len(ids))], ids[r.Intn(len(ids))])
+	}
+	return g
+}
+
+// TestQuickTransferMonotone checks the property §3.2 asserts ("it is easy
+// to verify that the transfer functions for basic statements are
+// monotonic"): C1 ⊑ C2 implies [[st]]C1 ⊑ [[st]]C2, for random graphs and
+// every basic statement kind.
+//
+// The order ⊑ is the semantic one induced by the lazy L×{unk}
+// initialisation: a location set with no outgoing edges holds its initial
+// unknown value, so growing a graph by first writing an unwritten location
+// must keep the implicit edge to unk explicit (this is exactly the
+// unk-completion rule the engine's path merges apply). Plain edge-set
+// inclusion is NOT the analysis order under this encoding.
+func TestQuickTransferMonotone(t *testing.T) {
+	prog, instrs := fixture(t)
+	ids := namedIDs(prog)
+	r := rand.New(rand.NewSource(99))
+	ev := core.NewInstrEvaluator(prog.IR)
+
+	for trial := 0; trial < 400; trial++ {
+		c1 := randomGraphOver(r, ids, r.Intn(12))
+		extra := randomGraphOver(r, ids, r.Intn(6))
+		c2 := c1.Clone()
+		// c1 ⊑ c2: add the extra edges, preserving the implicit unk of
+		// location sets that were unwritten in c1.
+		for _, src := range extra.Sources() {
+			if c1.OutDegree(src) == 0 {
+				c2.Add(src, locset.UnkID)
+			}
+		}
+		c2.Union(extra)
+		in := instrs[r.Intn(len(instrs))]
+
+		t1 := &core.Triple{C: c1.Clone(), I: ptgraph.New(), E: ptgraph.New()}
+		t2 := &core.Triple{C: c2.Clone(), I: ptgraph.New(), E: ptgraph.New()}
+		if err := ev.Apply(in, t1); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Apply(in, t2); err != nil {
+			t.Fatal(err)
+		}
+		if !t2.C.Contains(t1.C) {
+			t.Fatalf("trial %d: transfer of %s not monotone:\nC1  = %s\nC2  = %s\nout1 = %s\nout2 = %s",
+				trial, in.Format(prog.Table()),
+				c1.Format(prog.Table()), c2.Format(prog.Table()),
+				t1.C.Format(prog.Table()), t2.C.Format(prog.Table()))
+		}
+		if !t2.E.Contains(t1.E) {
+			t.Fatalf("trial %d: E component not monotone for %s", trial, in.Format(prog.Table()))
+		}
+	}
+}
+
+// TestQuickTransferPreservesInterference checks the Figure 3 invariant
+// that interference edges survive every basic statement: I ⊆ C before
+// implies I ⊆ C after.
+func TestQuickTransferPreservesInterference(t *testing.T) {
+	prog, instrs := fixture(t)
+	ids := namedIDs(prog)
+	r := rand.New(rand.NewSource(7))
+	ev := core.NewInstrEvaluator(prog.IR)
+
+	for trial := 0; trial < 400; trial++ {
+		i := randomGraphOver(r, ids, r.Intn(6))
+		c := i.Clone()
+		c.Union(randomGraphOver(r, ids, r.Intn(10))) // C ⊇ I
+		in := instrs[r.Intn(len(instrs))]
+		tr := &core.Triple{C: c, I: i, E: ptgraph.New()}
+		if err := ev.Apply(in, tr); err != nil {
+			t.Fatal(err)
+		}
+		if !tr.C.Contains(tr.I) {
+			t.Fatalf("trial %d: I ⊄ C after %s:\nI = %s\nC = %s",
+				trial, in.Format(prog.Table()), tr.I.Format(prog.Table()), tr.C.Format(prog.Table()))
+		}
+	}
+}
+
+// TestQuickParResultContainsCreatedEdges: for random par programs, every
+// edge in any thread's E set appears in the E flowing out, and the output
+// C contains the intersection semantics (edges created by a thread and
+// still live are present).
+func TestQuickParEdgesFlowOut(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		src := randomTwoThreadProgram(r)
+		prog, err := mtpa.Compile("rand.clk", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// E at main's exit must contain C's named edges (everything in C
+		// was created by some statement, given main starts from ∅).
+		tab := prog.Table()
+		for _, e := range res.MainOut.C.Edges() {
+			if e.Dst == locset.UnkID {
+				continue // initial values are not created edges
+			}
+			if tab.Get(e.Src).Block.Kind == locset.KindGhost {
+				continue
+			}
+			if !res.MainOut.E.Has(e.Src, e.Dst) {
+				t.Fatalf("trial %d: edge %s->%s in C but not in E\n%s",
+					trial, tab.String(e.Src), tab.String(e.Dst), src)
+			}
+		}
+	}
+}
+
+func randomTwoThreadProgram(r *rand.Rand) string {
+	ints := []string{"x", "y", "z"}
+	ptrs := []string{"p", "q", "s"}
+	stmt := func() string {
+		switch r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%s = &%s;", ptrs[r.Intn(3)], ints[r.Intn(3)])
+		case 1:
+			return fmt.Sprintf("%s = %s;", ptrs[r.Intn(3)], ptrs[r.Intn(3)])
+		default:
+			return fmt.Sprintf("*pp = %s;", ptrs[r.Intn(3)])
+		}
+	}
+	body := func(n int) string {
+		out := ""
+		for i := 0; i < n; i++ {
+			out += "      " + stmt() + "\n"
+		}
+		return out
+	}
+	return fmt.Sprintf(`
+int x, y, z;
+int *p, *q, *s;
+int **pp;
+int main() {
+  pp = &p;
+  par {
+    {
+%s    }
+    {
+%s    }
+  }
+  return 0;
+}
+`, body(r.Intn(3)+1), body(r.Intn(3)+1))
+}
+
+// TestParallelLoopEquations checks §3.8 directly: the parallel loop's
+// outgoing E contains the body's created edges, and the loop body is
+// analysed with its own created edges as interference (a read in one
+// iteration sees writes from other iterations).
+func TestParallelLoopEquations(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+int out;
+int main() {
+  int i;
+  p = &x;
+  parfor (i = 0; i < 4; i++) {
+    out = *p;    /* reads p: must see the sibling iterations' write */
+    p = &y;
+  }
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	y := loc(t, prog, "y")
+	x := loc(t, prog, "x")
+	if !res.MainOut.E.Has(p, y) {
+		t.Errorf("E must contain the loop-created edge p->y")
+	}
+	// The read *p inside the body must see both x (initial) and y
+	// (interference from other iterations).
+	var sawBoth bool
+	for _, s := range res.Metrics.AccessSamples() {
+		acc := prog.IR.Accesses[s.AccID]
+		if acc.Instr.Op != ir.OpDataLoad {
+			continue
+		}
+		hasX, hasY := false, false
+		for _, l := range s.Locs {
+			if l == x {
+				hasX = true
+			}
+			if l == y {
+				hasY = true
+			}
+		}
+		if hasX && hasY {
+			sawBoth = true
+		}
+	}
+	if !sawBoth {
+		t.Error("the parallel-loop body's read should see both the initial and the interfering target")
+	}
+}
+
+// TestGhostMergingBoundsContexts checks §3.10.3 on a deep stack-recursive
+// program and its ablation.
+func TestGhostMergingBoundsContexts(t *testing.T) {
+	src := `
+struct frame { struct frame *up; int d; };
+int total;
+void walk(struct frame *f) {
+  struct frame *w;
+  w = f;
+  while (w != NULL) { total = total + w->d; w = w->up; }
+}
+void descend(struct frame *parent, int d) {
+  struct frame mine;
+  if (d == 0) { walk(parent); return; }
+  mine.up = parent;
+  mine.d = d;
+  descend(&mine, d - 1);
+}
+int main() {
+  descend(NULL, 16);
+  return total;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	if res.ContextsTotal() > 60 {
+		t.Errorf("with ghost merging, contexts should stay small; got %d", res.ContextsTotal())
+	}
+
+	// Ablation: without merging, the recursion unrolls into many more
+	// contexts until the valve trips (or an error).
+	res2, err := prog.Analyze(mtpa.Options{
+		Mode:                mtpa.Multithreaded,
+		DisableGhostMerging: true,
+		MaxContexts:         80,
+		MaxRounds:           8,
+	})
+	if err == nil && res2.ContextsTotal() <= res.ContextsTotal() {
+		t.Errorf("disabling ghost merging should blow up the context count; got %d vs %d",
+			res2.ContextsTotal(), res.ContextsTotal())
+	}
+}

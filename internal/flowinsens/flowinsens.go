@@ -1,0 +1,202 @@
+// Package flowinsens implements an Andersen-style flow-insensitive,
+// context-insensitive pointer analysis as an ablation baseline. §6.1 of the
+// paper notes that flow-insensitive analyses extend trivially from
+// sequential to multithreaded programs — because they ignore statement
+// order, they already model every interleaving — at the cost of precision:
+// no strong updates, one points-to graph for the whole program.
+//
+// The implementation processes every instruction of every function
+// repeatedly over a single global graph until a fixed point. Calls are
+// modelled by unifying actual-parameter location sets with formals and the
+// callee's return location set with the call-site result (a
+// subset-constraint treatment specialised to the IR's explicit
+// temporaries).
+package flowinsens
+
+import (
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph"
+	"mtpa/internal/sem"
+)
+
+// Result is the single program-wide points-to graph.
+type Result struct {
+	Graph *ptgraph.Graph
+	// Iterations is the number of passes over the program.
+	Iterations int
+}
+
+// Analyze computes the flow-insensitive points-to graph.
+func Analyze(prog *ir.Program) *Result {
+	a := &analyzer{prog: prog, tab: prog.Table, g: ptgraph.New()}
+	iters := 0
+	for {
+		iters++
+		a.changed = false
+		for _, fn := range prog.Funcs {
+			for _, n := range fn.AllNodes {
+				for _, in := range n.Instrs {
+					a.apply(in)
+				}
+			}
+		}
+		if !a.changed {
+			break
+		}
+	}
+	return &Result{Graph: a.g, Iterations: iters}
+}
+
+type analyzer struct {
+	prog    *ir.Program
+	tab     *locset.Table
+	g       *ptgraph.Graph
+	changed bool
+}
+
+func (a *analyzer) add(src, dst locset.ID) {
+	if src == locset.UnkID {
+		return
+	}
+	if a.g.Add(src, dst) {
+		a.changed = true
+	}
+}
+
+// deref applies the unk backstop of the core analysis so the two engines
+// agree on uninitialised pointers.
+func (a *analyzer) deref(s ptgraph.Set) ptgraph.Set {
+	out := ptgraph.Set{}
+	for x := range s {
+		if x == locset.UnkID {
+			out.Add(locset.UnkID)
+			continue
+		}
+		succ := a.g.Succs(x)
+		if len(succ) == 0 {
+			out.Add(locset.UnkID)
+			continue
+		}
+		for d := range succ {
+			out.Add(d)
+		}
+	}
+	return out
+}
+
+func (a *analyzer) copyInto(dst locset.ID, targets ptgraph.Set) {
+	for d := range targets {
+		a.add(dst, d)
+	}
+}
+
+func (a *analyzer) apply(in *ir.Instr) {
+	switch in.Op {
+	case ir.OpAddrOf:
+		a.add(in.Dst, in.Src)
+	case ir.OpCopy:
+		a.copyInto(in.Dst, a.deref(ptgraph.NewSet(in.Src)))
+	case ir.OpLoad:
+		a.copyInto(in.Dst, a.deref(a.deref(ptgraph.NewSet(in.Src))))
+	case ir.OpStore:
+		vals := a.deref(ptgraph.NewSet(in.Src))
+		for z := range a.deref(ptgraph.NewSet(in.Dst)) {
+			if z == locset.UnkID {
+				continue
+			}
+			a.copyInto(z, vals)
+		}
+	case ir.OpArith, ir.OpIndexAddr:
+		for l := range a.deref(ptgraph.NewSet(in.Src)) {
+			a.add(in.Dst, a.tab.Bump(l, in.Elem))
+		}
+	case ir.OpField:
+		for l := range a.deref(ptgraph.NewSet(in.Src)) {
+			a.add(in.Dst, a.tab.Elem(l, in.Elem, in.PtrTarget))
+		}
+	case ir.OpAlloc:
+		site := a.prog.Info.AllocSites[in.Site]
+		hb := a.tab.HeapBlock(in.Site, site.SiteType, "")
+		a.add(in.Dst, a.tab.Intern(hb, 0, 0, in.PtrTarget))
+	case ir.OpNull, ir.OpUnknown:
+		a.add(in.Dst, locset.UnkID)
+	case ir.OpCall:
+		a.applyCall(in.Call)
+	}
+}
+
+func (a *analyzer) applyCall(call *ir.Call) {
+	if call.Builtin != sem.BuiltinNone {
+		switch call.Builtin {
+		case sem.BuiltinMemset, sem.BuiltinStrcpy, sem.BuiltinMemcpy:
+			if call.Ret != ir.NoLoc && len(call.Args) > 0 && call.Args[0] != ir.NoLoc {
+				a.copyInto(call.Ret, a.deref(ptgraph.NewSet(call.Args[0])))
+			}
+		default:
+			if call.Ret != ir.NoLoc {
+				a.add(call.Ret, locset.UnkID)
+			}
+		}
+		return
+	}
+	var targets []*ir.Func
+	if call.Callee != nil {
+		if fn := a.prog.FuncOf(call.Callee); fn != nil {
+			targets = append(targets, fn)
+		}
+	} else if call.FnLoc != ir.NoLoc {
+		for l := range a.deref(ptgraph.NewSet(call.FnLoc)) {
+			if l == locset.UnkID {
+				continue
+			}
+			b := a.tab.Get(l).Block
+			if b.Kind == locset.KindFunc {
+				if fn := a.prog.FuncOf(b.Fn); fn != nil {
+					targets = append(targets, fn)
+				}
+			}
+		}
+	}
+	for _, fn := range targets {
+		for i, arg := range call.Args {
+			if arg == ir.NoLoc || i >= len(fn.ParamLocs) {
+				continue
+			}
+			a.copyInto(fn.ParamLocs[i], a.deref(ptgraph.NewSet(arg)))
+		}
+		if call.Ret != ir.NoLoc && fn.RetLoc != ir.NoLoc {
+			a.copyInto(call.Ret, a.deref(ptgraph.NewSet(fn.RetLoc)))
+		}
+	}
+	if len(targets) == 0 && call.Ret != ir.NoLoc {
+		a.add(call.Ret, locset.UnkID)
+	}
+}
+
+// AccessCount returns, for one measured access, the number of location sets
+// the flow-insensitive graph needs to represent it (the analogue of the
+// paper's precision metric, for the ablation comparison) and whether the
+// pointer is potentially uninitialised.
+func (r *Result) AccessCount(prog *ir.Program, acc ir.Access) (int, bool) {
+	a := &analyzer{prog: prog, tab: prog.Table, g: r.Graph}
+	var ptr locset.ID
+	switch acc.Instr.Op {
+	case ir.OpLoad, ir.OpDataLoad:
+		ptr = acc.Instr.Src
+	case ir.OpStore, ir.OpDataStore:
+		ptr = acc.Instr.Dst
+	default:
+		return 0, false
+	}
+	locs := a.deref(ptgraph.NewSet(ptr))
+	n := len(locs)
+	uninit := locs.Has(locset.UnkID)
+	if uninit {
+		n--
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n, uninit
+}

@@ -1,0 +1,141 @@
+package flowinsens
+
+import (
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/locset"
+)
+
+func analyzeSrc(t *testing.T, src string) (*mtpa.Program, *Result) {
+	t.Helper()
+	prog, err := mtpa.Compile("fi.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog, Analyze(prog.IR)
+}
+
+func locOf(t *testing.T, prog *mtpa.Program, name string) locset.ID {
+	t.Helper()
+	for _, b := range prog.Table().Blocks() {
+		if b.Name == name {
+			return prog.Table().LocSetsInBlock(b)[0]
+		}
+	}
+	t.Fatalf("no block %s", name)
+	return 0
+}
+
+func TestNoKillsEverMerge(t *testing.T) {
+	// Flow-insensitive: both assignments to p are visible simultaneously.
+	src := `
+int x, y;
+int *p;
+int main() {
+  p = &x;
+  p = &y;
+  return 0;
+}
+`
+	prog, res := analyzeSrc(t, src)
+	p := locOf(t, prog, "p")
+	x := locOf(t, prog, "x")
+	y := locOf(t, prog, "y")
+	if !res.Graph.Has(p, x) || !res.Graph.Has(p, y) {
+		t.Errorf("flow-insensitive analysis keeps both edges; got %s", res.Graph.Format(prog.Table()))
+	}
+}
+
+func TestSoundOnFigure1(t *testing.T) {
+	src := `
+int x, y;
+int *p, **q;
+int main() {
+  p = &x;
+  q = &p;
+  par {
+    { *p = 1; }
+    { *q = &y; }
+  }
+  *p = 2;
+  return 0;
+}
+`
+	prog, res := analyzeSrc(t, src)
+	p := locOf(t, prog, "p")
+	x := locOf(t, prog, "x")
+	y := locOf(t, prog, "y")
+	// The flow-insensitive result must cover everything the flow-sensitive
+	// multithreaded result contains (restricted to program variables).
+	mt, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, e := range mt.MainOut.C.Edges() {
+		sb := prog.Table().Get(e.Src).Block
+		if sb.Kind != locset.KindGlobal {
+			continue
+		}
+		if e.Dst == locset.UnkID {
+			continue // the FI engine models unk via the deref backstop
+		}
+		if !res.Graph.Has(e.Src, e.Dst) {
+			t.Errorf("FI misses MT edge %s->%s", prog.Table().String(e.Src), prog.Table().String(e.Dst))
+		}
+	}
+	// And it is strictly less precise here: p keeps pointing at x.
+	if !res.Graph.Has(p, x) || !res.Graph.Has(p, y) {
+		t.Errorf("FI should have p->{x,y}; got %s", res.Graph.Format(prog.Table()))
+	}
+}
+
+func TestInterproceduralFlow(t *testing.T) {
+	src := `
+int g;
+int *identity(int *q) { return q; }
+int main() {
+  int *r;
+  r = identity(&g);
+  *r = 1;
+  return 0;
+}
+`
+	prog, res := analyzeSrc(t, src)
+	r := locOf(t, prog, "main.r")
+	g := locOf(t, prog, "g")
+	if !res.Graph.Has(r, g) {
+		t.Errorf("return flow broken: %s", res.Graph.Format(prog.Table()))
+	}
+}
+
+func TestPrecisionGapVsMultithreaded(t *testing.T) {
+	// Context-insensitivity conflates the two calls: after swap-style
+	// calls, the FI analysis sees both targets everywhere, the MT analysis
+	// keeps them separate.
+	src := `
+int a, b;
+int *pick(int *q) { return q; }
+int main() {
+  int *pa, *pb;
+  pa = pick(&a);
+  pb = pick(&b);
+  *pa = 1;
+  *pb = 2;
+  return 0;
+}
+`
+	prog, fi := analyzeSrc(t, src)
+	mt, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	pa := locOf(t, prog, "main.pa")
+	bID := locOf(t, prog, "b")
+	if !fi.Graph.Has(pa, bID) {
+		t.Errorf("FI should conflate contexts (pa->b); got %s", fi.Graph.Format(prog.Table()))
+	}
+	if mt.MainOut.C.Has(pa, bID) {
+		t.Errorf("MT is context-sensitive: pa must not point to b; got %s", mt.MainOut.C.Format(prog.Table()))
+	}
+}

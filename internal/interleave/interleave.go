@@ -1,0 +1,155 @@
+// Package interleave implements the ideal Interleaved algorithm of §3.7:
+// parallel constructs are eliminated by a product construction that
+// enumerates every interleaving of the statements from parallel threads,
+// each interleaving is analysed with the standard flow-sensitive algorithm
+// for sequential programs, and the results are merged.
+//
+// The algorithm is exponential in the thread sizes — the paper uses it only
+// as the precision reference — so this implementation restricts itself to
+// par constructs whose threads are straight-line sequences of basic
+// statements (no nested calls, loops or parallel constructs inside the
+// threads) and bounds the number of interleavings. It exists for
+// differential testing: the Multithreaded algorithm must compute a superset
+// of the Interleaved result (the conservativeness theorem), and in the
+// absence of interference the two must agree exactly.
+package interleave
+
+import (
+	"fmt"
+
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/ptgraph"
+)
+
+// MaxInterleavings bounds the enumeration; Analyze returns an error beyond
+// it.
+const MaxInterleavings = 200000
+
+// Analyzer evaluates straight-line multithreaded bodies by interleaving
+// enumeration.
+type Analyzer struct {
+	prog *ir.Program
+}
+
+// New returns an analyzer for the program.
+func New(prog *ir.Program) *Analyzer { return &Analyzer{prog: prog} }
+
+// flatten returns the straight-line instruction sequence of a body, or an
+// error if the body branches or contains calls/parallel constructs.
+func flatten(b *ir.Body) ([]*ir.Instr, error) {
+	var out []*ir.Instr
+	n := b.Entry
+	seen := map[*ir.Node]bool{}
+	for {
+		if seen[n] {
+			return nil, fmt.Errorf("interleave: cycle in thread body")
+		}
+		seen[n] = true
+		if n.Kind != ir.NodeBlock {
+			return nil, fmt.Errorf("interleave: nested parallel construct")
+		}
+		for _, in := range n.Instrs {
+			switch in.Op {
+			case ir.OpCall:
+				return nil, fmt.Errorf("interleave: call inside thread")
+			case ir.OpReturn, ir.OpRegLoad, ir.OpRegStore,
+				ir.OpDataLoad, ir.OpDataStore, ir.OpDirectLoad, ir.OpDirectStore:
+				// No effect on the points-to graph; excluding them keeps the
+				// interleaving count to the statements that matter.
+			default:
+				out = append(out, in)
+			}
+		}
+		if n == b.Exit {
+			return out, nil
+		}
+		if len(n.Succs) != 1 {
+			return nil, fmt.Errorf("interleave: thread body branches")
+		}
+		n = n.Succs[0]
+	}
+}
+
+// AnalyzePar computes the merged points-to graph after a par construct by
+// enumerating every interleaving of its threads' instructions, starting
+// from the given input graph. It returns the merged output graph.
+func (a *Analyzer) AnalyzePar(par *ir.Node, in *ptgraph.Graph) (*ptgraph.Graph, error) {
+	if par.Kind != ir.NodePar {
+		return nil, fmt.Errorf("interleave: not a par node")
+	}
+	threads := make([][]*ir.Instr, len(par.Threads))
+	total := 0
+	for i, th := range par.Threads {
+		seq, err := flatten(th)
+		if err != nil {
+			return nil, err
+		}
+		threads[i] = seq
+		total += len(seq)
+	}
+	if count := countInterleavings(threads); count > MaxInterleavings {
+		return nil, fmt.Errorf("interleave: %d interleavings exceed the limit", count)
+	}
+
+	merged := ptgraph.New()
+	idx := make([]int, len(threads))
+	var rec func(g *ptgraph.Graph) error
+	rec = func(g *ptgraph.Graph) error {
+		done := true
+		for i := range threads {
+			if idx[i] < len(threads[i]) {
+				done = false
+				instr := threads[i][idx[i]]
+				idx[i]++
+				g2 := g.Clone()
+				if err := a.apply(instr, g2); err != nil {
+					idx[i]--
+					return err
+				}
+				if err := rec(g2); err != nil {
+					idx[i]--
+					return err
+				}
+				idx[i]--
+			}
+		}
+		if done {
+			merged.Union(g)
+		}
+		return nil
+	}
+	if err := rec(in.Clone()); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+func countInterleavings(threads [][]*ir.Instr) int {
+	// Multinomial coefficient (n1+n2+...)! / (n1!·n2!·...) with overflow
+	// saturation.
+	total := 0
+	for _, t := range threads {
+		total += len(t)
+	}
+	count := 1
+	placed := 0
+	for _, t := range threads {
+		for i := 1; i <= len(t); i++ {
+			placed++
+			count = count * placed / i
+			if count > MaxInterleavings {
+				return count
+			}
+		}
+	}
+	return count
+}
+
+// apply runs the standard sequential transfer function for one basic
+// statement (the I and E components play no role in a fully interleaved
+// sequential analysis).
+func (a *Analyzer) apply(in *ir.Instr, g *ptgraph.Graph) error {
+	t := &core.Triple{C: g, I: ptgraph.New(), E: ptgraph.New()}
+	return core.ApplySequentialInstr(a.prog, in, t)
+}

@@ -1,0 +1,209 @@
+package interleave
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/ptgraph"
+)
+
+// findPar locates the first par node in main and the instruction sequence
+// leading to it.
+func findPar(t *testing.T, prog *mtpa.Program) (pre []*ir.Instr, par *ir.Node, after *ir.Node) {
+	t.Helper()
+	n := prog.IR.Main.Body.Entry
+	for {
+		if n.Kind == ir.NodePar {
+			if len(n.Succs) != 1 {
+				t.Fatalf("par should have one successor")
+			}
+			return pre, n, n.Succs[0]
+		}
+		pre = append(pre, n.Instrs...)
+		if len(n.Succs) != 1 {
+			t.Fatalf("unexpected branching before par")
+		}
+		n = n.Succs[0]
+	}
+}
+
+// runBoth runs the Multithreaded analysis and the Interleaved reference on
+// a program whose main is straight-line code around a single par construct.
+// It returns the multithreaded points-to graph just after the par construct
+// and the interleaved merged result.
+func runBoth(t *testing.T, src string) (*mtpa.Program, *ptgraph.Graph, *ptgraph.Graph) {
+	t.Helper()
+	prog, err := mtpa.Compile("diff.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded, RecordPoints: true})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+
+	pre, par, after := findPar(t, prog)
+
+	// Multithreaded graph at the program point just after the par.
+	var mt *ptgraph.Graph
+	for ctx := 0; ctx < res.ContextsTotal(); ctx++ {
+		if tr := res.PointAt(core.PointKey{Node: after, Idx: 0, Ctx: ctx}); tr != nil {
+			mt = tr.C
+			break
+		}
+	}
+	if mt == nil {
+		t.Fatalf("no recorded point after the par construct")
+	}
+
+	// Interleaved reference: replay the straight-line prefix, then
+	// enumerate.
+	ev := core.NewInstrEvaluator(prog.IR)
+	in := core.NewTriple()
+	for _, instr := range pre {
+		if err := ev.Apply(instr, in); err != nil {
+			t.Fatalf("apply prefix: %v", err)
+		}
+	}
+	il, err := New(prog.IR).AnalyzePar(par, in.C)
+	if err != nil {
+		t.Fatalf("interleave: %v", err)
+	}
+	return prog, mt, il
+}
+
+func TestConservativeOnFigure1(t *testing.T) {
+	src := `
+int x, y;
+int *p, **q;
+int main() {
+  p = &x;
+  q = &p;
+  par {
+    { p = &y; }
+    { *q = &y; }
+  }
+  return 0;
+}
+`
+	prog, mt, il := runBoth(t, src)
+	if !mt.Contains(il) {
+		t.Errorf("MT result must contain the interleaved result.\nMT: %s\nIL: %s",
+			mt.Format(prog.Table()), il.Format(prog.Table()))
+	}
+}
+
+func TestNoInterferenceEquality(t *testing.T) {
+	// The threads write disjoint pointers: §3.7's key result says the
+	// multithreaded and interleaved analyses agree exactly.
+	src := `
+int x, y;
+int *p, *q;
+int main() {
+  par {
+    { p = &x; }
+    { q = &y; }
+  }
+  return 0;
+}
+`
+	prog, mt, il := runBoth(t, src)
+	if !mt.Contains(il) || !il.Contains(mt) {
+		t.Errorf("no interference: results must be identical.\nMT: %s\nIL: %s",
+			mt.Format(prog.Table()), il.Format(prog.Table()))
+	}
+}
+
+// TestQuickRandomProgramsConservative generates random straight-line par
+// programs and checks the conservativeness theorem: the multithreaded
+// analysis always includes the merged result of analysing every
+// interleaving.
+func TestQuickRandomProgramsConservative(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 120; trial++ {
+		src := randomParProgram(r)
+		prog, mt, il := runBoth(t, src)
+		if !mt.Contains(il) {
+			t.Fatalf("trial %d: MT result misses interleaved edges.\nprogram:\n%s\nMT: %s\nIL: %s",
+				trial, src, mt.Format(prog.Table()), il.Format(prog.Table()))
+		}
+	}
+}
+
+// randomParProgram builds a random two-thread straight-line program over a
+// fixed pool of globals.
+func randomParProgram(r *rand.Rand) string {
+	ints := []string{"x", "y", "z"}
+	ptrs := []string{"p", "q", "s"}
+	pptrs := []string{"pp", "qq"}
+
+	stmt := func() string {
+		switch r.Intn(6) {
+		case 0: // ptr = &int
+			return fmt.Sprintf("%s = &%s;", ptrs[r.Intn(len(ptrs))], ints[r.Intn(len(ints))])
+		case 1: // ptr = ptr
+			return fmt.Sprintf("%s = %s;", ptrs[r.Intn(len(ptrs))], ptrs[r.Intn(len(ptrs))])
+		case 2: // pp = &ptr
+			return fmt.Sprintf("%s = &%s;", pptrs[r.Intn(len(pptrs))], ptrs[r.Intn(len(ptrs))])
+		case 3: // ptr = *pp
+			return fmt.Sprintf("%s = *%s;", ptrs[r.Intn(len(ptrs))], pptrs[r.Intn(len(pptrs))])
+		case 4: // *pp = ptr
+			return fmt.Sprintf("*%s = %s;", pptrs[r.Intn(len(pptrs))], ptrs[r.Intn(len(ptrs))])
+		default: // pp = qq
+			return fmt.Sprintf("%s = %s;", pptrs[r.Intn(len(pptrs))], pptrs[r.Intn(len(pptrs))])
+		}
+	}
+	seq := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteString("    " + stmt() + "\n")
+		}
+		return sb.String()
+	}
+
+	var sb strings.Builder
+	sb.WriteString("int x, y, z;\nint *p, *q, *s;\nint **pp, **qq;\n")
+	sb.WriteString("int main() {\n")
+	sb.WriteString(seq(r.Intn(3) + 1)) // prefix
+	sb.WriteString("  par {\n")
+	sb.WriteString("    {\n" + seq(r.Intn(3)+1) + "    }\n")
+	sb.WriteString("    {\n" + seq(r.Intn(3)+1) + "    }\n")
+	sb.WriteString("  }\n  return 0;\n}\n")
+	return sb.String()
+}
+
+func TestFlattenRejectsLoops(t *testing.T) {
+	src := `
+int x;
+int *p;
+int main() {
+  int i;
+  par {
+    { for (i = 0; i < 3; i++) { p = &x; } }
+    { p = &x; }
+  }
+  return 0;
+}
+`
+	prog, err := mtpa.Compile("loop.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var par *ir.Node
+	for _, n := range prog.IR.Main.AllNodes {
+		if n.Kind == ir.NodePar {
+			par = n
+		}
+	}
+	if par == nil {
+		t.Fatal("no par node")
+	}
+	if _, err := New(prog.IR).AnalyzePar(par, ptgraph.New()); err == nil {
+		t.Error("expected an error for a looping thread body")
+	}
+}

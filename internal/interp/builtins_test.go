@@ -1,0 +1,258 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+)
+
+func TestDoWhileAndCompoundAssign(t *testing.T) {
+	src := `
+int main() {
+  int i, s;
+  i = 5;
+  s = 0;
+  do {
+    s += i;
+    i -= 1;
+  } while (i > 0);
+  s *= 2;
+  s /= 3;
+  return s;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 10 { // (5+4+3+2+1)*2/3 = 30/3
+		t.Errorf("got %d, want 10", code)
+	}
+}
+
+func TestCondExprAndLogicalOps(t *testing.T) {
+	src := `
+int main() {
+  int a, b;
+  a = 3;
+  b = a > 2 ? 10 : 20;
+  if (a > 1 && b == 10 || a == 0) {
+    return b + (a < 0 ? 1 : 2);
+  }
+  return 0;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 12 {
+		t.Errorf("got %d, want 12", code)
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+int main() {
+  int i, s;
+  s = 0;
+  for (i = 0; i < 10; i++) {
+    if (i == 3) { continue; }
+    if (i == 6) { break; }
+    s = s + i;
+  }
+  return s;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 12 { // 0+1+2+4+5
+		t.Errorf("got %d, want 12", code)
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	src := `
+int main() {
+  char buf[16];
+  char *s;
+  s = "hello";
+  strcpy(&buf[0], s);
+  return strlen(&buf[0]);
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 5 {
+		t.Errorf("strlen = %d, want 5", code)
+	}
+}
+
+func TestMemsetMemcpy(t *testing.T) {
+	src := `
+int main() {
+  int a[4];
+  int b[4];
+  int i, s;
+  for (i = 0; i < 4; i++) { a[i] = i + 1; }
+  memcpy(&b[0], &a[0], 4 * sizeof(int));
+  memset(&a[0], 0, 4 * sizeof(int));
+  s = 0;
+  for (i = 0; i < 4; i++) { s = s + a[i] + b[i]; }
+  return s;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 10 {
+		t.Errorf("got %d, want 10", code)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	src := `
+int main() {
+  exit(42);
+  return 0;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 42 {
+		t.Errorf("exit code = %d, want 42", code)
+	}
+}
+
+func TestAssertFailureAborts(t *testing.T) {
+	src := `
+int main() {
+  assert(1 == 2);
+  return 0;
+}
+`
+	prog := mustCompile(t, src)
+	m := New(prog.IR, nil, 1)
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "assertion failed") {
+		t.Errorf("expected assertion failure, got %v", err)
+	}
+}
+
+func TestNullDerefTrap(t *testing.T) {
+	src := `
+int *p;
+int main() {
+  p = NULL;
+  return *p;
+}
+`
+	prog := mustCompile(t, src)
+	m := New(prog.IR, nil, 1)
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "NULL") {
+		t.Errorf("expected NULL deref trap, got %v", err)
+	}
+}
+
+func TestUseAfterFreeTrap(t *testing.T) {
+	src := `
+int main() {
+  int *p;
+  p = (int *)malloc(8);
+  *p = 1;
+  free(p);
+  return *p;
+}
+`
+	prog := mustCompile(t, src)
+	m := New(prog.IR, nil, 1)
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "after free") {
+		t.Errorf("expected use-after-free trap, got %v", err)
+	}
+}
+
+func TestOutOfBoundsTrap(t *testing.T) {
+	src := `
+int a[4];
+int main() {
+  int *p;
+  p = &a[0];
+  p[7] = 1;
+  return 0;
+}
+`
+	prog := mustCompile(t, src)
+	m := New(prog.IR, nil, 1)
+	_, err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "out-of-bounds") {
+		t.Errorf("expected bounds trap, got %v", err)
+	}
+}
+
+func TestStructByValueAssignment(t *testing.T) {
+	src := `
+struct pair { int a; int b; };
+int main() {
+  struct pair p, q;
+  p.a = 3;
+  p.b = 4;
+  q = p;
+  p.a = 0;
+  return q.a * 10 + q.b;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 34 {
+		t.Errorf("got %d, want 34", code)
+	}
+}
+
+func TestNestedArrayIndexing(t *testing.T) {
+	src := `
+int m[3][4];
+int main() {
+  int i, j, s;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 4; j++) {
+      m[i][j] = i * 4 + j;
+    }
+  }
+  s = 0;
+  for (i = 0; i < 3; i++) {
+    for (j = 0; j < 4; j++) {
+      s = s + m[i][j];
+    }
+  }
+  return s;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 66 {
+		t.Errorf("got %d, want 66", code)
+	}
+}
+
+func TestArrayFieldInStruct(t *testing.T) {
+	src := `
+struct grid { int cells[6]; int n; };
+int main() {
+  struct grid *g;
+  int i, s;
+  g = (struct grid *)malloc(sizeof(struct grid));
+  for (i = 0; i < 6; i++) {
+    g->cells[i] = i;
+  }
+  g->n = 6;
+  s = 0;
+  for (i = 0; i < g->n; i++) {
+    s = s + g->cells[i];
+  }
+  return s;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 15 {
+		t.Errorf("got %d, want 15", code)
+	}
+}
+
+func mustCompile(t *testing.T, src string) *mtpa.Program {
+	t.Helper()
+	prog, err := mtpa.Compile("b.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}

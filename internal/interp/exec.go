@@ -1,0 +1,1015 @@
+// Statement and expression execution.
+
+package interp
+
+import (
+	"fmt"
+	"strings"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/sem"
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+type returnSignal struct{ v Value }
+type breakSignal struct{}
+type continueSignal struct{}
+
+// frame is one procedure activation.
+type frame struct {
+	machine  *Machine
+	thread   *tstate
+	fn       *ast.FuncDecl
+	locals   map[*ast.Symbol]*Object
+	children []*tstate
+}
+
+// object resolves the memory object of a symbol.
+func (fr *frame) object(sym *ast.Symbol) *Object {
+	switch sym.Kind {
+	case ast.SymGlobal:
+		return fr.machine.globals[sym]
+	case ast.SymPrivateGlobal:
+		return fr.thread.privateObject(fr.machine, sym)
+	default:
+		if o, ok := fr.locals[sym]; ok {
+			return o
+		}
+		o := newObject(sym.Owner.Name+"."+sym.Name, fr.machine.prog.Table.SymBlock(sym), sym.Type.Size())
+		fr.locals[sym] = o
+		return o
+	}
+}
+
+// call invokes a function with evaluated arguments and returns its result.
+func (fr *frame) call(fd *ast.FuncDecl, args []Value) Value {
+	m := fr.machine
+	if fd.Body == nil {
+		m.fail("interp: call to %s, which has no body", fd.Name)
+	}
+	nf := &frame{machine: m, thread: fr.thread, fn: fd, locals: map[*ast.Symbol]*Object{}}
+	for i, p := range fd.Params {
+		if p.Sym == nil {
+			continue
+		}
+		o := newObject(fd.Name+"."+p.Name, m.prog.Table.SymBlock(p.Sym), p.Type.Size())
+		nf.locals[p.Sym] = o
+		if i < len(args) {
+			nf.storeTo(Ptr{Obj: o}, args[i], p.Type)
+		}
+	}
+	var ret Value = Undef{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rs, ok := r.(returnSignal); ok {
+					ret = rs.v
+					return
+				}
+				panic(r)
+			}
+		}()
+		nf.execStmts(fd.Body.List)
+	}()
+	nf.syncChildren() // Cilk's implicit sync at procedure exit
+	return ret
+}
+
+func (fr *frame) syncChildren() {
+	for {
+		alive := false
+		for _, c := range fr.children {
+			if !c.isDone() {
+				alive = true
+			}
+		}
+		if !alive {
+			return
+		}
+		fr.thread.pause()
+	}
+}
+
+func (fr *frame) execStmts(list []ast.Stmt) {
+	for _, s := range list {
+		fr.execStmt(s)
+	}
+}
+
+func (fr *frame) execStmt(s ast.Stmt) {
+	m := fr.machine
+	m.step()
+	fr.thread.pause() // interleaving point at every statement boundary
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		fr.execStmts(s.List)
+	case *ast.EmptyStmt:
+	case *ast.ExprStmt:
+		fr.eval(s.X)
+	case *ast.DeclStmt:
+		fr.execDecl(s.Decl)
+	case *ast.DeclGroup:
+		for _, d := range s.Decls {
+			fr.execDecl(d.Decl)
+		}
+	case *ast.IfStmt:
+		if truthy(fr.eval(s.Cond)) {
+			fr.execStmt(s.Then)
+		} else if s.Else != nil {
+			fr.execStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		fr.loop(func() bool { return truthy(fr.eval(s.Cond)) }, s.Body, nil)
+	case *ast.DoWhileStmt:
+		first := true
+		fr.loop(func() bool {
+			if first {
+				first = false
+				return true
+			}
+			return truthy(fr.eval(s.Cond))
+		}, s.Body, nil)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fr.execStmt(s.Init)
+		}
+		cond := func() bool {
+			if s.Cond == nil {
+				return true
+			}
+			return truthy(fr.eval(s.Cond))
+		}
+		fr.loop(cond, s.Body, s.Post)
+	case *ast.ReturnStmt:
+		var v Value = Undef{}
+		if s.Value != nil {
+			v = fr.eval(s.Value)
+		}
+		panic(returnSignal{v})
+	case *ast.BreakStmt:
+		panic(breakSignal{})
+	case *ast.ContinueStmt:
+		panic(continueSignal{})
+	case *ast.ParStmt:
+		var ts []*tstate
+		for _, th := range s.Threads {
+			body := th
+			t := m.sched.spawnThread(fr.thread, func(t *tstate) {
+				tf := &frame{machine: m, thread: t, fn: fr.fn, locals: fr.locals}
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(returnSignal); ok {
+							m.fail("interp: return inside par thread")
+						}
+						panic(r)
+					}
+				}()
+				tf.execStmts(body.List)
+				tf.syncChildren()
+			})
+			ts = append(ts, t)
+		}
+		fr.waitFor(ts)
+	case *ast.ParForStmt:
+		if s.Init != nil {
+			fr.execStmt(s.Init)
+		}
+		var ts []*tstate
+		iter := 0
+		for s.Cond == nil || truthy(fr.eval(s.Cond)) {
+			iter++
+			if iter > 1<<14 {
+				m.fail("interp: parfor iteration bound exceeded")
+			}
+			body := s.Body
+			t := m.sched.spawnThread(fr.thread, func(t *tstate) {
+				tf := &frame{machine: m, thread: t, fn: fr.fn, locals: fr.locals}
+				tf.execStmt(body)
+				tf.syncChildren()
+			})
+			ts = append(ts, t)
+			if s.Post != nil {
+				fr.eval(s.Post)
+			}
+			if s.Cond == nil {
+				break
+			}
+		}
+		fr.waitFor(ts)
+	case *ast.SpawnStmt:
+		call := s.Call
+		lhs := s.LHS
+		t := m.sched.spawnThread(fr.thread, func(t *tstate) {
+			tf := &frame{machine: m, thread: t, fn: fr.fn, locals: fr.locals}
+			v := tf.evalCall(call)
+			if lhs != nil {
+				addr := tf.lvalue(lhs)
+				tf.storeTo(addr, v, lhs.Type())
+			}
+		})
+		fr.children = append(fr.children, t)
+	case *ast.SyncStmt:
+		fr.syncChildren()
+	default:
+		m.fail("interp: unknown statement %T", s)
+	}
+}
+
+// waitFor blocks (yielding) until the given threads complete.
+func (fr *frame) waitFor(ts []*tstate) {
+	for {
+		alive := false
+		for _, t := range ts {
+			if !t.isDone() {
+				alive = true
+			}
+		}
+		if !alive {
+			return
+		}
+		fr.thread.pause()
+	}
+}
+
+func (fr *frame) loop(cond func() bool, body ast.Stmt, post ast.Expr) {
+	for cond() {
+		brk := func() bool {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(continueSignal); ok {
+						return
+					}
+					panic(r)
+				}
+			}()
+			fr.execStmt(body)
+			return false
+		}
+		stop := func() (stopped bool) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(breakSignal); ok {
+						stopped = true
+						return
+					}
+					panic(r)
+				}
+			}()
+			brk()
+			return false
+		}()
+		if stop {
+			return
+		}
+		if post != nil {
+			fr.eval(post)
+		}
+	}
+}
+
+func (fr *frame) execDecl(vd *ast.VarDecl) {
+	if vd.Sym == nil {
+		return
+	}
+	o := newObject(vd.Sym.Owner.Name+"."+vd.Name, fr.machine.prog.Table.SymBlock(vd.Sym), vd.Type.Size())
+	fr.locals[vd.Sym] = o
+	if vd.Init != nil {
+		v := fr.eval(vd.Init)
+		fr.storeTo(Ptr{Obj: o}, v, vd.Type)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+func truthy(v Value) bool {
+	switch v := v.(type) {
+	case Int:
+		return v != 0
+	case Float:
+		return v != 0
+	case Ptr:
+		return !v.IsNull()
+	case Fn:
+		return true
+	}
+	return false
+}
+
+func asInt(v Value) int64 {
+	switch v := v.(type) {
+	case Int:
+		return int64(v)
+	case Float:
+		return int64(v)
+	}
+	return 0 // Undef and friends coerce to 0
+}
+
+func asFloat(v Value) float64 {
+	switch v := v.(type) {
+	case Int:
+		return float64(v)
+	case Float:
+		return float64(v)
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Memory
+
+// loadFrom reads a value of the given type at the pointer.
+func (fr *frame) loadFrom(p Ptr, t *types.Type) Value {
+	if p.IsNull() {
+		fr.machine.fail("interp: NULL dereference")
+	}
+	if p.Obj.freed {
+		fr.machine.fail("interp: use after free of %s", p.Obj.Name)
+	}
+	if t != nil && (t.IsStruct() || t.IsArray()) {
+		return p // aggregates are represented by their address
+	}
+	return p.Obj.load(p.Off)
+}
+
+// storeTo writes a value of the given type at the pointer.
+func (fr *frame) storeTo(p Ptr, v Value, t *types.Type) {
+	if p.IsNull() {
+		fr.machine.fail("interp: store through NULL pointer")
+	}
+	if p.Obj.freed {
+		fr.machine.fail("interp: store after free of %s", p.Obj.Name)
+	}
+	if t != nil && t.IsStruct() {
+		src, ok := v.(Ptr)
+		if !ok {
+			fr.machine.fail("interp: struct assignment from non-lvalue")
+		}
+		for off, sv := range src.Obj.slots {
+			if off >= src.Off && off < src.Off+t.Size() {
+				rel := off - src.Off
+				p.Obj.store(p.Off+rel, sv)
+				fr.machine.recordFact(Ptr{Obj: p.Obj, Off: p.Off + rel}, sv)
+			}
+		}
+		return
+	}
+	if p.Off < 0 || (p.Obj.Size > 0 && p.Off >= p.Obj.Size) {
+		fr.machine.fail("interp: out-of-bounds store at %s+%d (size %d)", p.Obj.Name, p.Off, p.Obj.Size)
+	}
+	p.Obj.store(p.Off, v)
+	fr.machine.recordFact(p, v)
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// lvalue computes the address of an assignable expression.
+func (fr *frame) lvalue(e ast.Expr) Ptr {
+	m := fr.machine
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Sym == nil {
+			m.fail("interp: unresolved identifier %s", e.Name)
+		}
+		return Ptr{Obj: fr.object(e.Sym)}
+	case *ast.UnaryExpr:
+		if e.Op == token.STAR {
+			v := fr.eval(e.X)
+			p, ok := v.(Ptr)
+			if !ok {
+				m.fail("interp: dereference of non-pointer value %v", v)
+			}
+			return p
+		}
+	case *ast.IndexExpr:
+		base := fr.eval(e.X)
+		p, ok := base.(Ptr)
+		if !ok {
+			m.fail("interp: indexing non-pointer value")
+		}
+		idx := asInt(fr.eval(e.Index))
+		esz := int64(types.WordSize)
+		if xt := e.X.Type(); xt != nil && xt.IsPointer() {
+			esz = xt.Elem.Size()
+		}
+		return Ptr{Obj: p.Obj, Off: p.Off + idx*esz}
+	case *ast.MemberExpr:
+		var base Ptr
+		if e.Arrow {
+			v := fr.eval(e.X)
+			p, ok := v.(Ptr)
+			if !ok || p.IsNull() {
+				m.fail("interp: -> through invalid pointer")
+			}
+			base = p
+		} else {
+			base = fr.lvalue(e.X)
+		}
+		if e.Field == nil {
+			m.fail("interp: unresolved field %s", e.Name)
+		}
+		return Ptr{Obj: base.Obj, Off: base.Off + e.Field.Offset}
+	case *ast.CastExpr:
+		return fr.lvalue(e.X)
+	}
+	m.fail("interp: expression is not an lvalue: %T", e)
+	return Ptr{}
+}
+
+// eval evaluates an expression to a value.
+func (fr *frame) eval(e ast.Expr) Value {
+	m := fr.machine
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Int(e.Value)
+	case *ast.CharLit:
+		return Int(e.Value)
+	case *ast.NullLit:
+		return Ptr{}
+	case *ast.StringLit:
+		return Ptr{Obj: m.stringObject(e)}
+	case *ast.Ident:
+		if e.Sym == nil {
+			m.fail("interp: unresolved identifier %s", e.Name)
+		}
+		if e.Sym.Kind == ast.SymFunc {
+			return Fn{Decl: e.Sym.Func}
+		}
+		if e.Sym.Type.IsArray() {
+			return Ptr{Obj: fr.object(e.Sym)} // decay
+		}
+		return fr.loadFrom(Ptr{Obj: fr.object(e.Sym)}, e.Sym.Type)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AMP:
+			return fr.lvalue(e.X)
+		case token.STAR:
+			p, ok := fr.eval(e.X).(Ptr)
+			if !ok {
+				m.fail("interp: dereference of non-pointer (possibly uninitialised) value")
+			}
+			return fr.loadFrom(p, e.Type())
+		case token.MINUS:
+			v := fr.eval(e.X)
+			if f, ok := v.(Float); ok {
+				return Float(-f)
+			}
+			return Int(-asInt(v))
+		case token.NOT:
+			if truthy(fr.eval(e.X)) {
+				return Int(0)
+			}
+			return Int(1)
+		case token.TILDE:
+			return Int(^asInt(fr.eval(e.X)))
+		}
+	case *ast.BinaryExpr:
+		return fr.evalBinary(e)
+	case *ast.AssignExpr:
+		return fr.evalAssign(e)
+	case *ast.IncDecExpr:
+		addr := fr.lvalue(e.X)
+		old := fr.loadFrom(addr, e.X.Type())
+		delta := int64(1)
+		if e.Op == token.DEC {
+			delta = -1
+		}
+		var nv Value
+		if p, ok := old.(Ptr); ok {
+			esz := int64(types.WordSize)
+			if t := e.X.Type(); t != nil && t.IsPointer() {
+				esz = t.Elem.Size()
+			}
+			nv = Ptr{Obj: p.Obj, Off: p.Off + delta*esz}
+		} else if f, ok := old.(Float); ok {
+			nv = Float(float64(f) + float64(delta))
+		} else {
+			nv = Int(asInt(old) + delta)
+		}
+		fr.storeTo(addr, nv, e.X.Type())
+		return nv
+	case *ast.CallExpr:
+		return fr.evalCall(e)
+	case *ast.IndexExpr:
+		if t := undecayed(e); t != nil && t.IsArray() {
+			return fr.lvalue(e) // nested array: the value is its address
+		}
+		return fr.loadFrom(fr.lvalue(e), e.Type())
+	case *ast.MemberExpr:
+		if t := undecayed(e); t != nil && t.IsArray() {
+			return fr.lvalue(e) // array-typed field decays to its address
+		}
+		return fr.loadFrom(fr.lvalue(e), e.Type())
+	case *ast.CastExpr:
+		v := fr.eval(e.X)
+		switch {
+		case e.To.IsPointer():
+			if p, ok := v.(Ptr); ok {
+				return p
+			}
+			if asInt(v) == 0 {
+				return Ptr{}
+			}
+			m.fail("interp: cast of non-pointer value to pointer")
+		case e.To.Kind == types.Float || e.To.Kind == types.Double:
+			return Float(asFloat(v))
+		case e.To.IsArith():
+			return Int(asInt(v))
+		}
+		return v
+	case *ast.SizeofExpr:
+		if e.Of != nil {
+			return Int(e.Of.Size())
+		}
+		return Int(e.X.Type().Size())
+	case *ast.CondExpr:
+		if truthy(fr.eval(e.Cond)) {
+			return fr.eval(e.Then)
+		}
+		return fr.eval(e.Else)
+	case *ast.AllocExpr:
+		return fr.evalAlloc(e)
+	}
+	m.fail("interp: cannot evaluate %T", e)
+	return Undef{}
+}
+
+func (fr *frame) evalBinary(e *ast.BinaryExpr) Value {
+	switch e.Op {
+	case token.LAND:
+		if !truthy(fr.eval(e.X)) {
+			return Int(0)
+		}
+		if truthy(fr.eval(e.Y)) {
+			return Int(1)
+		}
+		return Int(0)
+	case token.LOR:
+		if truthy(fr.eval(e.X)) {
+			return Int(1)
+		}
+		if truthy(fr.eval(e.Y)) {
+			return Int(1)
+		}
+		return Int(0)
+	}
+	x := fr.eval(e.X)
+	y := fr.eval(e.Y)
+
+	// Pointer arithmetic and comparison.
+	px, xIsP := x.(Ptr)
+	py, yIsP := y.(Ptr)
+	switch {
+	case xIsP && yIsP:
+		switch e.Op {
+		case token.EQ:
+			return boolInt(px == py)
+		case token.NEQ:
+			return boolInt(px != py)
+		case token.MINUS:
+			esz := elemSize(e.X.Type())
+			return Int((px.Off - py.Off) / esz)
+		case token.LT:
+			return boolInt(px.Off < py.Off)
+		case token.GT:
+			return boolInt(px.Off > py.Off)
+		case token.LE:
+			return boolInt(px.Off <= py.Off)
+		case token.GE:
+			return boolInt(px.Off >= py.Off)
+		}
+	case xIsP:
+		esz := elemSize(e.X.Type())
+		switch e.Op {
+		case token.PLUS:
+			return Ptr{Obj: px.Obj, Off: px.Off + asInt(y)*esz}
+		case token.MINUS:
+			return Ptr{Obj: px.Obj, Off: px.Off - asInt(y)*esz}
+		case token.EQ:
+			return boolInt(px.IsNull() && asInt(y) == 0)
+		case token.NEQ:
+			return boolInt(!(px.IsNull() && asInt(y) == 0))
+		}
+	case yIsP:
+		if e.Op == token.PLUS {
+			esz := elemSize(e.Y.Type())
+			return Ptr{Obj: py.Obj, Off: py.Off + asInt(x)*esz}
+		}
+		switch e.Op {
+		case token.EQ:
+			return boolInt(py.IsNull() && asInt(x) == 0)
+		case token.NEQ:
+			return boolInt(!(py.IsNull() && asInt(x) == 0))
+		}
+	}
+
+	// Floating point.
+	if _, ok := x.(Float); ok {
+		return floatOp(e.Op, asFloat(x), asFloat(y), fr)
+	}
+	if _, ok := y.(Float); ok {
+		return floatOp(e.Op, asFloat(x), asFloat(y), fr)
+	}
+
+	a, b := asInt(x), asInt(y)
+	switch e.Op {
+	case token.PLUS:
+		return Int(a + b)
+	case token.MINUS:
+		return Int(a - b)
+	case token.STAR:
+		return Int(a * b)
+	case token.SLASH:
+		if b == 0 {
+			fr.machine.fail("interp: division by zero")
+		}
+		return Int(a / b)
+	case token.PERCENT:
+		if b == 0 {
+			fr.machine.fail("interp: modulo by zero")
+		}
+		return Int(a % b)
+	case token.AMP:
+		return Int(a & b)
+	case token.PIPE:
+		return Int(a | b)
+	case token.CARET:
+		return Int(a ^ b)
+	case token.SHL:
+		return Int(a << uint(b&63))
+	case token.SHR:
+		return Int(a >> uint(b&63))
+	case token.EQ:
+		return boolInt(a == b)
+	case token.NEQ:
+		return boolInt(a != b)
+	case token.LT:
+		return boolInt(a < b)
+	case token.GT:
+		return boolInt(a > b)
+	case token.LE:
+		return boolInt(a <= b)
+	case token.GE:
+		return boolInt(a >= b)
+	}
+	fr.machine.fail("interp: unknown binary operator %s", e.Op)
+	return Undef{}
+}
+
+func floatOp(op token.Kind, a, b float64, fr *frame) Value {
+	switch op {
+	case token.PLUS:
+		return Float(a + b)
+	case token.MINUS:
+		return Float(a - b)
+	case token.STAR:
+		return Float(a * b)
+	case token.SLASH:
+		if b == 0 {
+			fr.machine.fail("interp: division by zero")
+		}
+		return Float(a / b)
+	case token.EQ:
+		return boolInt(a == b)
+	case token.NEQ:
+		return boolInt(a != b)
+	case token.LT:
+		return boolInt(a < b)
+	case token.GT:
+		return boolInt(a > b)
+	case token.LE:
+		return boolInt(a <= b)
+	case token.GE:
+		return boolInt(a >= b)
+	}
+	fr.machine.fail("interp: invalid float operator %s", op)
+	return Undef{}
+}
+
+func boolInt(b bool) Int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func elemSize(t *types.Type) int64 {
+	if t != nil && t.IsPointer() {
+		if s := t.Elem.Size(); s > 0 {
+			return s
+		}
+	}
+	return types.WordSize
+}
+
+func (fr *frame) evalAssign(e *ast.AssignExpr) Value {
+	lt := e.X.Type()
+	if e.Op == token.ASSIGN {
+		v := fr.eval(e.Y)
+		addr := fr.lvalue(e.X)
+		fr.storeTo(addr, v, baseType(e.X))
+		return v
+	}
+	addr := fr.lvalue(e.X)
+	old := fr.loadFrom(addr, lt)
+	y := fr.eval(e.Y)
+	var nv Value
+	if p, ok := old.(Ptr); ok {
+		esz := elemSize(lt)
+		switch e.Op {
+		case token.PLUSASSIGN:
+			nv = Ptr{Obj: p.Obj, Off: p.Off + asInt(y)*esz}
+		case token.MINUSASSIGN:
+			nv = Ptr{Obj: p.Obj, Off: p.Off - asInt(y)*esz}
+		default:
+			fr.machine.fail("interp: invalid compound assignment to pointer")
+		}
+	} else if _, ok := old.(Float); ok {
+		a, b := asFloat(old), asFloat(y)
+		switch e.Op {
+		case token.PLUSASSIGN:
+			nv = Float(a + b)
+		case token.MINUSASSIGN:
+			nv = Float(a - b)
+		case token.STARASSIGN:
+			nv = Float(a * b)
+		case token.SLASHASSIGN:
+			nv = Float(a / b)
+		}
+	} else {
+		a, b := asInt(old), asInt(y)
+		switch e.Op {
+		case token.PLUSASSIGN:
+			nv = Int(a + b)
+		case token.MINUSASSIGN:
+			nv = Int(a - b)
+		case token.STARASSIGN:
+			nv = Int(a * b)
+		case token.SLASHASSIGN:
+			if b == 0 {
+				fr.machine.fail("interp: division by zero")
+			}
+			nv = Int(a / b)
+		}
+	}
+	fr.storeTo(addr, nv, lt)
+	return nv
+}
+
+// undecayed returns the pre-decay type of a member or index expression
+// (the field's or element's declared type), or nil.
+func undecayed(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.MemberExpr:
+		if e.Field != nil {
+			return e.Field.Type
+		}
+	case *ast.IndexExpr:
+		if t := undecayed(e.X); t != nil && t.IsArray() {
+			return t.Elem
+		}
+		if xt := e.X.Type(); xt != nil && xt.IsPointer() {
+			return xt.Elem
+		}
+	case *ast.Ident:
+		if e.Sym != nil {
+			return e.Sym.Type
+		}
+	}
+	return e.Type()
+}
+
+// baseType is the undecayed type of an lvalue (for struct assignment).
+func baseType(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Sym != nil {
+			return e.Sym.Type
+		}
+	case *ast.MemberExpr:
+		if e.Field != nil {
+			return e.Field.Type
+		}
+	}
+	return e.Type()
+}
+
+func (fr *frame) evalAlloc(e *ast.AllocExpr) Value {
+	m := fr.machine
+	size := asInt(fr.eval(e.Size))
+	if e.Count != nil {
+		size *= asInt(fr.eval(e.Count))
+	}
+	if size <= 0 {
+		size = types.WordSize
+	}
+	m.heapSeq++
+	block := m.prog.Table.HeapBlock(e.SiteID, e.SiteType, "")
+	return Ptr{Obj: newObject(fmt.Sprintf("%s#%d", block.Name, m.heapSeq), block, size)}
+}
+
+func (fr *frame) evalCall(e *ast.CallExpr) Value {
+	m := fr.machine
+	// Resolve the target.
+	var fd *ast.FuncDecl
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		switch {
+		case id.Sym != nil && id.Sym.Kind == ast.SymFunc:
+			fd = id.Sym.Func
+		case id.Sym == nil:
+			return fr.evalBuiltin(sem.LookupBuiltin(id.Name), id.Name, e)
+		}
+	}
+	if fd == nil {
+		v := fr.eval(e.Fun)
+		fn, ok := v.(Fn)
+		if !ok {
+			m.fail("interp: call through non-function value")
+		}
+		fd = fn.Decl
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = fr.eval(a)
+	}
+	return fr.call(fd, args)
+}
+
+func (fr *frame) evalBuiltin(b sem.Builtin, name string, e *ast.CallExpr) Value {
+	m := fr.machine
+	arg := func(i int) Value {
+		if i < len(e.Args) {
+			return fr.eval(e.Args[i])
+		}
+		return Undef{}
+	}
+	switch b {
+	case sem.BuiltinPrintf:
+		return fr.doPrintf(e)
+	case sem.BuiltinFree:
+		if p, ok := arg(0).(Ptr); ok && !p.IsNull() {
+			p.Obj.freed = true
+		}
+		return Undef{}
+	case sem.BuiltinMemset:
+		p, _ := arg(0).(Ptr)
+		val := asInt(arg(1))
+		n := asInt(arg(2))
+		if !p.IsNull() {
+			for i := int64(0); i < n; i += types.WordSize {
+				p.Obj.store(p.Off+i, Int(val))
+			}
+		}
+		return p
+	case sem.BuiltinMemcpy:
+		d, _ := arg(0).(Ptr)
+		s, _ := arg(1).(Ptr)
+		n := asInt(arg(2))
+		if !d.IsNull() && !s.IsNull() {
+			for off, v := range s.Obj.slots {
+				if off >= s.Off && off < s.Off+n {
+					dst := Ptr{Obj: d.Obj, Off: d.Off + (off - s.Off)}
+					d.Obj.store(dst.Off, v)
+					m.recordFact(dst, v)
+				}
+			}
+		}
+		return d
+	case sem.BuiltinStrlen:
+		p, _ := arg(0).(Ptr)
+		n := int64(0)
+		for !p.IsNull() {
+			v := p.Obj.load(p.Off + n)
+			if asInt(v) == 0 {
+				break
+			}
+			n++
+		}
+		return Int(n)
+	case sem.BuiltinStrcpy:
+		d, _ := arg(0).(Ptr)
+		s, _ := arg(1).(Ptr)
+		if !d.IsNull() && !s.IsNull() {
+			for i := int64(0); ; i++ {
+				v := s.Obj.load(s.Off + i)
+				d.Obj.store(d.Off+i, v)
+				if asInt(v) == 0 {
+					break
+				}
+			}
+		}
+		return d
+	case sem.BuiltinRand:
+		return Int(m.rand.Int63n(1 << 30))
+	case sem.BuiltinSrand:
+		arg(0)
+		return Undef{}
+	case sem.BuiltinAbs:
+		v := asInt(arg(0))
+		if v < 0 {
+			v = -v
+		}
+		return Int(v)
+	case sem.BuiltinExit:
+		panic(exitSignal{code: int(asInt(arg(0)))})
+	case sem.BuiltinSqrt:
+		f := asFloat(arg(0))
+		// Newton iteration to stay stdlib-math-free in spirit; good enough.
+		if f <= 0 {
+			return Float(0)
+		}
+		g := f
+		for i := 0; i < 40; i++ {
+			g = (g + f/g) / 2
+		}
+		return Float(g)
+	case sem.BuiltinFabs:
+		f := asFloat(arg(0))
+		if f < 0 {
+			f = -f
+		}
+		return Float(f)
+	case sem.BuiltinClock:
+		return Int(int64(m.steps))
+	case sem.BuiltinAtoi:
+		return Int(0)
+	case sem.BuiltinAssert:
+		if !truthy(arg(0)) {
+			m.fail("interp: assertion failed at %s", e.Pos())
+		}
+		return Undef{}
+	}
+	m.fail("interp: unknown builtin %s", name)
+	return Undef{}
+}
+
+func (fr *frame) doPrintf(e *ast.CallExpr) Value {
+	m := fr.machine
+	if len(e.Args) == 0 {
+		return Int(0)
+	}
+	format := ""
+	if sl, ok := e.Args[0].(*ast.StringLit); ok {
+		format = sl.Value
+	} else {
+		fr.eval(e.Args[0])
+	}
+	var vals []any
+	for _, a := range e.Args[1:] {
+		v := fr.eval(a)
+		switch v := v.(type) {
+		case Int:
+			vals = append(vals, int64(v))
+		case Float:
+			vals = append(vals, float64(v))
+		case Ptr:
+			if !v.IsNull() && strings.Contains(format, "%s") {
+				vals = append(vals, m.cString(v))
+			} else {
+				vals = append(vals, v.Off)
+			}
+		default:
+			vals = append(vals, 0)
+		}
+	}
+	format = strings.ReplaceAll(format, "%ld", "%d")
+	format = strings.ReplaceAll(format, "%lf", "%f")
+	if m.out != nil {
+		fmt.Fprintf(m.out, format, vals...)
+	}
+	return Int(0)
+}
+
+func (m *Machine) cString(p Ptr) string {
+	var sb strings.Builder
+	for i := int64(0); ; i++ {
+		v := asInt(p.Obj.load(p.Off + i))
+		if v == 0 || i > 1<<16 {
+			break
+		}
+		sb.WriteByte(byte(v))
+	}
+	return sb.String()
+}
+
+func (m *Machine) stringObject(e *ast.StringLit) *Object {
+	for i, s := range m.prog.Info.StringLits {
+		if s == e {
+			if o, ok := m.strings[i]; ok {
+				return o
+			}
+			o := newObject(fmt.Sprintf("strlit#%d", i), m.prog.Table.StringBlock(i), int64(len(e.Value))+1)
+			for j := 0; j < len(e.Value); j++ {
+				o.store(int64(j), Int(e.Value[j]))
+			}
+			o.store(int64(len(e.Value)), Int(0))
+			m.strings[i] = o
+			return o
+		}
+	}
+	return newObject("strlit?", nil, int64(len(e.Value))+1)
+}

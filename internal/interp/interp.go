@@ -1,0 +1,270 @@
+// Package interp is a concrete interpreter for MiniCilk programs. It
+// executes the AST directly, scheduling the statements of parallel threads
+// in randomised interleavings (statement-granular, seeded and
+// reproducible), and records every pointer value stored into globally
+// named memory as a dynamic points-to fact.
+//
+// The interpreter serves two purposes: it makes the example programs
+// runnable, and it provides differential soundness evidence for the static
+// analysis — every dynamic points-to fact observed under any schedule must
+// be covered by the analysis result (see Covered and the tests).
+package interp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/types"
+)
+
+// Value is a runtime value: Int, Float, Ptr, Fn or Undef.
+type Value interface{ isValue() }
+
+// Int is an integer (and char) value.
+type Int int64
+
+// Float is a floating-point value.
+type Float float64
+
+// Ptr is a pointer to a byte offset within an object; a nil Obj is the
+// NULL pointer.
+type Ptr struct {
+	Obj *Object
+	Off int64
+}
+
+// Fn is a function value.
+type Fn struct{ Decl *ast.FuncDecl }
+
+// Undef is the value of uninitialised memory.
+type Undef struct{}
+
+func (Int) isValue()   {}
+func (Float) isValue() {}
+func (Ptr) isValue()   {}
+func (Fn) isValue()    {}
+func (Undef) isValue() {}
+
+// IsNull reports whether the pointer is NULL.
+func (p Ptr) IsNull() bool { return p.Obj == nil }
+
+// Object is a runtime memory object (a global, a stack slot, a heap
+// allocation or a string). Scalar slots live at byte offsets.
+type Object struct {
+	Name  string
+	Block *locset.Block // abstract block, nil for unmapped objects
+	Size  int64
+	slots map[int64]Value
+	freed bool
+}
+
+func newObject(name string, block *locset.Block, size int64) *Object {
+	return &Object{Name: name, Block: block, Size: size, slots: map[int64]Value{}}
+}
+
+func (o *Object) load(off int64) Value {
+	if v, ok := o.slots[off]; ok {
+		return v
+	}
+	return Undef{}
+}
+
+func (o *Object) store(off int64, v Value) { o.slots[off] = v }
+
+// Fact is a dynamic points-to fact: the memory cell at ⟨SrcBlock, SrcOff⟩
+// held a pointer to ⟨DstBlock, DstOff⟩ at some moment of some execution.
+type Fact struct {
+	SrcBlock *locset.Block
+	SrcOff   int64
+	DstBlock *locset.Block
+	DstOff   int64
+}
+
+// String renders the fact.
+func (f Fact) String() string {
+	return fmt.Sprintf("%s+%d -> %s+%d", f.SrcBlock, f.SrcOff, f.DstBlock, f.DstOff)
+}
+
+// Machine executes one program.
+type Machine struct {
+	prog  *ir.Program
+	rand  *rand.Rand
+	out   io.Writer
+	sched *scheduler
+
+	globals map[*ast.Symbol]*Object
+	strings map[int]*Object
+	heapSeq int
+
+	// Facts collects the dynamic points-to facts observed in globally
+	// named memory (globals, heap, strings).
+	Facts map[Fact]struct{}
+
+	// MaxSteps bounds execution (0 = 1 << 20).
+	MaxSteps int
+	steps    int
+
+	err      error
+	exitCode int
+}
+
+// runtimeError aborts execution via panic/recover.
+type runtimeError struct{ err error }
+
+type exitSignal struct{ code int }
+
+// New creates a machine for the lowered program. The locset table inside
+// prog is used to label memory objects with their abstract blocks. Output
+// from printf goes to out; the seed drives the thread scheduler.
+func New(prog *ir.Program, out io.Writer, seed int64) *Machine {
+	return &Machine{
+		prog:    prog,
+		rand:    rand.New(rand.NewSource(seed)),
+		out:     out,
+		globals: map[*ast.Symbol]*Object{},
+		strings: map[int]*Object{},
+		Facts:   map[Fact]struct{}{},
+	}
+}
+
+// Run executes main and returns its exit value.
+func (m *Machine) Run() (int, error) {
+	if m.prog.Main == nil {
+		return 0, fmt.Errorf("interp: no main function")
+	}
+	if m.MaxSteps == 0 {
+		m.MaxSteps = 1 << 20
+	}
+	m.sched = newScheduler(m.rand)
+
+	for _, g := range m.prog.Info.Program.Globals {
+		if g.Sym == nil {
+			continue
+		}
+		m.globals[g.Sym] = newObject(g.Name, m.prog.Table.SymBlock(g.Sym), g.Sym.Type.Size())
+	}
+
+	m.sched.onFail = func(r any) {
+		switch r := r.(type) {
+		case runtimeError:
+			if m.err == nil {
+				m.err = r.err
+			}
+		case exitSignal:
+			m.exitCode = r.code
+		default:
+			if m.err == nil {
+				m.err = fmt.Errorf("interp: internal panic: %v", r)
+			}
+		}
+	}
+	root := func(t *tstate) {
+		fr := &frame{machine: m, thread: t, locals: map[*ast.Symbol]*Object{}}
+		// Global initialisers run before main.
+		for _, g := range m.prog.Info.Program.Globals {
+			if g.Init != nil && g.Sym != nil {
+				v := fr.eval(g.Init)
+				fr.storeTo(Ptr{Obj: m.globals[g.Sym]}, v, g.Sym.Type)
+			}
+		}
+		mainDecl := m.prog.Main.Decl
+		v := fr.call(mainDecl, argValues(mainDecl))
+		if iv, ok := v.(Int); ok {
+			m.exitCode = int(iv)
+		}
+	}
+	m.sched.run(root)
+	if m.err != nil {
+		return 0, m.err
+	}
+	return m.exitCode, nil
+}
+
+// argValues builds default arguments for main (argc = 1, pointers NULL).
+func argValues(fd *ast.FuncDecl) []Value {
+	out := make([]Value, len(fd.Params))
+	for i, p := range fd.Params {
+		if p.Type.IsPointer() {
+			out[i] = Ptr{}
+		} else {
+			out[i] = Int(1)
+		}
+	}
+	return out
+}
+
+func (m *Machine) fail(format string, args ...any) {
+	panic(runtimeError{fmt.Errorf(format, args...)})
+}
+
+func (m *Machine) step() {
+	m.steps++
+	if m.steps > m.MaxSteps {
+		m.fail("interp: step limit %d exceeded", m.MaxSteps)
+	}
+}
+
+// recordFact logs a pointer store into globally named memory.
+func (m *Machine) recordFact(dst Ptr, v Value) {
+	pv, ok := v.(Ptr)
+	if !ok || pv.IsNull() || dst.IsNull() {
+		return
+	}
+	if dst.Obj.Block == nil || pv.Obj.Block == nil {
+		return
+	}
+	switch dst.Obj.Block.Kind {
+	case locset.KindGlobal, locset.KindPrivateGlobal, locset.KindHeap, locset.KindString:
+	default:
+		return // facts about locals are renamed away by unmapping
+	}
+	m.Facts[Fact{
+		SrcBlock: dst.Obj.Block, SrcOff: dst.Off,
+		DstBlock: pv.Obj.Block, DstOff: pv.Off,
+	}] = struct{}{}
+}
+
+// CoversOffset reports whether location set ls denotes byte offset off
+// within its block: offset o with stride s covers {o + k·s}.
+func CoversOffset(ls locset.LocSet, off int64) bool {
+	if ls.Stride == 0 {
+		return ls.Offset == off
+	}
+	d := off - ls.Offset
+	return d >= 0 && d%ls.Stride == 0 || d < 0 && (-d)%ls.Stride == 0
+}
+
+// CoveredEdges reports whether a dynamic fact is covered by any of the
+// static points-to edges: some edge must have a source location set
+// denoting the written cell and a target location set denoting the
+// pointed-to location.
+func CoveredEdges(tab *locset.Table, edges []EdgePair, f Fact) bool {
+	for _, e := range edges {
+		s, d := tab.Get(e.Src), tab.Get(e.Dst)
+		if s.Block != f.SrcBlock || d.Block != f.DstBlock {
+			continue
+		}
+		if CoversOffset(s, f.SrcOff) && CoversOffset(d, f.DstOff) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgePair is a points-to edge by location-set IDs.
+type EdgePair struct{ Src, Dst locset.ID }
+
+// sizeOf is a helper for malloc-backed objects.
+func sizeOf(t *types.Type) int64 {
+	if t == nil {
+		return types.WordSize
+	}
+	if s := t.Size(); s > 0 {
+		return s
+	}
+	return types.WordSize
+}

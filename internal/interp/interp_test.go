@@ -1,0 +1,362 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/ptgraph"
+)
+
+func run(t *testing.T, src string, seed int64) (*mtpa.Program, *Machine, int, string) {
+	t.Helper()
+	prog, err := mtpa.Compile("run.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out strings.Builder
+	m := New(prog.IR, &out, seed)
+	code, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return prog, m, code, out.String()
+}
+
+func TestRunFib(t *testing.T) {
+	src := `
+cilk int fib(int n) {
+  int a, b;
+  if (n < 2) return n;
+  a = spawn fib(n - 1);
+  b = spawn fib(n - 2);
+  sync;
+  return a + b;
+}
+int main() { return fib(10); }
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 55 {
+		t.Errorf("fib(10) = %d, want 55", code)
+	}
+}
+
+func TestRunPointerAndHeap(t *testing.T) {
+	src := `
+struct node { int value; struct node *next; };
+int main() {
+  struct node *head, *n;
+  int i, sum;
+  head = NULL;
+  for (i = 1; i <= 4; i++) {
+    n = (struct node *)malloc(sizeof(struct node));
+    n->value = i * 10;
+    n->next = head;
+    head = n;
+  }
+  sum = 0;
+  while (head != NULL) { sum = sum + head->value; head = head->next; }
+  return sum;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 100 {
+		t.Errorf("list sum = %d, want 100", code)
+	}
+}
+
+func TestRunArraysAndPointerArith(t *testing.T) {
+	src := `
+int a[8];
+int main() {
+  int *p, *end, s;
+  int i;
+  for (i = 0; i < 8; i++) { a[i] = i; }
+  s = 0;
+  p = &a[0];
+  end = p + 8;
+  while (p != end) { s = s + *p; p = p + 1; }
+  return s;
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 28 {
+		t.Errorf("sum = %d, want 28", code)
+	}
+}
+
+func TestRunParDeterministicResult(t *testing.T) {
+	// The two threads write disjoint variables; every schedule gives the
+	// same result.
+	src := `
+int x, y;
+int main() {
+  par {
+    { x = 21; }
+    { y = 21; }
+  }
+  return x + y;
+}
+`
+	for seed := int64(0); seed < 8; seed++ {
+		_, _, code, _ := run(t, src, seed)
+		if code != 42 {
+			t.Errorf("seed %d: got %d, want 42", seed, code)
+		}
+	}
+}
+
+func TestRunParforSumsIterations(t *testing.T) {
+	src := `
+int total[10];
+int main() {
+  int i, s;
+  parfor (i = 0; i < 10; i++) {
+    int k;
+    k = i % 10;
+    total[k] = 1;
+  }
+  s = 0;
+  for (i = 0; i < 10; i++) { s = s + total[i]; }
+  return s;
+}
+`
+	// The iteration variable races with the bodies (real Cilk programs
+	// index carefully); accept any schedule that terminates and produces
+	// between 1 and 10 marks.
+	_, _, code, _ := run(t, src, 3)
+	if code < 1 || code > 10 {
+		t.Errorf("parfor marks = %d", code)
+	}
+}
+
+func TestRunPrintf(t *testing.T) {
+	src := `
+int main() {
+  printf("hello %d %s\n", 41 + 1, "world");
+  return 0;
+}
+`
+	_, _, _, out := run(t, src, 1)
+	if out != "hello 42 world\n" {
+		t.Errorf("printf output = %q", out)
+	}
+}
+
+func TestRunFunctionPointers(t *testing.T) {
+	src := `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int (*op)(int, int);
+int main() {
+  int r;
+  op = add;
+  r = op(3, 4);
+  op = mul;
+  return r + op(3, 4);
+}
+`
+	_, _, code, _ := run(t, src, 1)
+	if code != 19 {
+		t.Errorf("got %d, want 19", code)
+	}
+}
+
+func TestRunPrivateGlobals(t *testing.T) {
+	src := `
+private int counter;
+int out1, out2;
+int main() {
+  counter = 100;
+  par {
+    { counter = 1; out1 = counter; }
+    { counter = 2; out2 = counter; }
+  }
+  return out1 * 10 + out2;
+}
+`
+	for seed := int64(0); seed < 8; seed++ {
+		_, _, code, _ := run(t, src, seed)
+		if code != 12 {
+			t.Errorf("seed %d: private globals leaked: got %d, want 12", seed, code)
+		}
+	}
+}
+
+func TestRaceVisibleUnderSomeSchedule(t *testing.T) {
+	// The Figure 1 program: *p = 1 may write x or y depending on the
+	// schedule. Both outcomes must occur across seeds.
+	src := `
+int x, y;
+int *p, **q;
+int main() {
+  p = &x;
+  q = &p;
+  par {
+    { *p = 1; }
+    { *q = &y; }
+  }
+  return x;
+}
+`
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		_, _, code, _ := run(t, src, seed)
+		seen[code] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Errorf("expected both interleavings to occur; saw %v", seen)
+	}
+}
+
+// TestDynamicFactsCoveredByAnalysis is the dynamic soundness check: every
+// pointer stored into globally named memory during any schedule must be
+// predicted by the static analysis.
+func TestDynamicFactsCoveredByAnalysis(t *testing.T) {
+	programs := []string{
+		`
+int x, y;
+int *p, **q;
+int main() {
+  p = &x; q = &p;
+  par {
+    { *q = &y; }
+    { p = &x; }
+  }
+  return 0;
+}
+`,
+		`
+struct node { int v; struct node *next; };
+struct node *head;
+int main() {
+  int i;
+  struct node *n;
+  head = NULL;
+  for (i = 0; i < 5; i++) {
+    n = (struct node *)malloc(sizeof(struct node));
+    n->next = head;
+    head = n;
+  }
+  return 0;
+}
+`,
+		`
+int data[16];
+int *slots[4];
+int main() {
+  int i;
+  parfor (i = 0; i < 4; i++) {
+    int k;
+    k = i % 4;
+    slots[k] = &data[k * 4];
+  }
+  return 0;
+}
+`,
+	}
+	for pi, src := range programs {
+		prog, err := mtpa.Compile(fmt.Sprintf("p%d.clk", pi), src)
+		if err != nil {
+			t.Fatalf("program %d: compile: %v", pi, err)
+		}
+		res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+		if err != nil {
+			t.Fatalf("program %d: analyze: %v", pi, err)
+		}
+		static := collectEdges(res.MainOut.C, res.MainOut.E)
+
+		for seed := int64(0); seed < 25; seed++ {
+			var sb strings.Builder
+			m := New(prog.IR, &sb, seed)
+			if _, err := m.Run(); err != nil {
+				t.Fatalf("program %d seed %d: %v", pi, seed, err)
+			}
+			for f := range m.Facts {
+				if !CoveredEdges(prog.Table(), static, f) {
+					t.Errorf("program %d seed %d: dynamic fact %s not covered by the analysis", pi, seed, f)
+				}
+			}
+		}
+	}
+}
+
+func collectEdges(gs ...*ptgraph.Graph) []EdgePair {
+	var out []EdgePair
+	for _, g := range gs {
+		for _, e := range g.Edges() {
+			out = append(out, EdgePair{Src: e.Src, Dst: e.Dst})
+		}
+	}
+	return out
+}
+
+// TestQuickRandomParSoundness cross-checks random straight-line par
+// programs: run many schedules, collect dynamic facts, and verify each is
+// covered by the static multithreaded analysis.
+func TestQuickRandomParSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		src := randomProgram(r)
+		prog, err := mtpa.Compile("rand.clk", src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v", trial, err)
+		}
+		static := collectEdges(res.MainOut.C, res.MainOut.E)
+		for seed := int64(0); seed < 12; seed++ {
+			var sb strings.Builder
+			m := New(prog.IR, &sb, seed)
+			if _, err := m.Run(); err != nil {
+				continue // e.g. deref of a pointer never assigned: fine
+			}
+			for f := range m.Facts {
+				if !CoveredEdges(prog.Table(), static, f) {
+					t.Fatalf("trial %d seed %d: fact %s not covered\nprogram:\n%s\nC=%s\nE=%s",
+						trial, seed, f, src,
+						res.MainOut.C.Format(prog.Table()), res.MainOut.E.Format(prog.Table()))
+				}
+			}
+		}
+	}
+}
+
+func randomProgram(r *rand.Rand) string {
+	ints := []string{"x", "y", "z"}
+	ptrs := []string{"p", "q"}
+	pptrs := []string{"pp"}
+	stmt := func() string {
+		switch r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%s = &%s;", ptrs[r.Intn(2)], ints[r.Intn(3)])
+		case 1:
+			return fmt.Sprintf("%s = %s;", ptrs[r.Intn(2)], ptrs[r.Intn(2)])
+		case 2:
+			return fmt.Sprintf("%s = &%s;", pptrs[0], ptrs[r.Intn(2)])
+		case 3:
+			return fmt.Sprintf("*%s = %s;", pptrs[0], ptrs[r.Intn(2)])
+		default:
+			return fmt.Sprintf("%s = *%s;", ptrs[r.Intn(2)], pptrs[0])
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("int x, y, z;\nint *p, *q;\nint **pp;\nint main() {\n")
+	// Initialise so random programs rarely trap.
+	sb.WriteString("  p = &x; q = &y; pp = &p;\n")
+	n1, n2 := r.Intn(3)+1, r.Intn(3)+1
+	sb.WriteString("  par {\n    {\n")
+	for i := 0; i < n1; i++ {
+		sb.WriteString("      " + stmt() + "\n")
+	}
+	sb.WriteString("    }\n    {\n")
+	for i := 0; i < n2; i++ {
+		sb.WriteString("      " + stmt() + "\n")
+	}
+	sb.WriteString("    }\n  }\n  return 0;\n}\n")
+	return sb.String()
+}

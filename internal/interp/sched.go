@@ -1,0 +1,138 @@
+// A statement-granular randomised thread scheduler. Each MiniCilk thread
+// runs in its own goroutine, but execution is strictly serialised: a thread
+// only runs between a grant from the scheduler and its next yield, so all
+// interleavings happen at statement boundaries and are reproducible from
+// the seed.
+
+package interp
+
+import (
+	"math/rand"
+
+	"mtpa/internal/ast"
+)
+
+type tstate struct {
+	sched  *scheduler
+	grant  chan struct{}
+	yield  chan struct{}
+	done   chan struct{}
+	parent *tstate
+
+	// privates holds this thread's own versions of the thread-private
+	// global variables (§3.9); they start uninitialised in every thread.
+	privates map[*ast.Symbol]*Object
+}
+
+// privateObject returns this thread's version of a private global,
+// creating a fresh uninitialised one on first use.
+func (t *tstate) privateObject(m *Machine, sym *ast.Symbol) *Object {
+	if t.privates == nil {
+		t.privates = map[*ast.Symbol]*Object{}
+	}
+	if o, ok := t.privates[sym]; ok {
+		return o
+	}
+	o := newObject("priv."+sym.Name, m.prog.Table.SymBlock(sym), sym.Type.Size())
+	t.privates[sym] = o
+	return o
+}
+
+// threadAbort unwinds a thread after the machine has failed.
+type threadAbort struct{}
+
+type scheduler struct {
+	r       *rand.Rand
+	threads []*tstate
+	aborted bool
+	onFail  func(r any) // records the first failure
+}
+
+func newScheduler(r *rand.Rand) *scheduler {
+	return &scheduler{r: r}
+}
+
+// run executes the root function as the first thread and drives the
+// random scheduling loop until every thread completes.
+func (s *scheduler) run(root func(*tstate)) {
+	s.spawnThread(nil, root)
+	for {
+		alive := s.aliveThreads()
+		if len(alive) == 0 {
+			return
+		}
+		pick := alive[s.r.Intn(len(alive))]
+		pick.grant <- struct{}{}
+		select {
+		case <-pick.yield:
+		case <-pick.done:
+		}
+	}
+}
+
+func (s *scheduler) aliveThreads() []*tstate {
+	var out []*tstate
+	for _, t := range s.threads {
+		select {
+		case <-t.done:
+		default:
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// spawnThread creates a thread; its body starts running at its first
+// grant. Failures inside the thread abort the whole machine: the scheduler
+// keeps granting so that every other thread unwinds at its next pause.
+func (s *scheduler) spawnThread(parent *tstate, body func(*tstate)) *tstate {
+	t := &tstate{
+		sched:  s,
+		grant:  make(chan struct{}),
+		yield:  make(chan struct{}),
+		done:   make(chan struct{}),
+		parent: parent,
+	}
+	s.threads = append(s.threads, t)
+	go func() {
+		<-t.grant // wait for the first grant
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(threadAbort); ok {
+					return
+				}
+				s.aborted = true
+				if s.onFail != nil {
+					s.onFail(r)
+				}
+			}
+		}()
+		if s.aborted {
+			return
+		}
+		body(t)
+	}()
+	return t
+}
+
+// pause yields control back to the scheduler: the current statement
+// boundary is an interleaving point. If the machine has failed, the thread
+// unwinds instead of continuing.
+func (t *tstate) pause() {
+	t.yield <- struct{}{}
+	<-t.grant
+	if t.sched.aborted {
+		panic(threadAbort{})
+	}
+}
+
+// isDone reports whether a thread has completed.
+func (t *tstate) isDone() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}

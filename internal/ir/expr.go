@@ -1,0 +1,605 @@
+// Expression lowering: rvalues, pointer values, assignments and calls.
+
+package ir
+
+import (
+	"fmt"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/locset"
+	"mtpa/internal/sem"
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+// storeTo writes the pointer value v into the lvalue, emitting the
+// appropriate basic statement (copy for direct targets, store through a
+// pointer otherwise) plus the direct-store metric instruction for array
+// writes.
+func (lo *lowerer) storeTo(lv lval, v locset.ID, pos token.Pos) {
+	if lv.direct {
+		if lv.indexed {
+			lo.emit(&Instr{Op: OpDirectStore, Dst: lv.loc, Src: NoLoc, Pos: pos})
+		} else {
+			lo.regWrite(lv.loc, pos)
+		}
+		lo.emit(&Instr{Op: OpCopy, Dst: lv.loc, Src: v, Pos: pos})
+		return
+	}
+	lo.emit(&Instr{Op: OpStore, Dst: lv.addr, Src: v, Pos: pos})
+}
+
+// regWrite and regRead emit register-level access markers for named
+// variables; they have no points-to effect and are not counted as load or
+// store instructions, but the race detector correlates them across threads.
+func (lo *lowerer) regWrite(id locset.ID, pos token.Pos) {
+	if !lo.isNamed(id) {
+		return
+	}
+	lo.emit(&Instr{Op: OpRegStore, Dst: id, Src: NoLoc, Pos: pos})
+}
+
+func (lo *lowerer) regRead(id locset.ID, pos token.Pos) {
+	if !lo.isNamed(id) {
+		return
+	}
+	lo.emit(&Instr{Op: OpRegLoad, Dst: NoLoc, Src: id, Pos: pos})
+}
+
+func (lo *lowerer) isNamed(id locset.ID) bool {
+	if id == NoLoc {
+		return false
+	}
+	switch lo.tab.Get(id).Block.Kind {
+	case locset.KindGlobal, locset.KindPrivateGlobal, locset.KindLocal, locset.KindParam:
+		return true
+	}
+	return false
+}
+
+// dataWrite emits the metric instruction for a non-pointer write.
+func (lo *lowerer) dataWrite(lv lval, pos token.Pos) {
+	if lv.direct {
+		if lv.indexed {
+			lo.emit(&Instr{Op: OpDirectStore, Dst: lv.loc, Src: NoLoc, Pos: pos})
+		} else {
+			lo.regWrite(lv.loc, pos)
+		}
+		return
+	}
+	lo.emit(&Instr{Op: OpDataStore, Dst: lv.addr, Src: NoLoc, Pos: pos})
+}
+
+// dataRead emits the metric instruction for a non-pointer read of an
+// lvalue.
+func (lo *lowerer) dataRead(e ast.Expr) {
+	lv := lo.lowerLValue(e)
+	if lv.direct {
+		if lv.indexed {
+			lo.emit(&Instr{Op: OpDirectLoad, Dst: NoLoc, Src: lv.loc, Pos: e.Pos()})
+		} else {
+			lo.regRead(lv.loc, e.Pos())
+		}
+		return
+	}
+	lo.emit(&Instr{Op: OpDataLoad, Dst: NoLoc, Src: lv.addr, Pos: e.Pos()})
+}
+
+// diamond lowers two conditionally executed branches joining afterwards.
+// elseFn may be nil for a one-armed branch.
+func (lo *lowerer) diamond(thenFn, elseFn func()) {
+	head := lo.cur
+	thenB := lo.newNode(NodeBlock)
+	head.addSucc(thenB)
+	lo.cur = thenB
+	thenFn()
+	join := lo.newNode(NodeBlock)
+	if lo.cur != nil {
+		lo.cur.addSucc(join)
+	}
+	if elseFn != nil {
+		elseB := lo.newNode(NodeBlock)
+		head.addSucc(elseB)
+		lo.cur = elseB
+		elseFn()
+		if lo.cur != nil {
+			lo.cur.addSucc(join)
+		}
+	} else {
+		head.addSucc(join)
+	}
+	lo.cur = join
+}
+
+// lowerExpr lowers an expression for its side effects and access metrics,
+// discarding the value.
+func (lo *lowerer) lowerExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	if t := e.Type(); t != nil && t.IsPointer() {
+		switch e := e.(type) {
+		case *ast.Ident:
+			if e.Sym != nil && e.Sym.Kind != ast.SymFunc {
+				lo.regRead(lo.tab.Intern(lo.tab.SymBlock(e.Sym), 0, 0, true), e.Pos())
+			}
+			return
+		case *ast.NullLit, *ast.StringLit, *ast.SizeofExpr:
+			return // pure; no instructions needed when the value is unused
+		}
+		lo.lowerPtrValue(e)
+		return
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Sym != nil && e.Sym.Kind != ast.SymFunc && !e.Sym.Type.IsArray() {
+			lo.regRead(lo.tab.Intern(lo.tab.SymBlock(e.Sym), 0, 0, e.Sym.Type.HoldsPointer()), e.Pos())
+		}
+	case *ast.IntLit, *ast.CharLit, *ast.NullLit, *ast.StringLit, *ast.SizeofExpr:
+		// No side effects.
+	case *ast.UnaryExpr:
+		if e.Op == token.STAR {
+			lo.dataRead(e)
+			return
+		}
+		lo.lowerExpr(e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND || e.Op == token.LOR {
+			lo.lowerExpr(e.X)
+			lo.diamond(func() { lo.lowerExpr(e.Y) }, nil)
+			return
+		}
+		lo.lowerExpr(e.X)
+		lo.lowerExpr(e.Y)
+	case *ast.AssignExpr:
+		lo.lowerAssignExpr(e)
+	case *ast.IncDecExpr:
+		lo.lowerIncDec(e)
+	case *ast.CallExpr:
+		lo.lowerCall(e)
+	case *ast.AllocExpr:
+		lo.lowerPtrValue(e)
+	case *ast.IndexExpr, *ast.MemberExpr:
+		lo.dataRead(e)
+	case *ast.CastExpr:
+		lo.lowerExpr(e.X)
+	case *ast.CondExpr:
+		lo.lowerExpr(e.Cond)
+		lo.diamond(func() { lo.lowerExpr(e.Then) }, func() { lo.lowerExpr(e.Else) })
+	default:
+		panic(fmt.Sprintf("ir: unknown expression %T", e))
+	}
+}
+
+// lowerPtrValue lowers an expression of pointer type and returns a
+// location set holding its value.
+func (lo *lowerer) lowerPtrValue(e ast.Expr) locset.ID {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Sym == nil {
+			return lo.unknownTemp(e.Pos())
+		}
+		if e.Sym.Kind == ast.SymFunc {
+			t := lo.temp(types.PointerTo(e.Sym.Type))
+			lo.emit(&Instr{Op: OpAddrOf, Dst: t, Src: lo.tab.FuncID(e.Sym.Func), Pos: e.Pos()})
+			return t
+		}
+		if e.Sym.Type.IsArray() {
+			// Array-to-pointer decay: the value points at the element
+			// sequence ⟨a, 0, elemsize⟩.
+			b := lo.tab.SymBlock(e.Sym)
+			elem := e.Sym.Type.Elem
+			target := lo.tab.Intern(b, 0, elem.Size(), elem.HoldsPointer())
+			t := lo.temp(types.PointerTo(elem))
+			lo.emit(&Instr{Op: OpAddrOf, Dst: t, Src: target, Pos: e.Pos()})
+			return t
+		}
+		if e.Sym.Type.IsPointer() {
+			id := lo.tab.Intern(lo.tab.SymBlock(e.Sym), 0, 0, true)
+			lo.regRead(id, e.Pos())
+			return id
+		}
+		return lo.unknownTemp(e.Pos())
+	case *ast.NullLit:
+		t := lo.temp(types.PointerTo(types.VoidType))
+		lo.emit(&Instr{Op: OpNull, Dst: t, Src: NoLoc, Pos: e.Pos()})
+		return t
+	case *ast.IntLit:
+		// 0 used as a null pointer constant.
+		t := lo.temp(types.PointerTo(types.VoidType))
+		lo.emit(&Instr{Op: OpNull, Dst: t, Src: NoLoc, Pos: e.Pos()})
+		return t
+	case *ast.StringLit:
+		idx := lo.stringIndex(e)
+		b := lo.tab.StringBlock(idx)
+		target := lo.tab.Intern(b, 0, types.CharSize, false)
+		t := lo.temp(types.PointerTo(types.CharType))
+		lo.emit(&Instr{Op: OpAddrOf, Dst: t, Src: target, Pos: e.Pos()})
+		return t
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AMP:
+			return lo.lowerAddrOf(e.X, e.Pos())
+		case token.STAR:
+			addr := lo.lowerPtrValue(e.X)
+			t := lo.temp(e.Type())
+			lo.emit(&Instr{Op: OpLoad, Dst: t, Src: addr, Pos: e.Pos()})
+			return t
+		}
+		return lo.unknownTemp(e.Pos())
+	case *ast.BinaryExpr:
+		// Pointer arithmetic: p + i, i + p, p - i.
+		var ptrSide, intSide ast.Expr
+		if xt := e.X.Type(); xt != nil && xt.IsPointer() {
+			ptrSide, intSide = e.X, e.Y
+		} else {
+			ptrSide, intSide = e.Y, e.X
+		}
+		v := lo.lowerPtrValue(ptrSide)
+		lo.lowerExpr(intSide)
+		elem := int64(types.WordSize)
+		if pt := ptrSide.Type(); pt != nil && pt.IsPointer() {
+			elem = pt.Elem.Size()
+		}
+		t := lo.temp(ptrSide.Type())
+		lo.emit(&Instr{Op: OpArith, Dst: t, Src: v, Elem: elem, PtrTarget: ptrTargetOf(ptrSide), Pos: e.Pos()})
+		return t
+	case *ast.AssignExpr:
+		return lo.lowerAssignExpr(e)
+	case *ast.IncDecExpr:
+		return lo.lowerIncDec(e)
+	case *ast.CallExpr:
+		ret := lo.lowerCall(e)
+		if ret == NoLoc {
+			return lo.unknownTemp(e.Pos())
+		}
+		return ret
+	case *ast.AllocExpr:
+		lo.lowerExpr(e.Size)
+		if e.Count != nil {
+			lo.lowerExpr(e.Count)
+		}
+		site := lo.info.AllocSites[e.SiteID]
+		hb := lo.tab.HeapBlock(e.SiteID, site.SiteType, posKey(e.AllocPos))
+		t := lo.temp(e.Type())
+		lo.emit(&Instr{Op: OpAlloc, Dst: t, Site: e.SiteID, Src: NoLoc, Pos: e.Pos(),
+			PtrTarget: hb.Type != nil && hb.Type.HoldsPointer()})
+		return t
+	case *ast.CastExpr:
+		if xt := e.X.Type(); xt != nil && (xt.IsPointer() || xt.IsArray()) {
+			return lo.lowerPtrValue(e.X)
+		}
+		if lit, ok := e.X.(*ast.IntLit); ok && lit.Value == 0 {
+			t := lo.temp(e.To)
+			lo.emit(&Instr{Op: OpNull, Dst: t, Src: NoLoc, Pos: e.Pos()})
+			return t
+		}
+		lo.lowerExpr(e.X)
+		lo.warnf(e.Pos(), "cast of non-pointer value to pointer type; result treated as unknown")
+		return lo.unknownTemp(e.Pos())
+	case *ast.IndexExpr, *ast.MemberExpr:
+		return lo.lowerPtrRead(e)
+	case *ast.CondExpr:
+		lo.lowerExpr(e.Cond)
+		t := lo.temp(e.Type())
+		lo.diamond(
+			func() {
+				v := lo.lowerPtrValue(e.Then)
+				lo.emit(&Instr{Op: OpCopy, Dst: t, Src: v, Pos: e.Then.Pos()})
+			},
+			func() {
+				v := lo.lowerPtrValue(e.Else)
+				lo.emit(&Instr{Op: OpCopy, Dst: t, Src: v, Pos: e.Else.Pos()})
+			},
+		)
+		return t
+	}
+	return lo.unknownTemp(e.Pos())
+}
+
+// lowerPtrRead lowers a pointer-valued lvalue read (array element or
+// struct field holding a pointer).
+func (lo *lowerer) lowerPtrRead(e ast.Expr) locset.ID {
+	lv := lo.lowerLValue(e)
+	if lv.direct {
+		if lv.indexed {
+			lo.emit(&Instr{Op: OpDirectLoad, Dst: NoLoc, Src: lv.loc, Pos: e.Pos()})
+		} else {
+			lo.regRead(lv.loc, e.Pos())
+		}
+		return lv.loc
+	}
+	t := lo.temp(e.Type())
+	lo.emit(&Instr{Op: OpLoad, Dst: t, Src: lv.addr, Pos: e.Pos()})
+	return t
+}
+
+// lowerAddrOf lowers &lv and returns a location set holding the address.
+func (lo *lowerer) lowerAddrOf(e ast.Expr, pos token.Pos) locset.ID {
+	// &*p is p.
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.STAR {
+		return lo.lowerPtrValue(u.X)
+	}
+	// &f on a function designator.
+	if id, ok := e.(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind == ast.SymFunc {
+		return lo.lowerPtrValue(id)
+	}
+	lv := lo.lowerLValue(e)
+	if lv.direct {
+		t := lo.temp(types.PointerTo(lv.elemType))
+		lo.emit(&Instr{Op: OpAddrOf, Dst: t, Src: lv.loc, Pos: pos})
+		return t
+	}
+	return lv.addr
+}
+
+// lowerAssignExpr lowers an assignment and returns the assigned pointer
+// value's location set (NoLoc for non-pointer assignments).
+func (lo *lowerer) lowerAssignExpr(e *ast.AssignExpr) locset.ID {
+	lt := e.X.Type()
+	if e.Op == token.ASSIGN {
+		switch {
+		case lt != nil && lt.IsPointer():
+			v := lo.lowerPtrValue(e.Y)
+			lv := lo.lowerLValue(e.X)
+			lo.storeTo(lv, v, e.OpPos)
+			return v
+		case lt != nil && lt.IsStruct():
+			lv := lo.lowerLValue(e.X)
+			lo.structAssign(lv, e.Y, lt)
+			return NoLoc
+		default:
+			lo.lowerExpr(e.Y)
+			lv := lo.lowerLValue(e.X)
+			lo.dataWrite(lv, e.OpPos)
+			return NoLoc
+		}
+	}
+	// Compound assignment.
+	if lt != nil && lt.IsPointer() {
+		lo.lowerExpr(e.Y)
+		lv := lo.lowerLValue(e.X)
+		elem := lt.Elem.Size()
+		if lv.direct {
+			lo.emit(&Instr{Op: OpArith, Dst: lv.loc, Src: lv.loc, Elem: elem, PtrTarget: lt.Elem.HoldsPointer(), Pos: e.OpPos})
+			return lv.loc
+		}
+		t := lo.temp(lt)
+		lo.emit(&Instr{Op: OpLoad, Dst: t, Src: lv.addr, Pos: e.OpPos})
+		t2 := lo.temp(lt)
+		lo.emit(&Instr{Op: OpArith, Dst: t2, Src: t, Elem: elem, PtrTarget: lt.Elem.HoldsPointer(), Pos: e.OpPos})
+		lo.emit(&Instr{Op: OpStore, Dst: lv.addr, Src: t2, Pos: e.OpPos})
+		return t2
+	}
+	// Non-pointer compound assignment: read-modify-write metrics.
+	lo.lowerExpr(e.Y)
+	lv := lo.lowerLValue(e.X)
+	lo.dataReadOf(lv, e.OpPos)
+	lo.dataWrite(lv, e.OpPos)
+	return NoLoc
+}
+
+func (lo *lowerer) dataReadOf(lv lval, pos token.Pos) {
+	if lv.direct {
+		if lv.indexed {
+			lo.emit(&Instr{Op: OpDirectLoad, Dst: NoLoc, Src: lv.loc, Pos: pos})
+		} else {
+			lo.regRead(lv.loc, pos)
+		}
+		return
+	}
+	lo.emit(&Instr{Op: OpDataLoad, Dst: NoLoc, Src: lv.addr, Pos: pos})
+}
+
+// lowerIncDec lowers ++/-- and returns the value location set for pointer
+// operands.
+func (lo *lowerer) lowerIncDec(e *ast.IncDecExpr) locset.ID {
+	t := e.X.Type()
+	if t != nil && t.IsPointer() {
+		lv := lo.lowerLValue(e.X)
+		elem := t.Elem.Size()
+		if lv.direct {
+			lo.emit(&Instr{Op: OpArith, Dst: lv.loc, Src: lv.loc, Elem: elem, PtrTarget: t.Elem.HoldsPointer(), Pos: e.OpPos})
+			return lv.loc
+		}
+		tmp := lo.temp(t)
+		lo.emit(&Instr{Op: OpLoad, Dst: tmp, Src: lv.addr, Pos: e.OpPos})
+		t2 := lo.temp(t)
+		lo.emit(&Instr{Op: OpArith, Dst: t2, Src: tmp, Elem: elem, PtrTarget: t.Elem.HoldsPointer(), Pos: e.OpPos})
+		lo.emit(&Instr{Op: OpStore, Dst: lv.addr, Src: t2, Pos: e.OpPos})
+		return t2
+	}
+	lv := lo.lowerLValue(e.X)
+	lo.dataReadOf(lv, e.OpPos)
+	lo.dataWrite(lv, e.OpPos)
+	return NoLoc
+}
+
+// structAssign lowers a struct-to-struct assignment by copying each
+// pointer-bearing field (plus access metrics for the aggregate movement).
+func (lo *lowerer) structAssign(dst lval, rhs ast.Expr, st *types.Type) {
+	srcLv := lo.lowerLValue(rhs)
+	lo.structCopy(dst, srcLv, st, rhs.Pos())
+	if !srcLv.direct {
+		lo.emit(&Instr{Op: OpDataLoad, Dst: NoLoc, Src: srcLv.addr, Pos: rhs.Pos()})
+	}
+	if !dst.direct {
+		lo.emit(&Instr{Op: OpDataStore, Dst: dst.addr, Src: NoLoc, Pos: rhs.Pos()})
+	}
+}
+
+// structCopy copies every pointer-bearing field from src to dst.
+func (lo *lowerer) structCopy(dst, src lval, st *types.Type, pos token.Pos) {
+	for _, f := range st.Fields {
+		if !f.Type.HoldsPointer() {
+			continue
+		}
+		switch {
+		case f.Type.IsPointer():
+			v := lo.fieldRead(src, f, pos)
+			lo.fieldWrite(dst, f, v, pos)
+		case f.Type.IsStruct():
+			lo.structCopy(lo.fieldLval(dst, f), lo.fieldLval(src, f), f.Type, pos)
+		case f.Type.IsArray():
+			df, sf := lo.fieldLval(dst, f), lo.fieldLval(src, f)
+			if df.direct && sf.direct {
+				esz := f.Type.Elem.Size()
+				dls, sls := lo.tab.Get(df.loc), lo.tab.Get(sf.loc)
+				dID := lo.tab.Intern(dls.Block, dls.Offset%max64(gcd64(dls.Stride, esz), 1), gcd64(dls.Stride, esz), true)
+				sID := lo.tab.Intern(sls.Block, sls.Offset%max64(gcd64(sls.Stride, esz), 1), gcd64(sls.Stride, esz), true)
+				lo.emit(&Instr{Op: OpCopy, Dst: dID, Src: sID, Pos: pos})
+			} else {
+				lo.warnf(pos, "pointer-bearing array field copied through a pointer; treated conservatively as unknown")
+			}
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fieldLval derives the lval of a field of an aggregate lval.
+func (lo *lowerer) fieldLval(base lval, f *types.Field) lval {
+	if base.direct {
+		ls := lo.tab.Get(base.loc)
+		off := ls.Offset + f.Offset
+		stride := ls.Stride
+		if stride > 0 {
+			off = ((off % stride) + stride) % stride
+		}
+		return lval{
+			direct:   true,
+			loc:      lo.tab.Intern(ls.Block, off, stride, f.Type.HoldsPointer()),
+			indexed:  base.indexed,
+			elemType: f.Type,
+		}
+	}
+	t := lo.temp(types.PointerTo(f.Type))
+	lo.emit(&Instr{Op: OpField, Dst: t, Src: base.addr, Elem: f.Offset, PtrTarget: f.Type.HoldsPointer()})
+	return lval{addr: t, elemType: f.Type}
+}
+
+func (lo *lowerer) fieldRead(base lval, f *types.Field, pos token.Pos) locset.ID {
+	flv := lo.fieldLval(base, f)
+	if flv.direct {
+		return flv.loc
+	}
+	t := lo.temp(f.Type)
+	lo.emit(&Instr{Op: OpLoad, Dst: t, Src: flv.addr, Pos: pos})
+	return t
+}
+
+func (lo *lowerer) fieldWrite(base lval, f *types.Field, v locset.ID, pos token.Pos) {
+	flv := lo.fieldLval(base, f)
+	lo.storeTo(flv, v, pos)
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+// lowerCall lowers a call and returns the result location set (NoLoc when
+// the result carries no pointer value).
+func (lo *lowerer) lowerCall(e *ast.CallExpr) locset.ID {
+	call := &Call{FnLoc: NoLoc, Ret: NoLoc}
+
+	// Resolve the callee.
+	var resultType *types.Type = types.IntType
+	if id, ok := e.Fun.(*ast.Ident); ok {
+		switch {
+		case id.Sym != nil && id.Sym.Kind == ast.SymFunc:
+			call.Callee = id.Sym.Func
+			resultType = id.Sym.Func.Result
+		case id.Sym == nil:
+			call.Builtin = sem.LookupBuiltin(id.Name)
+			resultType = builtinResultType(call.Builtin)
+		default:
+			// A variable of function-pointer type called by name.
+			call.FnLoc = lo.lowerPtrValue(id)
+			if id.Sym.Type.IsPointer() && id.Sym.Type.Elem.IsFunc() {
+				resultType = id.Sym.Type.Elem.Result
+			}
+		}
+	} else {
+		call.FnLoc = lo.lowerPtrValue(e.Fun)
+		if ft := e.Fun.Type(); ft != nil && ft.IsPointer() && ft.Elem.IsFunc() {
+			resultType = ft.Elem.Result
+		}
+	}
+	if call.Callee != nil && call.Callee.Body == nil {
+		lo.warnf(e.Pos(), "call to %s, which has no body; treated as an unknown external", call.Callee.Name)
+		call.Callee = nil
+		call.Builtin = sem.BuiltinNone
+	}
+
+	// Lower arguments: pointer arguments get fresh actual-parameter
+	// location sets a_i (§3.10.1); other arguments are lowered for side
+	// effects only.
+	for _, arg := range e.Args {
+		at := arg.Type()
+		if at != nil && at.IsPointer() {
+			v := lo.lowerPtrValue(arg)
+			ai := lo.temp(at)
+			lo.emit(&Instr{Op: OpCopy, Dst: ai, Src: v, Pos: arg.Pos()})
+			call.Args = append(call.Args, ai)
+			call.ArgPtr = append(call.ArgPtr, true)
+			continue
+		}
+		if at != nil && at.IsStruct() && at.HoldsPointer() {
+			lo.warnf(arg.Pos(), "pointer-bearing struct passed by value; inner pointers treated as unknown in the callee")
+		}
+		lo.lowerExpr(arg)
+		call.Args = append(call.Args, NoLoc)
+		call.ArgPtr = append(call.ArgPtr, false)
+	}
+
+	if resultType != nil && resultType.HoldsPointer() {
+		call.Ret = lo.temp(resultType)
+		call.RetPtr = true
+	}
+	lo.emit(&Instr{Op: OpCall, Dst: call.Ret, Src: NoLoc, Call: call, Pos: e.Pos()})
+	return call.Ret
+}
+
+func builtinResultType(b sem.Builtin) *types.Type {
+	switch b {
+	case sem.BuiltinMemset, sem.BuiltinMemcpy, sem.BuiltinStrcpy:
+		return types.PointerTo(types.VoidType)
+	case sem.BuiltinSqrt, sem.BuiltinFabs:
+		return types.DoubleType
+	case sem.BuiltinFree, sem.BuiltinExit, sem.BuiltinSrand, sem.BuiltinAssert:
+		return types.VoidType
+	default:
+		return types.IntType
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+
+func (lo *lowerer) unknownTemp(pos token.Pos) locset.ID {
+	t := lo.temp(types.PointerTo(types.VoidType))
+	lo.emit(&Instr{Op: OpUnknown, Dst: t, Src: NoLoc, Pos: pos})
+	return t
+}
+
+func (lo *lowerer) stringIndex(e *ast.StringLit) int {
+	for i, s := range lo.info.StringLits {
+		if s == e {
+			return i
+		}
+	}
+	return 0
+}
+
+func ptrTargetOf(e ast.Expr) bool {
+	if t := e.Type(); t != nil && t.IsPointer() {
+		return t.Elem.HoldsPointer()
+	}
+	return false
+}
+
+func posKey(p token.Pos) string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }

@@ -1,0 +1,441 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa/internal/locset"
+	"mtpa/internal/parser"
+	"mtpa/internal/sem"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	astProg, err := parser.Parse("t.clk", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, diags := sem.Check(astProg)
+	if hard := diags.HardErrors(); len(hard) > 0 {
+		t.Fatalf("check: %v", hard)
+	}
+	prog, err := Lower(info)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+// opsOf flattens main's straight-line instruction opcodes.
+func opsOf(prog *Program) []Op {
+	var out []Op
+	var walk func(b *Body)
+	seen := map[*Node]bool{}
+	walk = func(b *Body) {
+		for _, n := range b.Nodes {
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			switch n.Kind {
+			case NodeBlock:
+				for _, in := range n.Instrs {
+					out = append(out, in.Op)
+				}
+			case NodePar:
+				for _, th := range n.Threads {
+					walk(th)
+				}
+			case NodeParFor:
+				walk(n.Body)
+			}
+		}
+	}
+	walk(prog.Main.Body)
+	return out
+}
+
+func hasOp(ops []Op, op Op) bool {
+	for _, o := range ops {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBasicStatementForms(t *testing.T) {
+	prog := lower(t, `
+int x;
+int *p, *q;
+int **pp;
+int main() {
+  p = &x;   // address-of
+  q = p;    // copy
+  pp = &p;  // address-of
+  q = *pp;  // load
+  *pp = q;  // store
+  return 0;
+}
+`)
+	ops := opsOf(prog)
+	for _, want := range []Op{OpAddrOf, OpCopy, OpLoad, OpStore} {
+		if !hasOp(ops, want) {
+			t.Errorf("missing %s in %v", want, ops)
+		}
+	}
+}
+
+func TestPointerArithmeticLowering(t *testing.T) {
+	prog := lower(t, `
+int a[10];
+int main() {
+  int *p;
+  p = &a[0];
+  p = p + 3;
+  p++;
+  p += 2;
+  return *p;
+}
+`)
+	ops := opsOf(prog)
+	count := 0
+	for _, o := range ops {
+		if o == OpArith {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Errorf("expected 3 OpArith (p+3, p++, p+=2), got %d in %v", count, ops)
+	}
+	if !hasOp(ops, OpDataLoad) {
+		t.Errorf("*p should be a data load; ops = %v", ops)
+	}
+}
+
+func TestFieldAccessLowering(t *testing.T) {
+	prog := lower(t, `
+struct node { int v; struct node *next; };
+int main() {
+  struct node *n;
+  n = (struct node *)malloc(sizeof(struct node));
+  n->v = 1;        // field address + data store
+  n->next = n;     // field address + pointer store
+  n = n->next;     // field address + pointer load
+  return 0;
+}
+`)
+	ops := opsOf(prog)
+	for _, want := range []Op{OpAlloc, OpField, OpStore, OpLoad, OpDataStore} {
+		if !hasOp(ops, want) {
+			t.Errorf("missing %s in %v", want, ops)
+		}
+	}
+}
+
+func TestDirectVsPointerAccessCounting(t *testing.T) {
+	prog := lower(t, `
+int a[4];
+int *p;
+int main() {
+  int x;
+  x = a[0];    // direct array load (not a pointer deref)
+  p = &a[0];
+  x = *p;      // pointer load
+  a[1] = x;    // direct array store
+  *p = x;      // pointer store
+  return x;
+}
+`)
+	if prog.NumLoads != 2 {
+		t.Errorf("NumLoads = %d, want 2", prog.NumLoads)
+	}
+	if prog.NumPtrLoads != 1 {
+		t.Errorf("NumPtrLoads = %d, want 1", prog.NumPtrLoads)
+	}
+	if prog.NumStores != 2 {
+		t.Errorf("NumStores = %d, want 2", prog.NumStores)
+	}
+	if prog.NumPtrStores != 1 {
+		t.Errorf("NumPtrStores = %d, want 1", prog.NumPtrStores)
+	}
+	if len(prog.Accesses) != 2 {
+		t.Errorf("measured accesses = %d, want 2 (the pointer-dereferencing pair)", len(prog.Accesses))
+	}
+}
+
+func TestParLoweringShape(t *testing.T) {
+	prog := lower(t, `
+int x, y;
+int main() {
+  par {
+    { x = 1; }
+    { y = 2; }
+  }
+  return 0;
+}
+`)
+	var par *Node
+	for _, n := range prog.Main.AllNodes {
+		if n.Kind == NodePar {
+			par = n
+		}
+	}
+	if par == nil {
+		t.Fatal("no par node")
+	}
+	if len(par.Threads) != 2 {
+		t.Errorf("threads = %d", len(par.Threads))
+	}
+	for i, c := range par.CondThread {
+		if c {
+			t.Errorf("thread %d should be unconditional", i)
+		}
+	}
+}
+
+func TestSpawnSyncRecognition(t *testing.T) {
+	prog := lower(t, `
+cilk void work(int n) {}
+int main(int argc) {
+  spawn work(1);
+  if (argc > 1) { spawn work(2); }
+  argc = argc + 1;
+  spawn work(3);
+  sync;
+  return 0;
+}
+`)
+	var par *Node
+	for _, n := range prog.Main.AllNodes {
+		if n.Kind == NodePar {
+			par = n
+		}
+	}
+	if par == nil {
+		t.Fatal("spawn group not recognised as par")
+	}
+	// Threads: work(1), conditional work(2), work(3), continuation.
+	if len(par.Threads) != 4 {
+		t.Fatalf("threads = %d, want 4", len(par.Threads))
+	}
+	conds := 0
+	for _, c := range par.CondThread {
+		if c {
+			conds++
+		}
+	}
+	if conds != 1 {
+		t.Errorf("conditional threads = %d, want 1", conds)
+	}
+	if prog.ThreadCreationSites != 3 {
+		t.Errorf("thread creation sites = %d, want 3", prog.ThreadCreationSites)
+	}
+}
+
+func TestParallelLoopRecognition(t *testing.T) {
+	prog := lower(t, `
+cilk void work(int n) {}
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    spawn work(i);
+  }
+  sync;
+  return 0;
+}
+`)
+	var pf *Node
+	for _, n := range prog.Main.AllNodes {
+		if n.Kind == NodeParFor {
+			pf = n
+		}
+	}
+	if pf == nil {
+		t.Fatal("loop of spawns not recognised as a parallel loop")
+	}
+	for _, w := range prog.Warnings {
+		if strings.Contains(w, "unstructured") {
+			t.Errorf("unexpected warning: %s", w)
+		}
+	}
+}
+
+func TestUnstructuredSpawnFallsBack(t *testing.T) {
+	// spawn inside a while loop NOT followed by sync: falls back to a
+	// synchronous call with a warning.
+	prog := lower(t, `
+cilk void work(int n) {}
+int main() {
+  int i;
+  i = 0;
+  while (i < 3) {
+    spawn work(i);
+    i = i + 1;
+    printf("%d", i);
+  }
+  printf("done");
+  return 0;
+}
+`)
+	found := false
+	for _, w := range prog.Warnings {
+		if strings.Contains(w, "unstructured spawn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected an unstructured-spawn warning; got %v", prog.Warnings)
+	}
+}
+
+func TestImplicitSyncAtFunctionEnd(t *testing.T) {
+	prog := lower(t, `
+cilk void work(int n) {}
+int main() {
+  spawn work(1);
+  spawn work(2);
+  return 0;
+}
+`)
+	var par *Node
+	for _, n := range prog.Main.AllNodes {
+		if n.Kind == NodePar {
+			par = n
+		}
+	}
+	if par == nil {
+		t.Fatal("implicit sync at end of list not applied")
+	}
+	// The return statement forms the continuation thread.
+	if len(par.Threads) != 3 {
+		t.Errorf("threads = %d, want 3 (two spawns + continuation)", len(par.Threads))
+	}
+}
+
+func TestShortCircuitCreatesBranch(t *testing.T) {
+	// The RHS of && is conditionally executed: it must not be lowered into
+	// the same straight-line block (strong updates there would be wrong).
+	prog := lower(t, `
+int x;
+int *p;
+int main(int argc) {
+  if (argc > 0 && (p = &x) != NULL) {
+    return 1;
+  }
+  return 0;
+}
+`)
+	// Find the copy p = &x and check its block is reached by a branch.
+	for _, n := range prog.Main.AllNodes {
+		for _, in := range n.Instrs {
+			if in.Op == OpAddrOf && in.Dst != NoLoc {
+				if prog.Table.Get(in.Dst).Block.Name == "p" {
+					t.Fatalf("p should be assigned via a temp, not directly")
+				}
+			}
+		}
+	}
+}
+
+func TestReturnValueLowering(t *testing.T) {
+	prog := lower(t, `
+int g;
+int *getp() { return &g; }
+int main() { return *getp(); }
+`)
+	var getp *Func
+	for _, fn := range prog.Funcs {
+		if fn.Name == "getp" {
+			getp = fn
+		}
+	}
+	if getp.RetLoc == NoLoc || !getp.RetPtr {
+		t.Fatal("getp should have a pointer ret location set")
+	}
+	// The ret block belongs to getp.
+	if b := prog.Table.Get(getp.RetLoc).Block; b.Kind != locset.KindRet || b.Fn != getp.Decl {
+		t.Errorf("ret block wrong: %v", b)
+	}
+}
+
+func TestCallLoweringCreatesActualTemps(t *testing.T) {
+	prog := lower(t, `
+int g;
+void take(int *p, int n) {}
+int main() {
+  take(&g, 3);
+  return 0;
+}
+`)
+	var call *Call
+	for _, n := range prog.Main.AllNodes {
+		for _, in := range n.Instrs {
+			if in.Op == OpCall && in.Call.Callee != nil && in.Call.Callee.Name == "take" {
+				call = in.Call
+			}
+		}
+	}
+	if call == nil {
+		t.Fatal("no call to take")
+	}
+	if len(call.Args) != 2 {
+		t.Fatalf("args = %d", len(call.Args))
+	}
+	if call.Args[0] == NoLoc || !call.ArgPtr[0] {
+		t.Error("pointer arg should have an actual-parameter location set")
+	}
+	if b := prog.Table.Get(call.Args[0]).Block; b.Kind != locset.KindTemp {
+		t.Errorf("a_0 should be a temp, got %v", b.Kind)
+	}
+	if call.Args[1] != NoLoc || call.ArgPtr[1] {
+		t.Error("int arg should have no location set")
+	}
+}
+
+func TestStructAssignCopiesPointerFields(t *testing.T) {
+	prog := lower(t, `
+struct pair { int *a; int n; int *b; };
+int x, y;
+int main() {
+  struct pair p, q;
+  p.a = &x;
+  p.b = &y;
+  q = p;
+  return 0;
+}
+`)
+	copies := 0
+	for _, n := range prog.Main.AllNodes {
+		for _, in := range n.Instrs {
+			if in.Op == OpCopy {
+				db := prog.Table.Get(in.Dst).Block
+				if db.Name == "main.q" {
+					copies++
+				}
+			}
+		}
+	}
+	if copies != 2 {
+		t.Errorf("struct assignment should copy 2 pointer fields, got %d", copies)
+	}
+}
+
+func TestIRPrintDoesNotPanic(t *testing.T) {
+	prog := lower(t, `
+int x;
+int *p;
+cilk void w() { p = &x; }
+int main() {
+  par { { w(); } { *p = 1; } }
+  return 0;
+}
+`)
+	out := prog.Format()
+	if !strings.Contains(out, "par(2 threads)") {
+		t.Errorf("formatted IR missing par node:\n%s", out)
+	}
+	if !strings.Contains(out, "func main") || !strings.Contains(out, "func w") {
+		t.Error("formatted IR missing functions")
+	}
+}

@@ -1,0 +1,138 @@
+// IR pretty-printing for debugging and golden tests.
+
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"mtpa/internal/locset"
+)
+
+// Format renders the whole program's IR.
+func (p *Program) Format() string {
+	var sb strings.Builder
+	for _, fn := range p.Funcs {
+		sb.WriteString(fn.Format(p.Table))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Format renders one function's flow graph.
+func (fn *Func) Format(tab *locset.Table) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s:\n", fn.Name)
+	formatBody(&sb, fn.Body, tab, 1)
+	return sb.String()
+}
+
+func formatBody(sb *strings.Builder, b *Body, tab *locset.Table, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range b.Nodes {
+		fmt.Fprintf(sb, "%sn%d", ind, n.ID)
+		switch n.Kind {
+		case NodeBlock:
+			tags := ""
+			if n == b.Entry {
+				tags = " (entry)"
+			} else if n == b.Exit {
+				tags = " (exit)"
+			}
+			fmt.Fprintf(sb, "%s -> %s\n", tags, succIDs(n))
+			for _, in := range n.Instrs {
+				fmt.Fprintf(sb, "%s  %s\n", ind, in.Format(tab))
+			}
+		case NodePar:
+			fmt.Fprintf(sb, " par(%d threads) -> %s\n", len(n.Threads), succIDs(n))
+			for i, t := range n.Threads {
+				cond := ""
+				if n.CondThread[i] {
+					cond = " (conditional)"
+				}
+				fmt.Fprintf(sb, "%s  thread %d%s:\n", ind, i, cond)
+				formatBody(sb, t, tab, depth+2)
+			}
+		case NodeParFor:
+			fmt.Fprintf(sb, " parfor -> %s\n", succIDs(n))
+			formatBody(sb, n.Body, tab, depth+1)
+		}
+	}
+}
+
+func succIDs(n *Node) string {
+	if len(n.Succs) == 0 {
+		return "[]"
+	}
+	parts := make([]string, len(n.Succs))
+	for i, s := range n.Succs {
+		parts[i] = fmt.Sprintf("n%d", s.ID)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Format renders one instruction.
+func (in *Instr) Format(tab *locset.Table) string {
+	ls := func(id locset.ID) string {
+		if id == NoLoc {
+			return "_"
+		}
+		return tab.String(id)
+	}
+	switch in.Op {
+	case OpAddrOf:
+		return fmt.Sprintf("%s = &%s", ls(in.Dst), ls(in.Src))
+	case OpCopy:
+		return fmt.Sprintf("%s = %s", ls(in.Dst), ls(in.Src))
+	case OpLoad:
+		return fmt.Sprintf("%s = *%s", ls(in.Dst), ls(in.Src))
+	case OpStore:
+		return fmt.Sprintf("*%s = %s", ls(in.Dst), ls(in.Src))
+	case OpArith:
+		return fmt.Sprintf("%s = %s + i*%d", ls(in.Dst), ls(in.Src), in.Elem)
+	case OpField:
+		return fmt.Sprintf("%s = &(%s->+%d)", ls(in.Dst), ls(in.Src), in.Elem)
+	case OpIndexAddr:
+		return fmt.Sprintf("%s = &%s[i*%d]", ls(in.Dst), ls(in.Src), in.Elem)
+	case OpAlloc:
+		return fmt.Sprintf("%s = alloc site#%d", ls(in.Dst), in.Site)
+	case OpNull:
+		return fmt.Sprintf("%s = NULL", ls(in.Dst))
+	case OpUnknown:
+		return fmt.Sprintf("%s = <unknown>", ls(in.Dst))
+	case OpDataLoad:
+		return fmt.Sprintf("dataload *%s", ls(in.Src))
+	case OpDataStore:
+		return fmt.Sprintf("datastore *%s", ls(in.Dst))
+	case OpDirectLoad:
+		return fmt.Sprintf("directload %s", ls(in.Src))
+	case OpDirectStore:
+		return fmt.Sprintf("directstore %s", ls(in.Dst))
+	case OpRegLoad:
+		return fmt.Sprintf("regload %s", ls(in.Src))
+	case OpRegStore:
+		return fmt.Sprintf("regstore %s", ls(in.Dst))
+	case OpReturn:
+		return "return"
+	case OpCall:
+		c := in.Call
+		var args []string
+		for _, a := range c.Args {
+			args = append(args, ls(a))
+		}
+		target := "<indirect>"
+		if c.Callee != nil {
+			target = c.Callee.Name
+		} else if c.Builtin != 0 {
+			target = fmt.Sprintf("builtin#%d", int(c.Builtin))
+		} else if c.FnLoc != NoLoc {
+			target = "*" + ls(c.FnLoc)
+		}
+		ret := ""
+		if c.Ret != NoLoc {
+			ret = ls(c.Ret) + " = "
+		}
+		return fmt.Sprintf("%scall %s(%s)", ret, target, strings.Join(args, ", "))
+	}
+	return fmt.Sprintf("op%d", int(in.Op))
+}

@@ -1,0 +1,161 @@
+package lexer
+
+import (
+	"testing"
+
+	"mtpa/internal/token"
+)
+
+func kinds(src string) []token.Kind {
+	l := New("t.clk", src)
+	var out []token.Kind
+	for _, tok := range l.All() {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds("int foo while par parfor spawn sync cilk private NULL bar")
+	want := []token.Kind{
+		token.KwInt, token.IDENT, token.KwWhile, token.KwPar, token.KwParfor,
+		token.KwSpawn, token.KwSync, token.KwCilk, token.KwPrivate, token.KwNull,
+		token.IDENT, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds("+ ++ += - -- -= -> * *= / /= % & && | || ^ << >> < <= > >= = == != ! ~ . , ; : ? ( ) { } [ ]")
+	want := []token.Kind{
+		token.PLUS, token.INC, token.PLUSASSIGN,
+		token.MINUS, token.DEC, token.MINUSASSIGN, token.ARROW,
+		token.STAR, token.STARASSIGN, token.SLASH, token.SLASHASSIGN,
+		token.PERCENT, token.AMP, token.LAND, token.PIPE, token.LOR,
+		token.CARET, token.SHL, token.SHR,
+		token.LT, token.LE, token.GT, token.GE,
+		token.ASSIGN, token.EQ, token.NEQ, token.NOT, token.TILDE,
+		token.DOT, token.COMMA, token.SEMI, token.COLON, token.QUESTION,
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACK, token.RBRACK, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	l := New("t.clk", "0 42 0x7f 3.25 1e6 2.5e-3")
+	toks := l.All()
+	var lits []string
+	for _, tok := range toks[:len(toks)-1] {
+		if tok.Kind != token.INT {
+			t.Errorf("kind = %s for %q", tok.Kind, tok.Lit)
+		}
+		lits = append(lits, tok.Lit)
+	}
+	want := []string{"0", "42", "0x7f", "3.25", "1e6", "2.5e-3"}
+	for i := range want {
+		if lits[i] != want[i] {
+			t.Errorf("lit %d = %q, want %q", i, lits[i], want[i])
+		}
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	l := New("t.clk", `"hello\n" 'a' '\n' '\\'`)
+	toks := l.All()
+	if toks[0].Kind != token.STRING || toks[0].Lit != "hello\n" {
+		t.Errorf("string = %q", toks[0].Lit)
+	}
+	if toks[1].Kind != token.CHAR || toks[1].Lit != "a" {
+		t.Errorf("char = %q", toks[1].Lit)
+	}
+	if toks[2].Lit != "\n" || toks[3].Lit != "\\" {
+		t.Errorf("escapes wrong: %q %q", toks[2].Lit, toks[3].Lit)
+	}
+}
+
+func TestCommentsAndPreprocessor(t *testing.T) {
+	src := `
+#include <stdlib.h>
+// line comment
+int /* block
+comment */ x;
+`
+	got := kinds(src)
+	want := []token.Kind{token.KwInt, token.IDENT, token.SEMI, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("f.clk", "int\n  x;")
+	toks := l.All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", toks[1].Pos)
+	}
+	if toks[1].Pos.String() != "f.clk:2:3" {
+		t.Errorf("pos string = %s", toks[1].Pos.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	l := New("t.clk", "int @ x")
+	toks := l.All()
+	if len(l.Errors()) == 0 {
+		t.Error("expected an error for '@'")
+	}
+	hasIllegal := false
+	for _, tok := range toks {
+		if tok.Kind == token.ILLEGAL {
+			hasIllegal = true
+		}
+	}
+	if !hasIllegal {
+		t.Error("expected an ILLEGAL token")
+	}
+
+	l2 := New("t.clk", `"unterminated`)
+	l2.All()
+	if len(l2.Errors()) == 0 {
+		t.Error("expected an error for unterminated string")
+	}
+
+	l3 := New("t.clk", "/* unterminated")
+	l3.All()
+	if len(l3.Errors()) == 0 {
+		t.Error("expected an error for unterminated comment")
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("t.clk", "x")
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if got := l.Next(); got.Kind != token.EOF {
+			t.Fatalf("Next after EOF = %s", got)
+		}
+	}
+}

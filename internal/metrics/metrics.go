@@ -1,0 +1,232 @@
+// Package metrics computes and renders the measurements of the paper's
+// evaluation (§4): program characteristics (Table 1), per-context and
+// merged-context location-set counts for pointer-dereferencing accesses
+// (Tables 2 and 4, Figures 8 and 9), parallel-construct convergence
+// (Table 3), and analysis-time comparisons (Figure 10).
+package metrics
+
+import (
+	"sort"
+	"strings"
+
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+)
+
+// ProgramStats is one row of Table 1.
+type ProgramStats struct {
+	Name        string
+	Description string
+	LoC         int
+	ThreadSites int
+	Loads       int
+	PtrLoads    int
+	Stores      int
+	PtrStores   int
+	LocSets     int
+	PtrLocSets  int
+}
+
+// Characteristics computes the Table 1 row for a compiled program.
+func Characteristics(name, description, source string, prog *ir.Program) ProgramStats {
+	st := ProgramStats{
+		Name:        name,
+		Description: description,
+		LoC:         countLoC(source),
+		ThreadSites: prog.ThreadCreationSites,
+		Loads:       prog.NumLoads,
+		PtrLoads:    prog.NumPtrLoads,
+		Stores:      prog.NumStores,
+		PtrStores:   prog.NumPtrStores,
+	}
+	tab := prog.Table
+	for _, b := range tab.Blocks() {
+		if b.Kind == locset.KindGhost || b.Kind == locset.KindUnk {
+			continue // ghost location sets are excluded, as in the paper
+		}
+		for _, id := range tab.LocSetsInBlock(b) {
+			st.LocSets++
+			if tab.Get(id).Pointer {
+				st.PtrLocSets++
+			}
+		}
+	}
+	return st
+}
+
+func countLoC(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// Cell is one histogram cell: the number of accesses requiring exactly n
+// location sets, and how many of those dereference a potentially
+// uninitialised pointer (the gray part of Figures 8 and 9, the
+// parenthesised counts of Tables 2 and 4).
+type Cell struct {
+	Total  int
+	Uninit int
+}
+
+// Dist is the distribution of location-set counts for one program: one
+// histogram for loads and one for stores, keyed by the count n.
+type Dist struct {
+	Loads  map[int]*Cell
+	Stores map[int]*Cell
+}
+
+// NewDist returns an empty distribution.
+func NewDist() *Dist {
+	return &Dist{Loads: map[int]*Cell{}, Stores: map[int]*Cell{}}
+}
+
+func (d *Dist) add(isLoad bool, n int, uninit bool) {
+	m := d.Stores
+	if isLoad {
+		m = d.Loads
+	}
+	c, ok := m[n]
+	if !ok {
+		c = &Cell{}
+		m[n] = c
+	}
+	c.Total++
+	if uninit {
+		c.Uninit++
+	}
+}
+
+// Merge adds another distribution into d (used to aggregate the per-program
+// rows into the Figure 8/9 histograms).
+func (d *Dist) Merge(other *Dist) {
+	for n, c := range other.Loads {
+		dc, ok := d.Loads[n]
+		if !ok {
+			dc = &Cell{}
+			d.Loads[n] = dc
+		}
+		dc.Total += c.Total
+		dc.Uninit += c.Uninit
+	}
+	for n, c := range other.Stores {
+		dc, ok := d.Stores[n]
+		if !ok {
+			dc = &Cell{}
+			d.Stores[n] = dc
+		}
+		dc.Total += c.Total
+		dc.Uninit += c.Uninit
+	}
+}
+
+// MaxN returns the largest location-set count appearing in the
+// distribution.
+func (d *Dist) MaxN() int {
+	max := 0
+	for n := range d.Loads {
+		if n > max {
+			max = n
+		}
+	}
+	for n := range d.Stores {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// SeparateContexts computes the Table 2 row: every (access, context) pair
+// counts once, and ghost location sets count as themselves.
+func SeparateContexts(prog *ir.Program, res *core.Result) *Dist {
+	d := NewDist()
+	for _, s := range res.Metrics.AccessSamples() {
+		acc := prog.Accesses[s.AccID]
+		n, uninit := s.Count()
+		d.add(acc.Instr.IsLoadInstr(), n, uninit)
+	}
+	return d
+}
+
+// MergedContexts computes the Table 4 row: contexts are merged per access,
+// and ghost location sets are replaced by the actual location sets that
+// were mapped to them during the analysis.
+func MergedContexts(prog *ir.Program, res *core.Result) *Dist {
+	byAcc := map[int]map[locset.ID]bool{}
+	for _, s := range res.Metrics.AccessSamples() {
+		set, ok := byAcc[s.AccID]
+		if !ok {
+			set = map[locset.ID]bool{}
+			byAcc[s.AccID] = set
+		}
+		for _, id := range res.ExpandGhosts(s) {
+			set[id] = true
+		}
+	}
+	d := NewDist()
+	accIDs := make([]int, 0, len(byAcc))
+	for id := range byAcc {
+		accIDs = append(accIDs, id)
+	}
+	sort.Ints(accIDs)
+	for _, accID := range accIDs {
+		set := byAcc[accID]
+		n := 0
+		uninit := false
+		for id := range set {
+			if id == locset.UnkID {
+				uninit = true
+				continue
+			}
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		acc := prog.Accesses[accID]
+		d.add(acc.Instr.IsLoadInstr(), n, uninit)
+	}
+	return d
+}
+
+// Convergence is one row of Table 3.
+type Convergence struct {
+	Name        string
+	Analyses    int
+	MeanIters   float64
+	MeanThreads float64
+}
+
+// ConvergenceOf computes the Table 3 row from the recorded
+// parallel-construct analyses.
+func ConvergenceOf(name string, res *core.Result) Convergence {
+	samples := res.Metrics.ParSamples()
+	c := Convergence{Name: name, Analyses: len(samples)}
+	if len(samples) == 0 {
+		return c
+	}
+	var iters, threads int
+	for _, s := range samples {
+		iters += s.Iterations
+		threads += s.Threads
+	}
+	c.MeanIters = float64(iters) / float64(len(samples))
+	c.MeanThreads = float64(threads) / float64(len(samples))
+	return c
+}
+
+// TimeRow is one row of Figure 10: analysis wall-clock for the Sequential
+// and Multithreaded algorithms.
+type TimeRow struct {
+	Name         string
+	SeqSeconds   float64
+	MultiSeconds float64
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+)
+
+const sample = `
+int x, y;
+int *p, **q;
+int main() {
+  p = &x;
+  q = &p;
+  par {
+    { *p = 1; }
+    { *q = &y; }
+  }
+  *p = 2;
+  return 0;
+}
+`
+
+func analyzed(t *testing.T) (*mtpa.Program, *mtpa.Result) {
+	t.Helper()
+	prog, err := mtpa.Compile("sample.clk", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, res
+}
+
+func TestCharacteristics(t *testing.T) {
+	prog, _ := analyzed(t)
+	st := Characteristics("sample", "Figure 1", sample, prog.IR)
+	if st.LoC != 12 {
+		t.Errorf("LoC = %d, want 12 (blank lines excluded)", st.LoC)
+	}
+	if st.ThreadSites != 2 {
+		t.Errorf("thread sites = %d, want 2", st.ThreadSites)
+	}
+	// Three pointer-dereferencing accesses: *p=1, *q=&y, *p=2.
+	if st.PtrStores != 3 {
+		t.Errorf("pointer stores = %d, want 3", st.PtrStores)
+	}
+	if st.PtrLocSets == 0 || st.LocSets < st.PtrLocSets {
+		t.Errorf("location sets inconsistent: %d (%d ptr)", st.LocSets, st.PtrLocSets)
+	}
+}
+
+func TestCountLoCSkipsCommentsAndBlanks(t *testing.T) {
+	src := "int x;\n\n// comment\n  \nint y;\n"
+	if got := countLoC(src); got != 2 {
+		t.Errorf("countLoC = %d, want 2", got)
+	}
+}
+
+func TestSeparateContextsDistribution(t *testing.T) {
+	prog, res := analyzed(t)
+	d := SeparateContexts(prog.IR, res)
+	// *p = 1 sees {x,y} (2 locsets); *q = &y sees {p} (1); *p = 2 sees {y} (1).
+	if c := d.Stores[1]; c == nil || c.Total != 2 {
+		t.Errorf("stores with 1 locset = %+v, want 2", c)
+	}
+	if c := d.Stores[2]; c == nil || c.Total != 1 {
+		t.Errorf("stores with 2 locsets = %+v, want 1", c)
+	}
+	if len(d.Loads) != 0 {
+		t.Errorf("no pointer loads expected, got %+v", d.Loads)
+	}
+	if d.MaxN() != 2 {
+		t.Errorf("MaxN = %d, want 2", d.MaxN())
+	}
+}
+
+func TestMergedEqualsSeparateWithoutCalls(t *testing.T) {
+	// With a single analysis context, merging contexts changes nothing.
+	prog, res := analyzed(t)
+	sep := SeparateContexts(prog.IR, res)
+	mer := MergedContexts(prog.IR, res)
+	for n, c := range sep.Stores {
+		mc := mer.Stores[n]
+		if mc == nil || mc.Total != c.Total {
+			t.Errorf("merged stores[%d] = %+v, want %+v", n, mc, c)
+		}
+	}
+}
+
+func TestDistMerge(t *testing.T) {
+	a, b := NewDist(), NewDist()
+	a.add(true, 1, false)
+	a.add(true, 1, true)
+	b.add(true, 1, false)
+	b.add(false, 2, true)
+	a.Merge(b)
+	if a.Loads[1].Total != 3 || a.Loads[1].Uninit != 1 {
+		t.Errorf("merged loads[1] = %+v", a.Loads[1])
+	}
+	if a.Stores[2].Total != 1 || a.Stores[2].Uninit != 1 {
+		t.Errorf("merged stores[2] = %+v", a.Stores[2])
+	}
+}
+
+func TestConvergenceOf(t *testing.T) {
+	_, res := analyzed(t)
+	c := ConvergenceOf("sample", res)
+	if c.Analyses != 1 {
+		t.Fatalf("analyses = %d, want 1", c.Analyses)
+	}
+	if c.MeanThreads != 2.0 {
+		t.Errorf("mean threads = %f, want 2", c.MeanThreads)
+	}
+	if c.MeanIters != 2.0 {
+		t.Errorf("mean iterations = %f, want 2", c.MeanIters)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	prog, res := analyzed(t)
+	st := Characteristics("sample", "Figure 1", sample, prog.IR)
+	t1 := RenderTable1([]ProgramStats{st})
+	if !strings.Contains(t1, "sample") || !strings.Contains(t1, "Figure 1") {
+		t.Errorf("table 1 render:\n%s", t1)
+	}
+
+	d := SeparateContexts(prog.IR, res)
+	t2 := RenderPerProgramCounts("Table 2", []string{"sample"}, map[string]*Dist{"sample": d})
+	if !strings.Contains(t2, "sample") || !strings.Contains(t2, "Store Instructions") {
+		t.Errorf("table 2 render:\n%s", t2)
+	}
+
+	h := RenderHistogram("Figure 9", d.Stores)
+	if !strings.Contains(h, "#") {
+		t.Errorf("histogram should have bars:\n%s", h)
+	}
+	empty := RenderHistogram("none", map[int]*Cell{})
+	if !strings.Contains(empty, "no pointer-dereferencing accesses") {
+		t.Errorf("empty histogram message missing:\n%s", empty)
+	}
+
+	t3 := RenderTable3([]Convergence{ConvergenceOf("sample", res)})
+	if !strings.Contains(t3, "sample") {
+		t.Errorf("table 3 render:\n%s", t3)
+	}
+
+	times := RenderTimes([]TimeRow{{Name: "sample", SeqSeconds: 0.5, MultiSeconds: 1.0}})
+	if !strings.Contains(times, "2.00") {
+		t.Errorf("ratio missing:\n%s", times)
+	}
+}
+
+func TestGhostExpansionInMergedMetric(t *testing.T) {
+	// A helper analysed in two contexts whose parameter points at
+	// different caller locals: separate contexts count ghost location
+	// sets; the merged metric expands them to the two actuals.
+	src := `
+int g1, g2;
+void set(int **pp, int *v) { *pp = v; }
+int main() {
+  int *a, *b;
+  set(&a, &g1);
+  set(&b, &g2);
+  *a = 1;
+  *b = 2;
+  return 0;
+}
+`
+	prog, err := mtpa.Compile("ghost.clk", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mer := MergedContexts(prog.IR, res)
+	// The store *pp = v inside set writes exactly one actual location per
+	// merged access... with contexts merged it writes {a, b}: 2 locations.
+	if c := mer.Stores[2]; c == nil || c.Total < 1 {
+		t.Errorf("expected the merged *pp store to cover 2 actual locations; stores = %+v", mer.Stores)
+	}
+}

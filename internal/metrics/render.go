@@ -1,0 +1,163 @@
+// Plain-text renderers for the paper's tables and figures.
+
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTable1 renders the program characteristics table.
+func RenderTable1(rows []ProgramStats) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: Program Characteristics\n")
+	fmt.Fprintf(&sb, "%-10s %6s %8s %14s %14s %16s  %s\n",
+		"Program", "LoC", "ThrSite", "Load(Ptr)", "Store(Ptr)", "LocSets(Ptr)", "Description")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %6d %8d %8d (%3d) %8d (%3d) %9d (%4d)  %s\n",
+			r.Name, r.LoC, r.ThreadSites,
+			r.Loads, r.PtrLoads, r.Stores, r.PtrStores,
+			r.LocSets, r.PtrLocSets, r.Description)
+	}
+	return sb.String()
+}
+
+// sortedCounts returns the count keys of a histogram in ascending order.
+func sortedCounts(m map[int]*Cell) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RenderPerProgramCounts renders Table 2 or Table 4: per-program counts of
+// the number of location sets required to represent an accessed location,
+// with parenthesised potentially-uninitialised counts.
+func RenderPerProgramCounts(title string, names []string, dists map[string]*Dist) string {
+	maxN := 1
+	for _, d := range dists {
+		if m := d.MaxN(); m > maxN {
+			maxN = m
+		}
+	}
+	var cols []int
+	for n := 1; n <= maxN; n++ {
+		used := false
+		for _, d := range dists {
+			if d.Loads[n] != nil || d.Stores[n] != nil {
+				used = true
+			}
+		}
+		if used {
+			cols = append(cols, n)
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-10s | %s | %s\n", "",
+		center("Load Instructions", 14*len(cols)),
+		center("Store Instructions", 14*len(cols)))
+	fmt.Fprintf(&sb, "%-10s |", "Program")
+	for _, n := range cols {
+		fmt.Fprintf(&sb, "%13d ", n)
+	}
+	sb.WriteString("|")
+	for _, n := range cols {
+		fmt.Fprintf(&sb, "%13d ", n)
+	}
+	sb.WriteString("\n")
+	for _, name := range names {
+		d := dists[name]
+		fmt.Fprintf(&sb, "%-10s |", name)
+		for _, n := range cols {
+			sb.WriteString(cellText(d.Loads[n]))
+		}
+		sb.WriteString("|")
+		for _, n := range cols {
+			sb.WriteString(cellText(d.Stores[n]))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func cellText(c *Cell) string {
+	if c == nil || c.Total == 0 {
+		return fmt.Sprintf("%14s", "-  ")
+	}
+	return fmt.Sprintf("%8d (%3d)", c.Total, c.Uninit)
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	pad := width - len(s)
+	left := pad / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", pad-left)
+}
+
+// RenderHistogram renders Figure 8 or Figure 9 as an ASCII bar chart: for
+// each location-set count, the number of accesses; '#' marks accesses with
+// definitely initialised pointers, '░'-style '.' marks the potentially
+// uninitialised portion (the gray bars of the paper).
+func RenderHistogram(title string, cells map[int]*Cell) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	counts := sortedCounts(cells)
+	maxTotal := 1
+	for _, n := range counts {
+		if cells[n].Total > maxTotal {
+			maxTotal = cells[n].Total
+		}
+	}
+	const width = 56
+	for _, n := range counts {
+		c := cells[n]
+		def := c.Total - c.Uninit
+		defBar := def * width / maxTotal
+		uniBar := c.Uninit * width / maxTotal
+		if def > 0 && defBar == 0 {
+			defBar = 1
+		}
+		if c.Uninit > 0 && uniBar == 0 {
+			uniBar = 1
+		}
+		fmt.Fprintf(&sb, "%3d | %s%s %d (%d potentially uninitialised)\n",
+			n, strings.Repeat("#", defBar), strings.Repeat(".", uniBar), c.Total, c.Uninit)
+	}
+	if len(counts) == 0 {
+		sb.WriteString("  (no pointer-dereferencing accesses)\n")
+	}
+	return sb.String()
+}
+
+// RenderTable3 renders the convergence measurements.
+func RenderTable3(rows []Convergence) string {
+	var sb strings.Builder
+	sb.WriteString("Table 3: Analysis Measurements\n")
+	fmt.Fprintf(&sb, "%-10s %10s %12s %12s\n", "Program", "Analyses", "MeanIters", "MeanThreads")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %10d %12.2f %12.2f\n", r.Name, r.Analyses, r.MeanIters, r.MeanThreads)
+	}
+	return sb.String()
+}
+
+// RenderTimes renders Figure 10's analysis-time table.
+func RenderTimes(rows []TimeRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: Analysis Times (seconds)\n")
+	fmt.Fprintf(&sb, "%-10s %14s %16s %8s\n", "Program", "Sequential", "Multithreaded", "Ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.SeqSeconds > 0 {
+			ratio = r.MultiSeconds / r.SeqSeconds
+		}
+		fmt.Fprintf(&sb, "%-10s %14.4f %16.4f %8.2f\n", r.Name, r.SeqSeconds, r.MultiSeconds, ratio)
+	}
+	return sb.String()
+}

@@ -1,0 +1,925 @@
+// Package parser implements a recursive-descent parser for MiniCilk.
+//
+// The grammar is a C subset with full C declarators (including function
+// pointers), plus the multithreading constructs the analysis targets:
+// par blocks, parfor loops, spawn/sync and private globals. Struct tags are
+// resolved during parsing via a program-level struct table so that
+// recursive structures (lists, trees) parse naturally.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/lexer"
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+// Error is a syntax error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList is a collection of syntax errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+type bailout struct{}
+
+// Parser parses one translation unit.
+type Parser struct {
+	toks    []token.Token
+	pos     int
+	errors  ErrorList
+	structs map[string]*types.Type
+	file    string
+}
+
+// Parse parses the given MiniCilk source and returns the program. If any
+// syntax errors occur, the (possibly partial) program is returned together
+// with a non-nil ErrorList.
+func Parse(file, src string) (*ast.Program, error) {
+	lx := lexer.New(file, src)
+	toks := lx.All()
+	p := &Parser{toks: toks, structs: map[string]*types.Type{}, file: file}
+	for _, le := range lx.Errors() {
+		p.errors = append(p.errors, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	prog := p.parseProgram()
+	if len(p.errors) > 0 {
+		return prog, p.errors
+	}
+	return prog, nil
+}
+
+func (p *Parser) tok() token.Token { return p.toks[p.pos] }
+
+func (p *Parser) peekAt(n int) token.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.tok().Kind == k }
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) token.Token {
+	if !p.at(k) {
+		p.errorf(p.tok().Pos, "expected %s, found %s", k, p.tok())
+		panic(bailout{})
+	}
+	return p.next()
+}
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errors) > 50 {
+		panic(bailout{}) // too many errors; give up
+	}
+	p.errors = append(p.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// sync skips tokens until a likely declaration/statement boundary.
+func (p *Parser) sync(stopAfterSemi bool) {
+	depth := 0
+	for {
+		switch p.tok().Kind {
+		case token.EOF:
+			return
+		case token.SEMI:
+			p.next()
+			if depth == 0 && stopAfterSemi {
+				return
+			}
+		case token.LBRACE:
+			depth++
+			p.next()
+		case token.RBRACE:
+			if depth == 0 {
+				return
+			}
+			depth--
+			p.next()
+		default:
+			p.next()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *Parser) parseProgram() *ast.Program {
+	prog := &ast.Program{File: p.file}
+	for !p.at(token.EOF) {
+		p.parseTopDecl(prog)
+	}
+	return prog
+}
+
+func (p *Parser) parseTopDecl(prog *ast.Program) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+			p.sync(true)
+		}
+	}()
+
+	// struct S { ... };  — a struct definition.
+	if p.at(token.KwStruct) && p.peekAt(1).Kind == token.IDENT && p.peekAt(2).Kind == token.LBRACE {
+		prog.Structs = append(prog.Structs, p.parseStructDecl())
+		return
+	}
+
+	private := p.accept(token.KwPrivate)
+	cilk := p.accept(token.KwCilk)
+
+	base := p.parseTypeSpec()
+	if p.at(token.SEMI) {
+		p.next() // e.g. a lone "struct S;" forward declaration
+		return
+	}
+	d := p.parseDeclarator()
+	name, typ := d.apply(base)
+	if name == "" {
+		p.errorf(d.pos, "expected declared name")
+		panic(bailout{})
+	}
+
+	if typ.IsFunc() {
+		fd := p.makeFuncDecl(d, name, typ, cilk)
+		if p.at(token.LBRACE) {
+			fd.Body = p.parseBlock()
+		} else {
+			p.expect(token.SEMI)
+		}
+		prog.Funcs = append(prog.Funcs, fd)
+		return
+	}
+
+	// Global variable(s): type declarator (= init)? (, declarator (= init)?)* ;
+	for {
+		vd := &ast.VarDecl{NamePos: d.pos, Name: name, Type: typ, Private: private}
+		if p.accept(token.ASSIGN) {
+			vd.Init = p.parseAssignExpr()
+		}
+		prog.Globals = append(prog.Globals, vd)
+		if !p.accept(token.COMMA) {
+			break
+		}
+		d = p.parseDeclarator()
+		name, typ = d.apply(base)
+		if name == "" {
+			p.errorf(d.pos, "expected declared name")
+			panic(bailout{})
+		}
+	}
+	p.expect(token.SEMI)
+}
+
+func (p *Parser) parseStructDecl() *ast.StructDecl {
+	p.expect(token.KwStruct)
+	nameTok := p.expect(token.IDENT)
+	st := p.structType(nameTok.Lit)
+	if len(st.Fields) > 0 {
+		p.errorf(nameTok.Pos, "struct %s redefined", nameTok.Lit)
+	}
+	p.expect(token.LBRACE)
+	var fields []*types.Field
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		base := p.parseTypeSpec()
+		for {
+			d := p.parseDeclarator()
+			fname, ftyp := d.apply(base)
+			if fname == "" {
+				p.errorf(d.pos, "expected field name")
+				panic(bailout{})
+			}
+			if ftyp.IsStruct() && ftyp == st {
+				p.errorf(d.pos, "struct %s contains itself by value", st.Name)
+			}
+			fields = append(fields, &types.Field{Name: fname, Type: ftyp})
+			if !p.accept(token.COMMA) {
+				break
+			}
+		}
+		p.expect(token.SEMI)
+	}
+	p.expect(token.RBRACE)
+	p.expect(token.SEMI)
+	st.SetFields(fields)
+	return &ast.StructDecl{NamePos: nameTok.Pos, Name: nameTok.Lit, Type: st}
+}
+
+// structType interns struct tags, creating a shell for forward references.
+func (p *Parser) structType(name string) *types.Type {
+	if st, ok := p.structs[name]; ok {
+		return st
+	}
+	st := types.NewStruct(name)
+	p.structs[name] = st
+	return st
+}
+
+func (p *Parser) makeFuncDecl(d declResult, name string, typ *types.Type, cilk bool) *ast.FuncDecl {
+	fd := &ast.FuncDecl{
+		NamePos: d.pos,
+		Name:    name,
+		Cilk:    cilk,
+		Result:  typ.Result,
+	}
+	for i, pt := range typ.Params {
+		pn := ""
+		var pp token.Pos
+		if i < len(d.paramNames) {
+			pn = d.paramNames[i]
+			pp = d.paramPos[i]
+		}
+		fd.Params = append(fd.Params, &ast.Param{NamePos: pp, Name: pn, Type: pt})
+	}
+	return fd
+}
+
+// ---------------------------------------------------------------------------
+// Types and declarators
+
+func (p *Parser) parseTypeSpec() *types.Type {
+	t := p.next()
+	switch t.Kind {
+	case token.KwInt:
+		return types.IntType
+	case token.KwChar:
+		return types.CharType
+	case token.KwFloat:
+		return types.FloatType
+	case token.KwDouble:
+		return types.DoubleType
+	case token.KwVoid:
+		return types.VoidType
+	case token.KwStruct:
+		nameTok := p.expect(token.IDENT)
+		return p.structType(nameTok.Lit)
+	}
+	p.errorf(t.Pos, "expected type, found %s", t)
+	panic(bailout{})
+}
+
+// declNode is the parse tree for a C declarator, evaluated inside-out.
+type declNode struct {
+	ptr      int // leading stars
+	inner    *declNode
+	name     string
+	namePos  token.Pos
+	suffixes []declSuffix
+}
+
+type declSuffix struct {
+	isArray bool
+	arrLen  int64
+	params  []*types.Type
+	names   []string
+	pos     []token.Pos
+}
+
+type declResult struct {
+	node       *declNode
+	pos        token.Pos
+	paramNames []string
+	paramPos   []token.Pos
+}
+
+// apply computes the declared name and type given the base type.
+func (d declResult) apply(base *types.Type) (string, *types.Type) {
+	name, typ := evalDecl(d.node, base)
+	return name, typ
+}
+
+func evalDecl(n *declNode, t *types.Type) (string, *types.Type) {
+	for i := 0; i < n.ptr; i++ {
+		t = types.PointerTo(t)
+	}
+	for i := len(n.suffixes) - 1; i >= 0; i-- {
+		s := n.suffixes[i]
+		if s.isArray {
+			t = types.ArrayOf(t, s.arrLen)
+		} else {
+			t = types.FuncOf(t, s.params)
+		}
+	}
+	if n.inner != nil {
+		return evalDecl(n.inner, t)
+	}
+	return n.name, t
+}
+
+// parseDeclarator parses a (possibly abstract) C declarator.
+func (p *Parser) parseDeclarator() declResult {
+	n := p.parseDeclNode()
+	res := declResult{node: n, pos: declPos(n, p.tok().Pos)}
+	// Surface the outermost function suffix's parameter names for function
+	// declarations (int f(int a, int b) or int (*g(int a))(int)).
+	if fn := outermostFuncSuffix(n); fn != nil {
+		res.paramNames = fn.names
+		res.paramPos = fn.pos
+	}
+	return res
+}
+
+func declPos(n *declNode, fallback token.Pos) token.Pos {
+	for n != nil {
+		if n.name != "" {
+			return n.namePos
+		}
+		n = n.inner
+	}
+	return fallback
+}
+
+// outermostFuncSuffix finds the function suffix that applies last — i.e. the
+// one defining the parameters of a declared function.
+func outermostFuncSuffix(n *declNode) *declSuffix {
+	// For a function declaration like "int f(int a)", the func suffix is the
+	// first suffix of the node holding the name with no inner node.
+	if n.inner == nil {
+		for i := range n.suffixes {
+			if !n.suffixes[i].isArray {
+				return &n.suffixes[i]
+			}
+		}
+		return nil
+	}
+	return outermostFuncSuffix(n.inner)
+}
+
+func (p *Parser) parseDeclNode() *declNode {
+	n := &declNode{}
+	for p.accept(token.STAR) {
+		n.ptr++
+	}
+	switch {
+	case p.at(token.LPAREN) && p.declParenIsDeclarator():
+		p.next()
+		n.inner = p.parseDeclNode()
+		p.expect(token.RPAREN)
+	case p.at(token.IDENT):
+		t := p.next()
+		n.name = t.Lit
+		n.namePos = t.Pos
+	default:
+		// abstract declarator (no name) — fine for casts and params
+	}
+	for {
+		switch {
+		case p.at(token.LBRACK):
+			p.next()
+			var length int64
+			if !p.at(token.RBRACK) {
+				length = p.parseConstInt()
+			}
+			p.expect(token.RBRACK)
+			n.suffixes = append(n.suffixes, declSuffix{isArray: true, arrLen: length})
+		case p.at(token.LPAREN):
+			p.next()
+			s := declSuffix{}
+			if !p.at(token.RPAREN) {
+				if p.at(token.KwVoid) && p.peekAt(1).Kind == token.RPAREN {
+					p.next() // f(void)
+				} else {
+					for {
+						pt, pn, pp := p.parseParamDecl()
+						s.params = append(s.params, pt)
+						s.names = append(s.names, pn)
+						s.pos = append(s.pos, pp)
+						if !p.accept(token.COMMA) {
+							break
+						}
+					}
+				}
+			}
+			p.expect(token.RPAREN)
+			n.suffixes = append(n.suffixes, s)
+		default:
+			return n
+		}
+	}
+}
+
+// declParenIsDeclarator disambiguates "(" in a declarator: it begins a
+// nested declarator (e.g. "(*fp)") rather than a parameter list when the
+// next token is "*", "(", or an identifier.
+func (p *Parser) declParenIsDeclarator() bool {
+	switch p.peekAt(1).Kind {
+	case token.STAR:
+		return true
+	case token.LPAREN:
+		return true
+	case token.IDENT:
+		// "(name)" — nested declarator; parameter lists start with a type.
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseParamDecl() (*types.Type, string, token.Pos) {
+	base := p.parseTypeSpec()
+	d := p.parseDeclarator()
+	name, typ := d.apply(base)
+	// Arrays decay to pointers in parameter position, as in C.
+	if typ.IsArray() {
+		typ = types.PointerTo(typ.Elem)
+	}
+	if typ.IsFunc() {
+		typ = types.PointerTo(typ)
+	}
+	return typ, name, d.pos
+}
+
+func (p *Parser) parseConstInt() int64 {
+	t := p.expect(token.INT)
+	v, err := strconv.ParseInt(t.Lit, 0, 64)
+	if err != nil {
+		f, ferr := strconv.ParseFloat(t.Lit, 64)
+		if ferr != nil {
+			p.errorf(t.Pos, "invalid integer literal %q", t.Lit)
+			return 0
+		}
+		v = int64(f)
+	}
+	return v
+}
+
+// typeStartsHere reports whether the current token begins a type name.
+func (p *Parser) typeStartsHere() bool { return p.tok().IsType() }
+
+// parseTypeName parses "type abstract-declarator" (for casts and sizeof).
+func (p *Parser) parseTypeName() *types.Type {
+	base := p.parseTypeSpec()
+	d := p.parseDeclarator()
+	name, typ := d.apply(base)
+	if name != "" {
+		p.errorf(d.pos, "unexpected name %q in type", name)
+	}
+	return typ
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseBlock() *ast.BlockStmt {
+	lb := p.expect(token.LBRACE)
+	blk := &ast.BlockStmt{Lbrace: lb.Pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		blk.List = append(blk.List, p.parseStmtSafe())
+	}
+	p.expect(token.RBRACE)
+	return blk
+}
+
+func (p *Parser) parseStmtSafe() (s ast.Stmt) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bailout); !ok {
+				panic(r)
+			}
+			p.sync(true)
+			if s == nil {
+				s = &ast.EmptyStmt{SemiPos: p.tok().Pos}
+			}
+		}
+	}()
+	return p.parseStmt()
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	t := p.tok()
+	switch t.Kind {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.SEMI:
+		p.next()
+		return &ast.EmptyStmt{SemiPos: t.Pos}
+	case token.KwIf:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		then := p.parseStmt()
+		var els ast.Stmt
+		if p.accept(token.KwElse) {
+			els = p.parseStmt()
+		}
+		return &ast.IfStmt{IfPos: t.Pos, Cond: cond, Then: then, Else: els}
+	case token.KwWhile:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		body := p.parseStmt()
+		return &ast.WhileStmt{WhilePos: t.Pos, Cond: cond, Body: body}
+	case token.KwDo:
+		p.next()
+		body := p.parseStmt()
+		p.expect(token.KwWhile)
+		p.expect(token.LPAREN)
+		cond := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.DoWhileStmt{DoPos: t.Pos, Body: body, Cond: cond}
+	case token.KwFor:
+		p.next()
+		init, cond, post := p.parseForHeader()
+		body := p.parseStmt()
+		return &ast.ForStmt{ForPos: t.Pos, Init: init, Cond: cond, Post: post, Body: body}
+	case token.KwParfor:
+		p.next()
+		init, cond, post := p.parseForHeader()
+		body := p.parseStmt()
+		return &ast.ParForStmt{ParPos: t.Pos, Init: init, Cond: cond, Post: post, Body: body}
+	case token.KwPar:
+		p.next()
+		p.expect(token.LBRACE)
+		ps := &ast.ParStmt{ParPos: t.Pos}
+		for p.at(token.LBRACE) {
+			ps.Threads = append(ps.Threads, p.parseBlock())
+		}
+		p.expect(token.RBRACE)
+		if len(ps.Threads) == 0 {
+			p.errorf(t.Pos, "par construct with no threads")
+		}
+		return ps
+	case token.KwSpawn:
+		p.next()
+		call := p.parseSpawnCall()
+		p.expect(token.SEMI)
+		return &ast.SpawnStmt{SpawnPos: t.Pos, Call: call}
+	case token.KwSync:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.SyncStmt{SyncPos: t.Pos}
+	case token.KwReturn:
+		p.next()
+		var val ast.Expr
+		if !p.at(token.SEMI) {
+			val = p.parseExpr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{RetPos: t.Pos, Value: val}
+	case token.KwBreak:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.BreakStmt{BrPos: t.Pos}
+	case token.KwContinue:
+		p.next()
+		p.expect(token.SEMI)
+		return &ast.ContinueStmt{CtPos: t.Pos}
+	}
+
+	if p.typeStartsHere() {
+		return p.parseLocalDecl()
+	}
+
+	// "lhs = spawn f(args);" — look for an assignment whose RHS is a spawn.
+	if st := p.trySpawnAssign(); st != nil {
+		return st
+	}
+
+	x := p.parseExpr()
+	p.expect(token.SEMI)
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *Parser) parseForHeader() (ast.Stmt, ast.Expr, ast.Expr) {
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if !p.at(token.SEMI) {
+		if p.typeStartsHere() {
+			init = p.parseLocalDeclNoSemi()
+		} else {
+			init = &ast.ExprStmt{X: p.parseExpr()}
+		}
+	}
+	p.expect(token.SEMI)
+	var cond ast.Expr
+	if !p.at(token.SEMI) {
+		cond = p.parseExpr()
+	}
+	p.expect(token.SEMI)
+	var post ast.Expr
+	if !p.at(token.RPAREN) {
+		post = p.parseExpr()
+	}
+	p.expect(token.RPAREN)
+	return init, cond, post
+}
+
+func (p *Parser) parseLocalDecl() ast.Stmt {
+	s := p.parseLocalDeclNoSemi()
+	p.expect(token.SEMI)
+	return s
+}
+
+// parseLocalDeclNoSemi parses "type declarator (= init)?". Multiple
+// declarators per statement are supported by wrapping them in a block.
+func (p *Parser) parseLocalDeclNoSemi() ast.Stmt {
+	base := p.parseTypeSpec()
+	var decls []*ast.DeclStmt
+	for {
+		d := p.parseDeclarator()
+		name, typ := d.apply(base)
+		if name == "" {
+			p.errorf(d.pos, "expected variable name")
+			panic(bailout{})
+		}
+		vd := &ast.VarDecl{NamePos: d.pos, Name: name, Type: typ}
+		if p.accept(token.ASSIGN) {
+			if p.at(token.KwSpawn) {
+				p.errorf(p.tok().Pos, "spawn cannot initialise a declaration; assign separately")
+				panic(bailout{})
+			}
+			vd.Init = p.parseAssignExpr()
+		}
+		decls = append(decls, &ast.DeclStmt{Decl: vd})
+		if !p.accept(token.COMMA) {
+			break
+		}
+	}
+	if len(decls) == 1 {
+		return decls[0]
+	}
+	return &ast.DeclGroup{Decls: decls}
+}
+
+// trySpawnAssign attempts to parse "lvalue = spawn call;" with backtracking.
+func (p *Parser) trySpawnAssign() ast.Stmt {
+	save := p.pos
+	saveErrs := len(p.errors)
+	st := func() (st ast.Stmt) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(bailout); !ok {
+					panic(r)
+				}
+				st = nil
+			}
+		}()
+		lhs := p.parseUnaryExpr()
+		if !p.at(token.ASSIGN) || p.peekAt(1).Kind != token.KwSpawn {
+			return nil
+		}
+		p.next() // =
+		sp := p.next()
+		call := p.parseSpawnCall()
+		p.expect(token.SEMI)
+		return &ast.SpawnStmt{SpawnPos: sp.Pos, LHS: lhs, Call: call}
+	}()
+	if st == nil {
+		p.pos = save
+		p.errors = p.errors[:saveErrs]
+	}
+	return st
+}
+
+func (p *Parser) parseSpawnCall() *ast.CallExpr {
+	x := p.parseUnaryExpr()
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		p.errorf(x.Pos(), "spawn requires a call expression")
+		panic(bailout{})
+	}
+	return call
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	if p.tok().IsAssignOp() {
+		op := p.next()
+		rhs := p.parseAssignExpr()
+		return &ast.AssignExpr{OpPos: op.Pos, Op: op.Kind, X: lhs, Y: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if p.at(token.QUESTION) {
+		q := p.next()
+		then := p.parseExpr()
+		p.expect(token.COLON)
+		els := p.parseCondExpr()
+		return &ast.CondExpr{QPos: q.Pos, Cond: cond, Then: then, Else: els}
+	}
+	return cond
+}
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.PIPE:
+		return 3
+	case token.CARET:
+		return 4
+	case token.AMP:
+		return 5
+	case token.EQ, token.NEQ:
+		return 6
+	case token.LT, token.GT, token.LE, token.GE:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binPrec(p.tok().Kind)
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		op := p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &ast.BinaryExpr{OpPos: op.Pos, Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() ast.Expr {
+	t := p.tok()
+	switch t.Kind {
+	case token.STAR, token.AMP, token.MINUS, token.NOT, token.TILDE, token.PLUS:
+		p.next()
+		x := p.parseUnaryExpr()
+		if t.Kind == token.PLUS {
+			return x
+		}
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x}
+	case token.INC, token.DEC:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &ast.IncDecExpr{OpPos: t.Pos, Op: t.Kind, X: x}
+	case token.KwSizeof:
+		p.next()
+		if p.at(token.LPAREN) && p.peekAt(1).IsType() {
+			p.next()
+			typ := p.parseTypeName()
+			p.expect(token.RPAREN)
+			return &ast.SizeofExpr{SzPos: t.Pos, Of: typ}
+		}
+		x := p.parseUnaryExpr()
+		return &ast.SizeofExpr{SzPos: t.Pos, X: x}
+	case token.LPAREN:
+		if p.peekAt(1).IsType() {
+			p.next()
+			typ := p.parseTypeName()
+			p.expect(token.RPAREN)
+			x := p.parseUnaryExpr()
+			return &ast.CastExpr{LparenPos: t.Pos, To: typ, X: x}
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		t := p.tok()
+		switch t.Kind {
+		case token.LBRACK:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACK)
+			x = &ast.IndexExpr{LbrackPos: t.Pos, X: x, Index: idx}
+		case token.LPAREN:
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RPAREN) {
+				for {
+					args = append(args, p.parseAssignExpr())
+					if !p.accept(token.COMMA) {
+						break
+					}
+				}
+			}
+			p.expect(token.RPAREN)
+			x = p.makeCall(t.Pos, x, args)
+		case token.DOT:
+			p.next()
+			name := p.expect(token.IDENT)
+			x = &ast.MemberExpr{DotPos: t.Pos, X: x, Name: name.Lit}
+		case token.ARROW:
+			p.next()
+			name := p.expect(token.IDENT)
+			x = &ast.MemberExpr{DotPos: t.Pos, X: x, Name: name.Lit, Arrow: true}
+		case token.INC, token.DEC:
+			p.next()
+			x = &ast.IncDecExpr{OpPos: t.Pos, Op: t.Kind, X: x}
+		default:
+			return x
+		}
+	}
+}
+
+// makeCall builds a call node, rewriting malloc/calloc into allocation
+// sites (each syntactic occurrence is its own heap memory block).
+func (p *Parser) makeCall(lparen token.Pos, fun ast.Expr, args []ast.Expr) ast.Expr {
+	if id, ok := fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "malloc":
+			if len(args) != 1 {
+				p.errorf(lparen, "malloc takes one argument")
+				panic(bailout{})
+			}
+			return &ast.AllocExpr{AllocPos: id.NamePos, Size: args[0]}
+		case "calloc":
+			if len(args) != 2 {
+				p.errorf(lparen, "calloc takes two arguments")
+				panic(bailout{})
+			}
+			return &ast.AllocExpr{AllocPos: id.NamePos, Count: args[0], Size: args[1]}
+		}
+	}
+	return &ast.CallExpr{LparenPos: lparen, Fun: fun, Args: args}
+}
+
+func (p *Parser) parsePrimaryExpr() ast.Expr {
+	t := p.tok()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		return &ast.Ident{NamePos: t.Pos, Name: t.Lit}
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 0, 64)
+		if err != nil {
+			if f, ferr := strconv.ParseFloat(t.Lit, 64); ferr == nil {
+				v = int64(f)
+			} else {
+				p.errorf(t.Pos, "invalid numeric literal %q", t.Lit)
+			}
+		}
+		return &ast.IntLit{LitPos: t.Pos, Value: v, Text: t.Lit}
+	case token.CHAR:
+		p.next()
+		var b byte
+		if len(t.Lit) > 0 {
+			b = t.Lit[0]
+		}
+		return &ast.CharLit{LitPos: t.Pos, Value: b}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{LitPos: t.Pos, Value: t.Lit}
+	case token.KwNull:
+		p.next()
+		return &ast.NullLit{LitPos: t.Pos}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	panic(bailout{})
+}

@@ -1,0 +1,248 @@
+package parser
+
+import (
+	"testing"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/types"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.clk", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return prog
+}
+
+func TestParseFigure1Example(t *testing.T) {
+	src := `
+int x, y;
+int *p, **q;
+int main() {
+  x = 0; y = 0;
+  p = &x;
+  q = &p;
+  par {
+    { *p = 1; }
+    { *q = &y; }
+  }
+  *p = 2;
+  return 0;
+}
+`
+	prog := mustParse(t, src)
+	if len(prog.Globals) != 4 {
+		t.Fatalf("got %d globals, want 4", len(prog.Globals))
+	}
+	if prog.Globals[2].Name != "p" || !prog.Globals[2].Type.IsPointer() {
+		t.Errorf("p should be a pointer, got %s %s", prog.Globals[2].Name, prog.Globals[2].Type)
+	}
+	qt := prog.Globals[3].Type
+	if !qt.IsPointer() || !qt.Elem.IsPointer() {
+		t.Errorf("q should be int**, got %s", qt)
+	}
+	if len(prog.Funcs) != 1 {
+		t.Fatalf("got %d funcs, want 1", len(prog.Funcs))
+	}
+	body := prog.Funcs[0].Body.List
+	var par *ast.ParStmt
+	for _, s := range body {
+		if ps, ok := s.(*ast.ParStmt); ok {
+			par = ps
+		}
+	}
+	if par == nil || len(par.Threads) != 2 {
+		t.Fatalf("expected a par construct with 2 threads, got %+v", par)
+	}
+}
+
+func TestParseDeclarators(t *testing.T) {
+	tests := []struct {
+		src  string
+		name string
+		want string
+	}{
+		{"int x;", "x", "int"},
+		{"int *p;", "p", "int*"},
+		{"int **q;", "q", "int**"},
+		{"int a[10];", "a", "int[10]"},
+		{"int *a[10];", "a", "int*[10]"},
+		{"int m[4][8];", "m", "int[8][4]"}, // array 4 of array 8 of int
+		{"struct S *s;", "s", "struct S*"},
+		{"char *names[3];", "names", "char*[3]"},
+	}
+	for _, tt := range tests {
+		prog := mustParse(t, tt.src)
+		if len(prog.Globals) != 1 {
+			t.Fatalf("%q: got %d globals", tt.src, len(prog.Globals))
+		}
+		g := prog.Globals[0]
+		if g.Name != tt.name {
+			t.Errorf("%q: name = %q, want %q", tt.src, g.Name, tt.name)
+		}
+		if got := g.Type.String(); got != tt.want {
+			t.Errorf("%q: type = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParseFunctionPointerDeclarator(t *testing.T) {
+	prog := mustParse(t, "int (*fp)(int, char *);")
+	g := prog.Globals[0]
+	if g.Name != "fp" {
+		t.Fatalf("name = %q", g.Name)
+	}
+	typ := g.Type
+	if !typ.IsPointer() || !typ.Elem.IsFunc() {
+		t.Fatalf("fp should be pointer to function, got %s", typ)
+	}
+	ft := typ.Elem
+	if len(ft.Params) != 2 || ft.Params[0].Kind != types.Int || !ft.Params[1].IsPointer() {
+		t.Errorf("bad function pointer params: %s", typ)
+	}
+}
+
+func TestParseFunctionReturningPointer(t *testing.T) {
+	prog := mustParse(t, "int *alloc_node(int n) { return NULL; }")
+	fd := prog.Funcs[0]
+	if !fd.Result.IsPointer() {
+		t.Errorf("result should be int*, got %s", fd.Result)
+	}
+	if len(fd.Params) != 1 || fd.Params[0].Name != "n" {
+		t.Errorf("bad params: %+v", fd.Params)
+	}
+}
+
+func TestParseStructAndRecursiveStruct(t *testing.T) {
+	src := `
+struct node {
+  int value;
+  struct node *next;
+};
+struct node *head;
+`
+	prog := mustParse(t, src)
+	if len(prog.Structs) != 1 {
+		t.Fatalf("got %d structs", len(prog.Structs))
+	}
+	st := prog.Structs[0].Type
+	if len(st.Fields) != 2 {
+		t.Fatalf("got %d fields", len(st.Fields))
+	}
+	if st.Fields[1].Type.Elem != st {
+		t.Errorf("next should point back to the same struct type")
+	}
+	if st.Fields[0].Offset != 0 || st.Fields[1].Offset != 8 {
+		t.Errorf("field offsets = %d, %d; want 0, 8", st.Fields[0].Offset, st.Fields[1].Offset)
+	}
+}
+
+func TestParseSpawnSyncAndParfor(t *testing.T) {
+	src := `
+cilk int fib(int n) {
+  int a, b;
+  if (n < 2) return n;
+  a = spawn fib(n - 1);
+  b = spawn fib(n - 2);
+  sync;
+  return a + b;
+}
+int main() {
+  int i;
+  parfor (i = 0; i < 10; i++) {
+    spawn fib(i);
+  }
+  sync;
+  return 0;
+}
+`
+	prog := mustParse(t, src)
+	fib := prog.Funcs[0]
+	if !fib.Cilk {
+		t.Errorf("fib should be marked cilk")
+	}
+	var spawns, syncs int
+	var walk func(s ast.Stmt)
+	walk = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				walk(st)
+			}
+		case *ast.IfStmt:
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *ast.SpawnStmt:
+			spawns++
+			if s.LHS == nil && s.Call == nil {
+				t.Errorf("bad spawn")
+			}
+		case *ast.SyncStmt:
+			syncs++
+		case *ast.ParForStmt:
+			walk(s.Body)
+		}
+	}
+	walk(fib.Body)
+	walk(prog.Funcs[1].Body)
+	if spawns != 3 || syncs != 2 {
+		t.Errorf("spawns=%d syncs=%d, want 3 and 2", spawns, syncs)
+	}
+}
+
+func TestParseCastsAndMalloc(t *testing.T) {
+	src := `
+struct vec { double *data; int n; };
+struct vec *make(int n) {
+  struct vec *v;
+  v = (struct vec *)malloc(sizeof(struct vec));
+  v->data = (double *)malloc(n * 8);
+  v->n = n;
+  return v;
+}
+`
+	prog := mustParse(t, src)
+	if len(prog.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+}
+
+func TestParsePointerArithmetic(t *testing.T) {
+	src := `
+int sum(int *a, int n) {
+  int s;
+  int *p, *end;
+  s = 0;
+  p = a;
+  end = a + n;
+  while (p != end) { s = s + *p; p = p + 1; }
+  return s;
+}
+`
+	mustParse(t, src)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( { }",
+		"int x = ;",
+		"par { }",   // no threads... parsed as error
+		"int 3bad;", // lexes as INT then IDENT
+	}
+	for _, src := range bad {
+		if _, err := Parse("bad.clk", src+"\nint main(){return 0;}"); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParsePrivateGlobal(t *testing.T) {
+	prog := mustParse(t, "private int *scratch;\nint main(){return 0;}")
+	if !prog.Globals[0].Private {
+		t.Errorf("scratch should be private")
+	}
+}

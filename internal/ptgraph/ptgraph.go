@@ -1,0 +1,382 @@
+// Package ptgraph implements points-to graphs: sets of directed edges
+// between location sets (§3.1). Nodes are location-set IDs; an edge x→y
+// means a location in x may hold a pointer to a location in y. Graphs are
+// ordered by edge-set inclusion; the lattice meet is set union, and the
+// dataflow equations for par constructs additionally use intersection.
+package ptgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mtpa/internal/locset"
+)
+
+// Set is a set of location-set IDs.
+type Set map[locset.ID]struct{}
+
+// NewSet builds a set from the given IDs.
+func NewSet(ids ...locset.ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id.
+func (s Set) Add(id locset.ID) { s[id] = struct{}{} }
+
+// Has reports membership.
+func (s Set) Has(id locset.ID) bool { _, ok := s[id]; return ok }
+
+// AddAll inserts every element of other.
+func (s Set) AddAll(other Set) {
+	for id := range other {
+		s[id] = struct{}{}
+	}
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Sorted returns the elements in ascending order.
+func (s Set) Sorted() []locset.ID {
+	ids := make([]locset.ID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Equal reports set equality.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for id := range s {
+		if !other.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Edge is a points-to edge between two location sets.
+type Edge struct {
+	Src, Dst locset.ID
+}
+
+// Graph is a points-to graph: a set of edges with successor indexing.
+type Graph struct {
+	succ  map[locset.ID]Set
+	count int
+}
+
+// New returns an empty points-to graph.
+func New() *Graph {
+	return &Graph{succ: map[locset.ID]Set{}}
+}
+
+// Len returns the number of edges.
+func (g *Graph) Len() int { return g.count }
+
+// Add inserts the edge src→dst; it reports whether the graph changed.
+func (g *Graph) Add(src, dst locset.ID) bool {
+	s, ok := g.succ[src]
+	if !ok {
+		s = Set{}
+		g.succ[src] = s
+	}
+	if s.Has(dst) {
+		return false
+	}
+	s.Add(dst)
+	g.count++
+	return true
+}
+
+// AddEdge inserts e.
+func (g *Graph) AddEdge(e Edge) bool { return g.Add(e.Src, e.Dst) }
+
+// AddProduct inserts every edge in srcs × dsts; it reports change.
+func (g *Graph) AddProduct(srcs, dsts Set) bool {
+	changed := false
+	for s := range srcs {
+		for d := range dsts {
+			if g.Add(s, d) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Has reports whether src→dst is present.
+func (g *Graph) Has(src, dst locset.ID) bool {
+	return g.succ[src].Has(dst)
+}
+
+// Succs returns the successor set of src (nil when empty; do not modify).
+func (g *Graph) Succs(src locset.ID) Set { return g.succ[src] }
+
+// OutDegree returns the number of edges leaving src.
+func (g *Graph) OutDegree(src locset.ID) int { return len(g.succ[src]) }
+
+// Deref returns {y | ∃x ∈ srcs : (x,y) ∈ g}, the deref function of §3.2.
+// Dereferencing the unknown location yields the unknown location itself.
+func (g *Graph) Deref(srcs Set) Set {
+	out := Set{}
+	for s := range srcs {
+		if s == locset.UnkID {
+			out.Add(locset.UnkID)
+			continue
+		}
+		for d := range g.succ[s] {
+			out.Add(d)
+		}
+	}
+	return out
+}
+
+// Kill removes every edge whose source is in srcs; it reports change.
+func (g *Graph) Kill(srcs Set) bool {
+	changed := false
+	for s := range srcs {
+		if set, ok := g.succ[s]; ok && len(set) > 0 {
+			g.count -= len(set)
+			delete(g.succ, s)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// KillEdges removes the specific edges in kill (a src×dst product given as
+// a graph); it reports change.
+func (g *Graph) KillEdges(kill *Graph) bool {
+	changed := false
+	for src, dsts := range kill.succ {
+		cur, ok := g.succ[src]
+		if !ok {
+			continue
+		}
+		for d := range dsts {
+			if cur.Has(d) {
+				delete(cur, d)
+				g.count--
+				changed = true
+			}
+		}
+		if len(cur) == 0 {
+			delete(g.succ, src)
+		}
+	}
+	return changed
+}
+
+// Union adds every edge of other into g; it reports change.
+func (g *Graph) Union(other *Graph) bool {
+	if other == nil {
+		return false
+	}
+	changed := false
+	for src, dsts := range other.succ {
+		for d := range dsts {
+			if g.Add(src, d) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{succ: make(map[locset.ID]Set, len(g.succ)), count: g.count}
+	for src, dsts := range g.succ {
+		c.succ[src] = dsts.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two graphs contain the same edges.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.count != other.count {
+		return false
+	}
+	for src, dsts := range g.succ {
+		os, ok := other.succ[src]
+		if !ok && len(dsts) > 0 {
+			return false
+		}
+		if !dsts.Equal(os) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether g contains every edge of other (other ⊆ g).
+func (g *Graph) Contains(other *Graph) bool {
+	for src, dsts := range other.succ {
+		gs, ok := g.succ[src]
+		if !ok {
+			if len(dsts) > 0 {
+				return false
+			}
+			continue
+		}
+		for d := range dsts {
+			if !gs.Has(d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Intersect returns a new graph with the edges present in both graphs.
+func Intersect(a, b *Graph) *Graph {
+	if b.count < a.count {
+		a, b = b, a
+	}
+	out := New()
+	for src, dsts := range a.succ {
+		bs, ok := b.succ[src]
+		if !ok {
+			continue
+		}
+		for d := range dsts {
+			if bs.Has(d) {
+				out.Add(src, d)
+			}
+		}
+	}
+	return out
+}
+
+// IntersectAll intersects a non-empty list of graphs.
+func IntersectAll(gs []*Graph) *Graph {
+	if len(gs) == 0 {
+		return New()
+	}
+	out := gs[0].Clone()
+	for _, g := range gs[1:] {
+		out = Intersect(out, g)
+	}
+	return out
+}
+
+// Map returns a new graph with every node rewritten by f. Edges whose
+// mapped source is the unknown location set are dropped (stores through
+// unk are ignored, and ⟨unk⟩×L edges are removed by unmapping — §3.10.1).
+func (g *Graph) Map(f func(locset.ID) locset.ID) *Graph {
+	out := New()
+	for src, dsts := range g.succ {
+		ms := f(src)
+		if ms == locset.UnkID {
+			continue
+		}
+		for d := range dsts {
+			out.Add(ms, f(d))
+		}
+	}
+	return out
+}
+
+// Sources returns the location sets with at least one outgoing edge.
+func (g *Graph) Sources() []locset.ID {
+	out := make([]locset.ID, 0, len(g.succ))
+	for s, dsts := range g.succ {
+		if len(dsts) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Nodes returns the set of location sets appearing as an endpoint of any
+// edge (the nodes(C) function of §3.10.1).
+func (g *Graph) Nodes() Set {
+	out := Set{}
+	for src, dsts := range g.succ {
+		if len(dsts) == 0 {
+			continue
+		}
+		out.Add(src)
+		for d := range dsts {
+			out.Add(d)
+		}
+	}
+	return out
+}
+
+// Edges returns all edges sorted by (src, dst).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.count)
+	for src, dsts := range g.succ {
+		for d := range dsts {
+			out = append(out, Edge{Src: src, Dst: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// Key returns a canonical string encoding of the edge set, usable as a
+// cache key (contexts canonicalise ghost numbering, so equal contexts
+// produce equal keys).
+func (g *Graph) Key() string {
+	edges := g.Edges()
+	var sb strings.Builder
+	sb.Grow(len(edges) * 8)
+	for _, e := range edges {
+		fmt.Fprintf(&sb, "%d>%d;", e.Src, e.Dst)
+	}
+	return sb.String()
+}
+
+// Format renders the graph with human-readable location-set names.
+func (g *Graph) Format(tab *locset.Table) string {
+	edges := g.Edges()
+	if len(edges) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(edges))
+	for i, e := range edges {
+		parts[i] = fmt.Sprintf("%s->%s", tab.String(e.Src), tab.String(e.Dst))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// FormatFiltered renders the graph omitting edges whose source block kind
+// is in the hidden list (used to hide temporaries in reports).
+func (g *Graph) FormatFiltered(tab *locset.Table, hide func(locset.ID) bool) string {
+	edges := g.Edges()
+	var parts []string
+	for _, e := range edges {
+		if hide != nil && hide(e.Src) {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s->%s", tab.String(e.Src), tab.String(e.Dst)))
+	}
+	if len(parts) == 0 {
+		return "{}"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

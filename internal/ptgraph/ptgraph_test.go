@@ -1,0 +1,273 @@
+package ptgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mtpa/internal/locset"
+)
+
+// randomGraph builds a pseudo-random graph over n location sets.
+func randomGraph(r *rand.Rand, n, edges int) *Graph {
+	g := New()
+	for i := 0; i < edges; i++ {
+		g.Add(locset.ID(r.Intn(n)), locset.ID(r.Intn(n)))
+	}
+	return g
+}
+
+func graphGen(values []int) *Graph {
+	g := New()
+	for i := 0; i+1 < len(values); i += 2 {
+		g.Add(locset.ID(abs(values[i])%12), locset.ID(abs(values[i+1])%12))
+	}
+	return g
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestAddHasLen(t *testing.T) {
+	g := New()
+	if g.Len() != 0 {
+		t.Fatalf("empty graph has %d edges", g.Len())
+	}
+	if !g.Add(1, 2) {
+		t.Error("first Add should report change")
+	}
+	if g.Add(1, 2) {
+		t.Error("duplicate Add should not report change")
+	}
+	if !g.Has(1, 2) || g.Has(2, 1) {
+		t.Error("Has is wrong")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestDeref(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(1, 3)
+	g.Add(2, 4)
+	d := g.Deref(NewSet(1))
+	if len(d) != 2 || !d.Has(2) || !d.Has(3) {
+		t.Errorf("deref(1) = %v", d.Sorted())
+	}
+	// Dereferencing unk yields unk itself.
+	d = g.Deref(NewSet(locset.UnkID))
+	if len(d) != 1 || !d.Has(locset.UnkID) {
+		t.Errorf("deref(unk) = %v", d.Sorted())
+	}
+	// Dereferencing an edgeless node yields the empty set at graph level
+	// (the core analysis layers the unk backstop on top).
+	d = g.Deref(NewSet(9))
+	if len(d) != 0 {
+		t.Errorf("deref(9) = %v, want empty", d.Sorted())
+	}
+}
+
+func TestKill(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(1, 3)
+	g.Add(2, 3)
+	if !g.Kill(NewSet(1)) {
+		t.Error("Kill should report change")
+	}
+	if g.Has(1, 2) || g.Has(1, 3) || !g.Has(2, 3) {
+		t.Error("Kill removed wrong edges")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if g.Kill(NewSet(1)) {
+		t.Error("second Kill should be a no-op")
+	}
+}
+
+func TestKillEdges(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(1, 3)
+	kill := New()
+	kill.Add(1, 2)
+	kill.Add(5, 6) // absent edge: ignored
+	g.KillEdges(kill)
+	if g.Has(1, 2) || !g.Has(1, 3) || g.Len() != 1 {
+		t.Errorf("KillEdges wrong: %v", g.Edges())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := New()
+	a.Add(1, 2)
+	a.Add(2, 3)
+	b := New()
+	b.Add(1, 2)
+	b.Add(3, 4)
+	got := Intersect(a, b)
+	if got.Len() != 1 || !got.Has(1, 2) {
+		t.Errorf("Intersect = %v", got.Edges())
+	}
+}
+
+func TestMapDropsUnkSources(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(3, 4)
+	mapped := g.Map(func(id locset.ID) locset.ID {
+		if id == 1 {
+			return locset.UnkID
+		}
+		return id
+	})
+	if mapped.Has(locset.UnkID, 2) || !mapped.Has(3, 4) || mapped.Len() != 1 {
+		t.Errorf("Map = %v", mapped.Edges())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	c := g.Clone()
+	c.Add(3, 4)
+	g.Kill(NewSet(1))
+	if !c.Has(1, 2) || !c.Has(3, 4) || g.Len() != 0 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New()
+	g.Add(3, 1)
+	g.Add(1, 5)
+	g.Add(1, 2)
+	es := g.Edges()
+	want := []Edge{{1, 2}, {1, 5}, {3, 1}}
+	if len(es) != 3 {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Errorf("Edges[%d] = %v, want %v", i, es[i], want[i])
+		}
+	}
+}
+
+// Property: union is commutative and associative, and is an upper bound.
+func TestQuickUnionLattice(t *testing.T) {
+	f := func(xs, ys []int) bool {
+		a, b := graphGen(xs), graphGen(ys)
+		ab := a.Clone()
+		ab.Union(b)
+		ba := b.Clone()
+		ba.Union(a)
+		return ab.Equal(ba) && ab.Contains(a) && ab.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is the lattice lower bound and is commutative.
+func TestQuickIntersection(t *testing.T) {
+	f := func(xs, ys []int) bool {
+		a, b := graphGen(xs), graphGen(ys)
+		i1 := Intersect(a, b)
+		i2 := Intersect(b, a)
+		return i1.Equal(i2) && a.Contains(i1) && b.Contains(i1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key is canonical — equal graphs have equal keys, and a graph
+// equals any graph rebuilt from its edge list in shuffled order.
+func TestQuickCanonicalKey(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(r, 10, r.Intn(30))
+		edges := g.Edges()
+		r.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		h := New()
+		for _, e := range edges {
+			h.AddEdge(e)
+		}
+		if g.Key() != h.Key() || !g.Equal(h) {
+			t.Fatalf("canonical key broken: %q vs %q", g.Key(), h.Key())
+		}
+	}
+}
+
+// Property: Contains is a partial order (reflexive, antisymmetric via
+// Equal, transitive on random chains).
+func TestQuickContainsOrder(t *testing.T) {
+	f := func(xs, ys []int) bool {
+		a, b := graphGen(xs), graphGen(ys)
+		u := a.Clone()
+		u.Union(b)
+		if !a.Contains(a) {
+			return false
+		}
+		if a.Contains(b) && b.Contains(a) && !a.Equal(b) {
+			return false
+		}
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Deref distributes over union of graphs: deref(S, a∪b) =
+// deref(S,a) ∪ deref(S,b) for unk-free S.
+func TestQuickDerefMonotone(t *testing.T) {
+	f := func(xs, ys []int, sraw []int) bool {
+		a, b := graphGen(xs), graphGen(ys)
+		s := Set{}
+		for _, v := range sraw {
+			id := locset.ID(abs(v)%11 + 1) // avoid unk
+			s.Add(id)
+		}
+		u := a.Clone()
+		u.Union(b)
+		da := a.Deref(s)
+		db := b.Deref(s)
+		du := u.Deref(s)
+		want := da.Clone()
+		want.AddAll(db)
+		return du.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGraphUnion(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g1 := randomGraph(r, 200, 1000)
+	g2 := randomGraph(r, 200, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := g1.Clone()
+		c.Union(g2)
+	}
+}
+
+func BenchmarkGraphIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g1 := randomGraph(r, 200, 1000)
+	g2 := randomGraph(r, 200, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersect(g1, g2)
+	}
+}

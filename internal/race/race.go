@@ -1,0 +1,321 @@
+// Package race implements a static race detector for MiniCilk programs —
+// one of the software-engineering applications §5.2 of the paper envisions
+// for the multithreaded pointer analysis. For every pair of memory accesses
+// that may execute in parallel (accesses in different threads of a par
+// construct, or any two iterations of a parallel loop), the detector asks
+// the points-to results which location sets each access may touch; if the
+// sets overlap and at least one access is a write, the pair is a potential
+// data race.
+//
+// Accesses inside procedures called from a thread are attributed to the
+// thread through a call-graph closure (calls through function pointers
+// conservatively reach every function whose address is taken).
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"mtpa/internal/core"
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+	"mtpa/internal/token"
+)
+
+// Access is one memory access attributed to a thread.
+type Access struct {
+	Instr *ir.Instr
+	Fn    *ir.Func
+	Write bool
+	// Locs is the set of location sets the access may touch, merged over
+	// all analysis contexts with ghost location sets expanded to the
+	// actual location sets they stand for.
+	Locs []locset.ID
+}
+
+// Pos returns the source position of the access.
+func (a *Access) Pos() token.Pos { return a.Instr.Pos }
+
+// Race is a potential data race between two parallel accesses.
+type Race struct {
+	A, B    *Access
+	Shared  []locset.ID // the overlapping location sets (from A's view)
+	ParPos  token.Pos   // position of the parallel construct
+	ParKind string      // "par" or "parfor"
+}
+
+// String renders the race for reports.
+func (r *Race) String() string {
+	kind := func(a *Access) string {
+		if a.Write {
+			return "write"
+		}
+		return "read"
+	}
+	return fmt.Sprintf("%s at %s races with %s at %s (%s construct at %s)",
+		kind(r.A), r.A.Pos(), kind(r.B), r.B.Pos(), r.ParKind, r.ParPos)
+}
+
+// Detector runs race detection over one analysis result.
+type Detector struct {
+	prog *ir.Program
+	res  *core.Result
+	tab  *locset.Table
+
+	// accLocs caches the merged, ghost-expanded location sets per AccID.
+	accLocs map[int][]locset.ID
+	// callees maps each function to the functions it may call.
+	callees map[*ir.Func][]*ir.Func
+	// addrTaken lists functions whose address is taken (targets of
+	// unresolved indirect calls).
+	addrTaken []*ir.Func
+}
+
+// New builds a detector from a completed multithreaded analysis.
+func New(prog *ir.Program, res *core.Result) *Detector {
+	d := &Detector{
+		prog:    prog,
+		res:     res,
+		tab:     prog.Table,
+		accLocs: map[int][]locset.ID{},
+		callees: map[*ir.Func][]*ir.Func{},
+	}
+	for _, s := range res.Metrics.AccessSamples() {
+		expanded := res.ExpandGhosts(s)
+		d.accLocs[s.AccID] = mergeIDs(d.accLocs[s.AccID], expanded)
+	}
+	d.buildCallGraph()
+	return d
+}
+
+func mergeIDs(a, b []locset.ID) []locset.ID {
+	seen := map[locset.ID]bool{}
+	var out []locset.ID
+	for _, s := range [][]locset.ID{a, b} {
+		for _, id := range s {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Detector) buildCallGraph() {
+	taken := map[*ir.Func]bool{}
+	for _, fn := range d.prog.Funcs {
+		seen := map[*ir.Func]bool{}
+		for _, n := range fn.AllNodes {
+			for _, in := range n.Instrs {
+				switch in.Op {
+				case ir.OpCall:
+					if in.Call.Callee != nil {
+						if cf := d.prog.FuncOf(in.Call.Callee); cf != nil && !seen[cf] {
+							seen[cf] = true
+							d.callees[fn] = append(d.callees[fn], cf)
+						}
+					} else if in.Call.FnLoc != ir.NoLoc {
+						// Indirect: handled via the address-taken set.
+						d.callees[fn] = append(d.callees[fn], nil)
+					}
+				case ir.OpAddrOf:
+					if in.Src != ir.NoLoc {
+						if b := d.tab.Get(in.Src).Block; b.Kind == locset.KindFunc {
+							if tf := d.prog.FuncOf(b.Fn); tf != nil {
+								taken[tf] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for fn := range taken {
+		d.addrTaken = append(d.addrTaken, fn)
+	}
+	sort.Slice(d.addrTaken, func(i, j int) bool { return d.addrTaken[i].Name < d.addrTaken[j].Name })
+}
+
+// accessClosure collects the accesses of a thread body plus everything
+// reachable through calls. Accesses reached through a call that touch only
+// local variables of the callee are dropped: every invocation has its own
+// frame, so same-named locals of distinct calls cannot race (locals whose
+// address escapes are still covered by the pointer-mediated accesses,
+// whose location sets come from the ghost-expanded analysis samples).
+func (d *Detector) accessClosure(b *ir.Body) []*Access {
+	var out []*Access
+	visited := map[*ir.Func]bool{}
+	var visitFn func(fn *ir.Func)
+	var visitBody func(body *ir.Body, direct bool)
+
+	addInstr := func(in *ir.Instr, fn *ir.Func, direct bool) {
+		var write bool
+		var locs []locset.ID
+		switch in.Op {
+		case ir.OpLoad, ir.OpDataLoad:
+			locs = d.accLocs[in.AccID]
+		case ir.OpStore, ir.OpDataStore:
+			write = true
+			locs = d.accLocs[in.AccID]
+		case ir.OpDirectLoad, ir.OpRegLoad:
+			locs = []locset.ID{in.Src}
+		case ir.OpDirectStore, ir.OpRegStore, ir.OpCopy:
+			if in.Op == ir.OpCopy && !d.isMemory(in.Dst) {
+				// Copies into temporaries are register traffic.
+				return
+			}
+			write = true
+			locs = []locset.ID{in.Dst}
+		default:
+			return
+		}
+		if len(locs) == 0 {
+			return
+		}
+		if !direct {
+			var kept []locset.ID
+			for _, l := range locs {
+				switch d.tab.Get(l).Block.Kind {
+				case locset.KindLocal, locset.KindParam:
+					// Per-frame storage of the callee: cannot race across
+					// calls unless its address escapes (covered elsewhere).
+				default:
+					kept = append(kept, l)
+				}
+			}
+			locs = kept
+			if len(locs) == 0 {
+				return
+			}
+		}
+		out = append(out, &Access{Instr: in, Fn: fn, Write: write, Locs: locs})
+	}
+
+	visitBody = func(body *ir.Body, direct bool) {
+		for _, n := range body.Nodes {
+			switch n.Kind {
+			case ir.NodeBlock:
+				for _, in := range n.Instrs {
+					if in.Op == ir.OpCall {
+						if in.Call.Callee != nil {
+							if cf := d.prog.FuncOf(in.Call.Callee); cf != nil {
+								visitFn(cf)
+							}
+						} else if in.Call.Builtin == 0 {
+							for _, tf := range d.addrTaken {
+								visitFn(tf)
+							}
+						}
+						continue
+					}
+					addInstr(in, n.Fn, direct)
+				}
+			case ir.NodePar:
+				for _, th := range n.Threads {
+					visitBody(th, direct)
+				}
+			case ir.NodeParFor:
+				visitBody(n.Body, direct)
+			}
+		}
+	}
+	visitFn = func(fn *ir.Func) {
+		if visited[fn] {
+			return
+		}
+		visited[fn] = true
+		visitBody(fn.Body, false)
+	}
+	visitBody(b, true)
+	return out
+}
+
+// isMemory reports whether a location set denotes addressable program
+// memory (as opposed to a compiler temporary).
+func (d *Detector) isMemory(id locset.ID) bool {
+	if id == ir.NoLoc || id == locset.UnkID {
+		return false
+	}
+	switch d.tab.Get(id).Block.Kind {
+	case locset.KindTemp, locset.KindRet, locset.KindFunc:
+		return false
+	case locset.KindPrivateGlobal:
+		// Each thread has its own version (§3.9): private globals cannot
+		// carry inter-thread races.
+		return false
+	}
+	return true
+}
+
+// overlap returns the location sets of a that may denote memory also
+// denoted by b (unk excluded: it would flag everything).
+func (d *Detector) overlap(a, b []locset.ID) []locset.ID {
+	var out []locset.ID
+	for _, la := range a {
+		if la == locset.UnkID || !d.isMemory(la) {
+			continue
+		}
+		for _, lb := range b {
+			if lb == locset.UnkID || !d.isMemory(lb) {
+				continue
+			}
+			if d.tab.Overlap(la, lb) {
+				out = append(out, la)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Detect finds potential races in every parallel construct of the program.
+func (d *Detector) Detect() []*Race {
+	var races []*Race
+	seen := map[string]bool{}
+	for _, fn := range d.prog.Funcs {
+		for _, n := range fn.AllNodes {
+			switch n.Kind {
+			case ir.NodePar:
+				threadAccs := make([][]*Access, len(n.Threads))
+				for i, th := range n.Threads {
+					threadAccs[i] = d.accessClosure(th)
+				}
+				for i := 0; i < len(threadAccs); i++ {
+					for j := i + 1; j < len(threadAccs); j++ {
+						d.checkPairs(n, "par", threadAccs[i], threadAccs[j], &races, seen, false)
+					}
+				}
+			case ir.NodeParFor:
+				accs := d.accessClosure(n.Body)
+				d.checkPairs(n, "parfor", accs, accs, &races, seen, true)
+			}
+		}
+	}
+	sort.Slice(races, func(i, j int) bool { return races[i].String() < races[j].String() })
+	return races
+}
+
+func (d *Detector) checkPairs(n *ir.Node, kind string, as, bs []*Access, races *[]*Race, seen map[string]bool, self bool) {
+	for ai, a := range as {
+		for bi, b := range bs {
+			if self && bi < ai {
+				continue // unordered pairs once (iterations are symmetric)
+			}
+			if !a.Write && !b.Write {
+				continue
+			}
+			shared := d.overlap(a.Locs, b.Locs)
+			if len(shared) == 0 {
+				continue
+			}
+			r := &Race{A: a, B: b, Shared: shared, ParPos: n.Pos, ParKind: kind}
+			key := r.String()
+			if !seen[key] {
+				seen[key] = true
+				*races = append(*races, r)
+			}
+		}
+	}
+}

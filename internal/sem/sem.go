@@ -1,0 +1,708 @@
+// Package sem performs semantic analysis of MiniCilk programs: name
+// resolution, type checking, allocation-site numbering, and the collection
+// of program-wide entity lists consumed by IR lowering.
+//
+// Two checks mirror assumptions the paper states explicitly: programs may
+// not assign integers to pointer variables (§3.1), and NULL is a pointer
+// value that points to the unknown location set (§4.2).
+package sem
+
+import (
+	"fmt"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+// Error is a semantic error or warning with a source position.
+type Error struct {
+	Pos     token.Pos
+	Msg     string
+	Warning bool
+}
+
+func (e *Error) Error() string {
+	tag := "error"
+	if e.Warning {
+		tag = "warning"
+	}
+	return fmt.Sprintf("%s: %s: %s", e.Pos, tag, e.Msg)
+}
+
+// ErrorList is a collection of semantic diagnostics.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more diagnostics)", l[0], len(l)-1)
+}
+
+// HardErrors returns only the non-warning diagnostics.
+func (l ErrorList) HardErrors() ErrorList {
+	var out ErrorList
+	for _, e := range l {
+		if !e.Warning {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Builtin identifies a hardwired library function (§3.10.4). malloc and
+// calloc are rewritten to allocation sites by the parser and never appear
+// as builtins.
+type Builtin int
+
+// The hardwired library functions.
+const (
+	BuiltinNone Builtin = iota
+	BuiltinFree
+	BuiltinPrintf
+	BuiltinMemset // returns its first argument
+	BuiltinMemcpy // conservative deep copy between pointed-to blocks
+	BuiltinStrlen
+	BuiltinStrcpy // returns its first argument
+	BuiltinRand
+	BuiltinSrand
+	BuiltinAbs
+	BuiltinExit
+	BuiltinSqrt
+	BuiltinFabs
+	BuiltinClock
+	BuiltinAtoi
+	BuiltinAssert
+)
+
+var builtins = map[string]Builtin{
+	"free": BuiltinFree, "printf": BuiltinPrintf, "fprintf": BuiltinPrintf,
+	"memset": BuiltinMemset, "memcpy": BuiltinMemcpy, "strlen": BuiltinStrlen,
+	"strcpy": BuiltinStrcpy, "rand": BuiltinRand, "srand": BuiltinSrand,
+	"abs": BuiltinAbs, "exit": BuiltinExit, "sqrt": BuiltinSqrt,
+	"fabs": BuiltinFabs, "clock": BuiltinClock, "atoi": BuiltinAtoi,
+	"assert": BuiltinAssert,
+}
+
+// LookupBuiltin returns the builtin for a name, or BuiltinNone.
+func LookupBuiltin(name string) Builtin { return builtins[name] }
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Program *ast.Program
+	// Symbols lists every symbol in ID order.
+	Symbols []*ast.Symbol
+	// Funcs lists function declarations with bodies, main first if present.
+	Funcs []*ast.FuncDecl
+	// Main is the entry function, or nil.
+	Main *ast.FuncDecl
+	// AllocSites lists allocation expressions in SiteID order.
+	AllocSites []*ast.AllocExpr
+	// StringLits lists string literals in encounter order.
+	StringLits []*ast.StringLit
+	// LocalsOf maps a function to all its local variable symbols
+	// (including those declared in nested blocks).
+	LocalsOf map[*ast.FuncDecl][]*ast.Symbol
+}
+
+type checker struct {
+	info    *Info
+	errs    ErrorList
+	globals map[string]*ast.Symbol
+	scopes  []map[string]*ast.Symbol
+	curFn   *ast.FuncDecl
+	loop    int
+	structs map[string]*types.Type
+}
+
+// Check resolves and type-checks the program. It always returns a non-nil
+// Info; the ErrorList contains warnings and errors (use HardErrors to
+// decide whether downstream phases may run).
+func Check(prog *ast.Program) (*Info, ErrorList) {
+	c := &checker{
+		info: &Info{
+			Program:  prog,
+			LocalsOf: map[*ast.FuncDecl][]*ast.Symbol{},
+		},
+		globals: map[string]*ast.Symbol{},
+		structs: map[string]*types.Type{},
+	}
+	for _, sd := range prog.Structs {
+		c.structs[sd.Name] = sd.Type
+	}
+
+	// Pass 1: declare globals and functions.
+	for _, vd := range prog.Globals {
+		kind := ast.SymGlobal
+		if vd.Private {
+			kind = ast.SymPrivateGlobal
+		}
+		sym := c.declare(c.globals, kind, vd.Name, vd.Type, vd, vd.NamePos)
+		vd.Sym = sym
+	}
+	for _, fd := range prog.Funcs {
+		if prev, ok := c.globals[fd.Name]; ok {
+			if prev.Kind == ast.SymFunc && prev.Func != nil && prev.Func.Body == nil && fd.Body != nil {
+				// Definition completing a prototype.
+				prev.Func = fd
+				prev.Type = fd.Type()
+				fd.Sym = prev
+				continue
+			}
+			c.errorf(fd.NamePos, "%s redeclared", fd.Name)
+			continue
+		}
+		sym := c.declare(c.globals, ast.SymFunc, fd.Name, fd.Type(), fd, fd.NamePos)
+		sym.Func = fd
+		fd.Sym = sym
+	}
+
+	// Pass 2: check global initialisers and function bodies.
+	for _, vd := range prog.Globals {
+		if vd.Init != nil {
+			t := c.checkExpr(vd.Init)
+			c.checkAssignable(vd.NamePos, vd.Type, t, vd.Init)
+		}
+	}
+	for _, fd := range prog.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		c.checkFunc(fd)
+		c.info.Funcs = append(c.info.Funcs, fd)
+		if fd.Name == "main" {
+			c.info.Main = fd
+		}
+	}
+	if c.info.Main == nil {
+		c.warnf(token.Pos{File: prog.File, Line: 1, Col: 1}, "program has no main function")
+	}
+	return c.info, c.errs
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) warnf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...), Warning: true})
+}
+
+func (c *checker) declare(scope map[string]*ast.Symbol, kind ast.SymKind, name string, typ *types.Type, decl ast.Node, pos token.Pos) *ast.Symbol {
+	if _, ok := scope[name]; ok {
+		c.errorf(pos, "%s redeclared in this scope", name)
+	}
+	sym := &ast.Symbol{Kind: kind, Name: name, Type: typ, Decl: decl, ID: len(c.info.Symbols), Owner: c.curFn}
+	scope[name] = sym
+	c.info.Symbols = append(c.info.Symbols, sym)
+	return sym
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*ast.Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *ast.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.curFn = fd
+	defer func() { c.curFn = nil }()
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range fd.Params {
+		if p.Name == "" {
+			c.errorf(fd.NamePos, "function definition %s has unnamed parameter", fd.Name)
+			continue
+		}
+		p.Sym = c.declare(c.scopes[len(c.scopes)-1], ast.SymParam, p.Name, p.Type, fd, p.NamePos)
+	}
+	c.checkStmt(fd.Body)
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.pushScope()
+		for _, st := range s.List {
+			c.checkStmt(st)
+		}
+		c.popScope()
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.DeclStmt:
+		vd := s.Decl
+		if vd.Private {
+			c.errorf(vd.NamePos, "private is only valid on global variables")
+		}
+		sym := c.declare(c.scopes[len(c.scopes)-1], ast.SymLocal, vd.Name, vd.Type, vd, vd.NamePos)
+		vd.Sym = sym
+		c.info.LocalsOf[c.curFn] = append(c.info.LocalsOf[c.curFn], sym)
+		if vd.Init != nil {
+			t := c.checkExpr(vd.Init)
+			c.checkAssignable(vd.NamePos, vd.Type, t, vd.Init)
+		}
+	case *ast.DeclGroup:
+		for _, d := range s.Decls {
+			c.checkStmt(d)
+		}
+	case *ast.IfStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.loop++
+		c.checkStmt(s.Body)
+		c.loop--
+	case *ast.DoWhileStmt:
+		c.loop++
+		c.checkStmt(s.Body)
+		c.loop--
+		c.checkCond(s.Cond)
+	case *ast.ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.loop++
+		c.checkStmt(s.Body)
+		c.loop--
+		c.popScope()
+	case *ast.ParForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.checkStmt(s.Body)
+		c.popScope()
+	case *ast.ParStmt:
+		for _, t := range s.Threads {
+			c.checkStmt(t)
+		}
+	case *ast.SpawnStmt:
+		rt := c.checkCall(s.Call)
+		if s.LHS != nil {
+			lt := c.checkExpr(s.LHS)
+			c.requireLvalue(s.LHS)
+			c.checkAssignable(s.SpawnPos, lt, rt, s.Call)
+		}
+	case *ast.SyncStmt:
+	case *ast.ReturnStmt:
+		want := types.VoidType
+		if c.curFn != nil {
+			want = c.curFn.Result
+		}
+		if s.Value != nil {
+			got := c.checkExpr(s.Value)
+			if want.Kind == types.Void {
+				c.errorf(s.RetPos, "return with value in void function")
+			} else {
+				c.checkAssignable(s.RetPos, want, got, s.Value)
+			}
+		} else if want.Kind != types.Void {
+			c.errorf(s.RetPos, "return without value in non-void function")
+		}
+	case *ast.BreakStmt:
+		if c.loop == 0 {
+			c.errorf(s.BrPos, "break outside loop")
+		}
+	case *ast.ContinueStmt:
+		if c.loop == 0 {
+			c.errorf(s.CtPos, "continue outside loop")
+		}
+	case *ast.EmptyStmt:
+	default:
+		panic(fmt.Sprintf("sem: unknown statement %T", s))
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr) {
+	t := c.checkExpr(e)
+	if t != nil && !t.IsScalar() && t.Kind != types.Void {
+		c.errorf(e.Pos(), "condition must be scalar, found %s", t)
+	}
+}
+
+// checkAssignable enforces the paper's assumption: ints may not flow into
+// pointers (except NULL and explicit casts, which the paper handles).
+func (c *checker) checkAssignable(pos token.Pos, dst, src *types.Type, rhs ast.Expr) {
+	if dst == nil || src == nil {
+		return
+	}
+	if dst.IsPointer() {
+		if _, isNull := rhs.(*ast.NullLit); isNull {
+			return
+		}
+		if src.IsPointer() {
+			return // pointer-to-pointer assignment, possibly implicit cast
+		}
+		if lit, ok := rhs.(*ast.IntLit); ok && lit.Value == 0 {
+			return // 0 as null pointer constant
+		}
+		c.errorf(pos, "assignment of %s to pointer type %s (the analysis assumes no int-to-pointer flows)", src, dst)
+		return
+	}
+	if dst.IsArith() && src.IsArith() {
+		return
+	}
+	if dst.IsArith() && src.IsPointer() {
+		c.warnf(pos, "pointer value used as %s", dst)
+		return
+	}
+	if dst.IsStruct() && dst == src {
+		return
+	}
+	if !types.Same(dst, src) && !(dst.IsArith() && src.IsArith()) {
+		c.warnf(pos, "assigning %s to %s", src, dst)
+	}
+}
+
+func (c *checker) requireLvalue(e ast.Expr) {
+	if !isLvalue(e) {
+		c.errorf(e.Pos(), "expression is not assignable")
+	}
+}
+
+func isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Sym == nil || e.Sym.Kind != ast.SymFunc
+	case *ast.IndexExpr, *ast.MemberExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.STAR
+	case *ast.CastExpr:
+		return isLvalue(e.X)
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e ast.Expr) *types.Type {
+	t := c.checkExprNoDecay(e)
+	return t
+}
+
+func setType(e ast.Expr, t *types.Type) *types.Type {
+	type typeSetter interface{ SetType(*types.Type) }
+	if ts, ok := e.(typeSetter); ok {
+		ts.SetType(t)
+	}
+	return t
+}
+
+func (c *checker) checkExprNoDecay(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			if b := LookupBuiltin(e.Name); b != BuiltinNone {
+				// A builtin used as a bare identifier (it will be called);
+				// give it a generic function type.
+				return setType(e, types.PointerTo(types.FuncOf(types.IntType, nil)))
+			}
+			c.errorf(e.NamePos, "undefined: %s", e.Name)
+			return setType(e, types.IntType)
+		}
+		e.Sym = sym
+		t := sym.Type
+		if sym.Kind == ast.SymFunc {
+			t = types.PointerTo(sym.Type) // function designator decays
+		} else {
+			t = t.Decay()
+		}
+		return setType(e, t)
+	case *ast.IntLit:
+		return setType(e, types.IntType)
+	case *ast.CharLit:
+		return setType(e, types.CharType)
+	case *ast.StringLit:
+		c.info.StringLits = append(c.info.StringLits, e)
+		return setType(e, types.PointerTo(types.CharType))
+	case *ast.NullLit:
+		return setType(e, types.PointerTo(types.VoidType))
+	case *ast.UnaryExpr:
+		xt := c.checkExpr(e.X)
+		switch e.Op {
+		case token.STAR:
+			if xt.IsPointer() {
+				return setType(e, xt.Elem.Decay())
+			}
+			c.errorf(e.OpPos, "cannot dereference non-pointer type %s", xt)
+			return setType(e, types.IntType)
+		case token.AMP:
+			if id, ok := e.X.(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind == ast.SymFunc {
+				// &f on a function designator yields a function pointer.
+				return setType(e, types.PointerTo(id.Sym.Type))
+			}
+			c.requireLvalue(e.X)
+			// &x on an expression of array type takes the array's address;
+			// treat as pointer to the element for stride purposes.
+			base := baseLvalueType(e.X)
+			return setType(e, types.PointerTo(base))
+		case token.MINUS, token.TILDE, token.NOT:
+			if !xt.IsArith() && !(e.Op == token.NOT && xt.IsPointer()) {
+				c.errorf(e.OpPos, "invalid operand type %s for unary %s", xt, e.Op)
+			}
+			return setType(e, types.IntType)
+		}
+		panic("sem: bad unary op")
+	case *ast.BinaryExpr:
+		xt := c.checkExpr(e.X)
+		yt := c.checkExpr(e.Y)
+		switch e.Op {
+		case token.PLUS, token.MINUS:
+			switch {
+			case xt.IsPointer() && yt.IsArith():
+				return setType(e, xt)
+			case e.Op == token.PLUS && xt.IsArith() && yt.IsPointer():
+				return setType(e, yt)
+			case e.Op == token.MINUS && xt.IsPointer() && yt.IsPointer():
+				return setType(e, types.IntType)
+			case xt.IsArith() && yt.IsArith():
+				return setType(e, arith(xt, yt))
+			}
+			c.errorf(e.OpPos, "invalid operands %s and %s for %s", xt, yt, e.Op)
+			return setType(e, types.IntType)
+		case token.EQ, token.NEQ, token.LT, token.GT, token.LE, token.GE,
+			token.LAND, token.LOR:
+			return setType(e, types.IntType)
+		default:
+			if !xt.IsArith() || !yt.IsArith() {
+				c.errorf(e.OpPos, "invalid operands %s and %s for %s", xt, yt, e.Op)
+			}
+			return setType(e, arith(xt, yt))
+		}
+	case *ast.AssignExpr:
+		lt := c.checkExprNoDecay(e.X)
+		c.requireLvalue(e.X)
+		rt := c.checkExpr(e.Y)
+		if e.Op == token.ASSIGN {
+			c.maybeInferAllocType(e.X, e.Y, lt)
+			c.checkAssignable(e.OpPos, lt, rt, e.Y)
+		} else {
+			// Compound assignment: pointer += int is allowed.
+			if lt.IsPointer() {
+				if !(e.Op == token.PLUSASSIGN || e.Op == token.MINUSASSIGN) || !rt.IsArith() {
+					c.errorf(e.OpPos, "invalid compound assignment to pointer")
+				}
+			} else if !lt.IsArith() || !rt.IsArith() {
+				c.errorf(e.OpPos, "invalid operands for compound assignment")
+			}
+		}
+		return setType(e, lt)
+	case *ast.IncDecExpr:
+		t := c.checkExpr(e.X)
+		c.requireLvalue(e.X)
+		if !t.IsArith() && !t.IsPointer() {
+			c.errorf(e.OpPos, "invalid operand type %s for %s", t, e.Op)
+		}
+		return setType(e, t)
+	case *ast.CallExpr:
+		return setType(e, c.checkCall(e))
+	case *ast.IndexExpr:
+		xt := c.checkExpr(e.X)
+		it := c.checkExpr(e.Index)
+		if !it.IsArith() {
+			c.errorf(e.LbrackPos, "array index must be arithmetic, found %s", it)
+		}
+		if xt.IsPointer() {
+			return setType(e, xt.Elem.Decay())
+		}
+		c.errorf(e.LbrackPos, "cannot index type %s", xt)
+		return setType(e, types.IntType)
+	case *ast.MemberExpr:
+		xt := c.checkExprNoDecay(e.X)
+		var st *types.Type
+		if e.Arrow {
+			if xt.IsPointer() && xt.Elem.IsStruct() {
+				st = xt.Elem
+			} else {
+				c.errorf(e.DotPos, "-> on non-pointer-to-struct type %s", xt)
+				return setType(e, types.IntType)
+			}
+		} else {
+			if xt.IsStruct() {
+				st = xt
+			} else {
+				c.errorf(e.DotPos, ". on non-struct type %s", xt)
+				return setType(e, types.IntType)
+			}
+		}
+		f := st.FieldByName(e.Name)
+		if f == nil {
+			c.errorf(e.DotPos, "struct %s has no field %s", st.Name, e.Name)
+			return setType(e, types.IntType)
+		}
+		e.Field = f
+		return setType(e, f.Type.Decay())
+	case *ast.CastExpr:
+		c.checkExpr(e.X)
+		if al, ok := e.X.(*ast.AllocExpr); ok && e.To.IsPointer() {
+			al.SiteType = e.To.Elem
+		}
+		return setType(e, e.To.Decay())
+	case *ast.SizeofExpr:
+		if e.X != nil {
+			c.checkExpr(e.X)
+		}
+		return setType(e, types.IntType)
+	case *ast.CondExpr:
+		c.checkCond(e.Cond)
+		tt := c.checkExpr(e.Then)
+		c.checkExpr(e.Else)
+		return setType(e, tt)
+	case *ast.AllocExpr:
+		c.checkExpr(e.Size)
+		if e.Count != nil {
+			c.checkExpr(e.Count)
+		}
+		e.SiteID = len(c.info.AllocSites)
+		c.info.AllocSites = append(c.info.AllocSites, e)
+		if e.SiteType == nil {
+			e.SiteType = types.VoidType
+		}
+		return setType(e, types.PointerTo(e.SiteType))
+	}
+	panic(fmt.Sprintf("sem: unknown expression %T", e))
+}
+
+// maybeInferAllocType gives "p = malloc(n)" an element type from p when the
+// program omits the cast.
+func (c *checker) maybeInferAllocType(lhs, rhs ast.Expr, lt *types.Type) {
+	al, ok := rhs.(*ast.AllocExpr)
+	if !ok || al.SiteType != nil && al.SiteType.Kind != types.Void {
+		return
+	}
+	if lt.IsPointer() {
+		al.SiteType = lt.Elem
+	}
+	_ = lhs
+}
+
+// baseLvalueType returns the type of an lvalue before decay (so &arr yields
+// a pointer to the array's element block rather than pointer-to-pointer).
+func baseLvalueType(e ast.Expr) *types.Type {
+	t := e.Type()
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Sym != nil {
+			return elemIfArray(e.Sym.Type)
+		}
+	case *ast.MemberExpr:
+		if e.Field != nil {
+			return elemIfArray(e.Field.Type)
+		}
+	}
+	return t
+}
+
+func elemIfArray(t *types.Type) *types.Type {
+	if t.IsArray() {
+		return t.Elem
+	}
+	return t
+}
+
+func arith(a, b *types.Type) *types.Type {
+	if a.Kind == types.Double || b.Kind == types.Double ||
+		a.Kind == types.Float || b.Kind == types.Float {
+		return types.DoubleType
+	}
+	return types.IntType
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) *types.Type {
+	// Direct call to a known function or builtin.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		sym := c.lookup(id.Name)
+		if sym == nil {
+			if b := LookupBuiltin(id.Name); b != BuiltinNone {
+				for _, a := range call.Args {
+					c.checkExpr(a)
+				}
+				return setType(call, builtinResult(b))
+			}
+			c.errorf(id.NamePos, "call to undefined function %s", id.Name)
+			for _, a := range call.Args {
+				c.checkExpr(a)
+			}
+			return setType(call, types.IntType)
+		}
+		id.Sym = sym
+		setType(id, sym.Type)
+		var ft *types.Type
+		switch {
+		case sym.Kind == ast.SymFunc:
+			ft = sym.Type
+		case sym.Type.IsPointer() && sym.Type.Elem.IsFunc():
+			ft = sym.Type.Elem
+		default:
+			c.errorf(id.NamePos, "%s is not a function", id.Name)
+			return setType(call, types.IntType)
+		}
+		return setType(call, c.checkArgs(call, ft))
+	}
+	// Indirect call through a function-pointer expression.
+	ft := c.checkExpr(call.Fun)
+	if ft.IsPointer() && ft.Elem.IsFunc() {
+		return setType(call, c.checkArgs(call, ft.Elem))
+	}
+	if ft.IsFunc() {
+		return setType(call, c.checkArgs(call, ft))
+	}
+	c.errorf(call.Fun.Pos(), "called expression has type %s, not a function", ft)
+	for _, a := range call.Args {
+		c.checkExpr(a)
+	}
+	return setType(call, types.IntType)
+}
+
+func (c *checker) checkArgs(call *ast.CallExpr, ft *types.Type) *types.Type {
+	if len(call.Args) != len(ft.Params) {
+		c.errorf(call.LparenPos, "call has %d arguments, function takes %d", len(call.Args), len(ft.Params))
+	}
+	for i, a := range call.Args {
+		at := c.checkExpr(a)
+		if i < len(ft.Params) {
+			c.checkAssignable(a.Pos(), ft.Params[i], at, a)
+		}
+	}
+	return ft.Result
+}
+
+func builtinResult(b Builtin) *types.Type {
+	switch b {
+	case BuiltinMemset, BuiltinMemcpy, BuiltinStrcpy:
+		return types.PointerTo(types.VoidType)
+	case BuiltinSqrt, BuiltinFabs:
+		return types.DoubleType
+	case BuiltinFree, BuiltinExit, BuiltinSrand, BuiltinAssert:
+		return types.VoidType
+	default:
+		return types.IntType
+	}
+}

@@ -1,0 +1,279 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/parser"
+	"mtpa/internal/types"
+)
+
+func check(t *testing.T, src string) (*Info, ErrorList) {
+	t.Helper()
+	prog, err := parser.Parse("t.clk", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, diags := check(t, src)
+	if hard := diags.HardErrors(); len(hard) > 0 {
+		t.Fatalf("unexpected errors: %v", hard)
+	}
+	return info
+}
+
+func wantError(t *testing.T, src, fragment string) {
+	t.Helper()
+	_, diags := check(t, src)
+	for _, d := range diags.HardErrors() {
+		if strings.Contains(d.Msg, fragment) {
+			return
+		}
+	}
+	t.Errorf("expected an error containing %q; got %v", fragment, diags)
+}
+
+func TestResolvesGlobalsAndLocals(t *testing.T) {
+	info := mustCheck(t, `
+int g;
+int main() {
+  int l;
+  l = g;
+  return l;
+}
+`)
+	if info.Main == nil {
+		t.Fatal("main not found")
+	}
+	if len(info.LocalsOf[info.Main]) != 1 {
+		t.Errorf("main should have 1 local, got %d", len(info.LocalsOf[info.Main]))
+	}
+}
+
+func TestUndefinedVariable(t *testing.T) {
+	wantError(t, "int main() { return zz; }", "undefined: zz")
+}
+
+func TestRedeclaration(t *testing.T) {
+	wantError(t, "int x; int *x; int main() { return 0; }", "redeclared")
+	wantError(t, "int main() { int a; int a; return 0; }", "redeclared")
+}
+
+func TestShadowingAllowed(t *testing.T) {
+	mustCheck(t, `
+int x;
+int main() {
+  int x;
+  x = 1;
+  { int x; x = 2; }
+  return x;
+}
+`)
+}
+
+func TestIntToPointerRejected(t *testing.T) {
+	// The paper's assumption: no assignments from integers to pointers.
+	wantError(t, "int *p; int main() { p = 42; return 0; }", "int-to-pointer")
+}
+
+func TestNullAndZeroPointerAllowed(t *testing.T) {
+	mustCheck(t, "int *p; int main() { p = NULL; p = 0; return 0; }")
+}
+
+func TestPointerConversionsAllowed(t *testing.T) {
+	mustCheck(t, `
+int x;
+int main() {
+  int *p;
+  char *c;
+  void *v;
+  p = &x;
+  v = p;
+  c = (char *)p;
+  p = (int *)c;
+  return 0;
+}
+`)
+}
+
+func TestDerefNonPointer(t *testing.T) {
+	wantError(t, "int main() { int x; return *x; }", "dereference")
+}
+
+func TestArrowOnNonStruct(t *testing.T) {
+	wantError(t, "int main() { int *p; return p->f; }", "->")
+}
+
+func TestUnknownField(t *testing.T) {
+	wantError(t, `
+struct s { int a; };
+int main() { struct s v; return v.b; }
+`, "no field")
+}
+
+func TestCallArityChecked(t *testing.T) {
+	wantError(t, `
+int f(int a, int b) { return a + b; }
+int main() { return f(1); }
+`, "arguments")
+}
+
+func TestCallUndefined(t *testing.T) {
+	wantError(t, "int main() { return zoop(); }", "undefined function")
+}
+
+func TestBuiltinsAccepted(t *testing.T) {
+	mustCheck(t, `
+int main() {
+  int *p;
+  p = (int *)malloc(8 * sizeof(int));
+  memset(p, 0, 8);
+  printf("%d\n", p[0]);
+  free(p);
+  return rand() % 2 + abs(-1);
+}
+`)
+}
+
+func TestReturnChecks(t *testing.T) {
+	wantError(t, "void f() { return 1; } int main(){return 0;}", "void function")
+	wantError(t, "int f() { return; } int main(){return 0;}", "without value")
+}
+
+func TestBreakOutsideLoop(t *testing.T) {
+	wantError(t, "int main() { break; return 0; }", "break outside loop")
+	wantError(t, "int main() { continue; return 0; }", "continue outside loop")
+}
+
+func TestPrivateOnLocalRejected(t *testing.T) {
+	// "private" applies to globals only; the parser only allows it at the
+	// top level, so this is enforced structurally — verify a private
+	// global checks fine and is marked.
+	info := mustCheck(t, "private int *scratch; int main() { return 0; }")
+	sym := info.Program.Globals[0].Sym
+	if sym.Kind != ast.SymPrivateGlobal {
+		t.Errorf("scratch kind = %v, want private global", sym.Kind)
+	}
+}
+
+func TestAllocSiteNumbering(t *testing.T) {
+	info := mustCheck(t, `
+int main() {
+  int *a, *b;
+  a = (int *)malloc(8);
+  b = (int *)calloc(4, 8);
+  return 0;
+}
+`)
+	if len(info.AllocSites) != 2 {
+		t.Fatalf("got %d allocation sites, want 2", len(info.AllocSites))
+	}
+	if info.AllocSites[0].SiteID != 0 || info.AllocSites[1].SiteID != 1 {
+		t.Error("site IDs not dense")
+	}
+	if info.AllocSites[0].SiteType == nil || info.AllocSites[0].SiteType.Kind != types.Int {
+		t.Errorf("site 0 type = %v, want int (from the cast)", info.AllocSites[0].SiteType)
+	}
+}
+
+func TestMallocTypeInferredFromAssignment(t *testing.T) {
+	info := mustCheck(t, `
+struct node { int v; };
+struct node *n;
+int main() {
+  n = malloc(sizeof(struct node));
+  return 0;
+}
+`)
+	st := info.AllocSites[0].SiteType
+	if st == nil || !st.IsStruct() || st.Name != "node" {
+		t.Errorf("inferred site type = %v, want struct node", st)
+	}
+}
+
+func TestFunctionPointerAssignment(t *testing.T) {
+	mustCheck(t, `
+int add(int a, int b) { return a + b; }
+int (*op)(int, int);
+int main() {
+  op = add;
+  op = &add;
+  return op(1, 2);
+}
+`)
+}
+
+func TestSpawnResultChecked(t *testing.T) {
+	mustCheck(t, `
+cilk int work(int n) { return n; }
+int main() {
+  int r;
+  r = spawn work(3);
+  sync;
+  return r;
+}
+`)
+	// Assigning a spawned pointer result to an int only warns (pointer
+	// used as arithmetic), mirroring the permissive cast rules.
+	_, diags := check(t, `
+cilk int *work() { return NULL; }
+int main() {
+  int r;
+  r = spawn work();
+  sync;
+  return r;
+}
+`)
+	warned := false
+	for _, d := range diags {
+		if d.Warning && strings.Contains(d.Msg, "pointer value used") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("expected a pointer-as-int warning; got %v", diags)
+	}
+}
+
+func TestMissingMainWarns(t *testing.T) {
+	_, diags := check(t, "int f() { return 1; }")
+	warned := false
+	for _, d := range diags {
+		if d.Warning && strings.Contains(d.Msg, "no main") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("expected a missing-main warning")
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	info := mustCheck(t, `
+int helper(int n);
+int main() { return helper(2); }
+int helper(int n) { return n * 2; }
+`)
+	// Both funcs with bodies are collected; the prototype completes.
+	if len(info.Funcs) != 2 {
+		t.Errorf("got %d funcs with bodies, want 2", len(info.Funcs))
+	}
+}
+
+func TestSymbolIDsAreDense(t *testing.T) {
+	info := mustCheck(t, `
+int a, b;
+int f(int p) { int l; l = p; return l; }
+int main() { return f(a + b); }
+`)
+	for i, s := range info.Symbols {
+		if s.ID != i {
+			t.Fatalf("symbol %s has ID %d at index %d", s.Name, s.ID, i)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package token defines the lexical tokens of the MiniCilk language, a C
+// subset extended with the multithreading constructs analysed by Rugina and
+// Rinard's PLDI 1999 pointer analysis: par blocks, parallel loops, Cilk
+// spawn/sync, and private global variables.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Literal kinds carry their text in Token.Lit.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT  // foo
+	INT    // 123, 0x7f
+	CHAR   // 'a'
+	STRING // "abc"
+
+	// Operators and delimiters.
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	AMP      // &
+	PIPE     // |
+	CARET    // ^
+	SHL      // <<
+	SHR      // >>
+	LAND     // &&
+	LOR      // ||
+	NOT      // !
+	TILDE    // ~
+	ASSIGN   // =
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	INC      // ++
+	DEC      // --
+	ARROW    // ->
+	DOT      // .
+	COMMA    // ,
+	SEMI     // ;
+	COLON    // :
+	QUESTION // ?
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACK   // [
+	RBRACK   // ]
+
+	PLUSASSIGN  // +=
+	MINUSASSIGN // -=
+	STARASSIGN  // *=
+	SLASHASSIGN // /=
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwFloat
+	KwDouble
+	KwVoid
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwNull
+
+	// Multithreading keywords.
+	KwPar     // par { {..} {..} }
+	KwParfor  // parfor (i = 0; i < n; i++) {..}
+	KwSpawn   // spawn f(x)
+	KwSync    // sync;
+	KwCilk    // cilk int f(...) — marks a spawnable procedure
+	KwPrivate // private int *p; — thread-private global
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF",
+	IDENT: "IDENT", INT: "INT", CHAR: "CHAR", STRING: "STRING",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	AMP: "&", PIPE: "|", CARET: "^", SHL: "<<", SHR: ">>",
+	LAND: "&&", LOR: "||", NOT: "!", TILDE: "~",
+	ASSIGN: "=", EQ: "==", NEQ: "!=", LT: "<", GT: ">", LE: "<=", GE: ">=",
+	INC: "++", DEC: "--", ARROW: "->", DOT: ".", COMMA: ",", SEMI: ";",
+	COLON: ":", QUESTION: "?",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACK: "[", RBRACK: "]",
+	PLUSASSIGN: "+=", MINUSASSIGN: "-=", STARASSIGN: "*=", SLASHASSIGN: "/=",
+	KwInt: "int", KwChar: "char", KwFloat: "float", KwDouble: "double",
+	KwVoid: "void", KwStruct: "struct", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwDo: "do", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwSizeof: "sizeof", KwNull: "NULL",
+	KwPar: "par", KwParfor: "parfor", KwSpawn: "spawn", KwSync: "sync",
+	KwCilk: "cilk", KwPrivate: "private",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "float": KwFloat, "double": KwDouble,
+	"void": KwVoid, "struct": KwStruct, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "do": KwDo, "return": KwReturn,
+	"break": KwBreak, "continue": KwContinue, "sizeof": KwSizeof, "NULL": KwNull,
+	"par": KwPar, "parfor": KwParfor, "spawn": KwSpawn, "sync": KwSync,
+	"cilk": KwCilk, "private": KwPrivate,
+}
+
+// Lookup maps an identifier to its keyword kind, or IDENT if it is not a
+// keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: file, 1-based line and column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, INT, CHAR, STRING
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, CHAR, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsType reports whether the token can begin a type specifier.
+func (t Token) IsType() bool {
+	switch t.Kind {
+	case KwInt, KwChar, KwFloat, KwDouble, KwVoid, KwStruct:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether the token is an assignment operator.
+func (t Token) IsAssignOp() bool {
+	switch t.Kind {
+	case ASSIGN, PLUSASSIGN, MINUSASSIGN, STARASSIGN, SLASHASSIGN:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+package token
+
+import "testing"
+
+func TestLookup(t *testing.T) {
+	tests := []struct {
+		ident string
+		want  Kind
+	}{
+		{"int", KwInt},
+		{"while", KwWhile},
+		{"par", KwPar},
+		{"parfor", KwParfor},
+		{"spawn", KwSpawn},
+		{"sync", KwSync},
+		{"cilk", KwCilk},
+		{"private", KwPrivate},
+		{"NULL", KwNull},
+		{"sizeof", KwSizeof},
+		{"foo", IDENT},
+		{"Int", IDENT}, // keywords are case-sensitive
+		{"null", IDENT},
+	}
+	for _, tt := range tests {
+		if got := Lookup(tt.ident); got != tt.want {
+			t.Errorf("Lookup(%q) = %s, want %s", tt.ident, got, tt.want)
+		}
+	}
+}
+
+func TestIsType(t *testing.T) {
+	typeKinds := []Kind{KwInt, KwChar, KwFloat, KwDouble, KwVoid, KwStruct}
+	for _, k := range typeKinds {
+		if !(Token{Kind: k}).IsType() {
+			t.Errorf("%s should start a type", k)
+		}
+	}
+	for _, k := range []Kind{IDENT, KwPar, STAR, KwSizeof} {
+		if (Token{Kind: k}).IsType() {
+			t.Errorf("%s should not start a type", k)
+		}
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, PLUSASSIGN, MINUSASSIGN, STARASSIGN, SLASHASSIGN} {
+		if !(Token{Kind: k}).IsAssignOp() {
+			t.Errorf("%s should be an assignment operator", k)
+		}
+	}
+	if (Token{Kind: EQ}).IsAssignOp() {
+		t.Error("== is not an assignment operator")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if got := (Token{Kind: IDENT, Lit: "abc"}).String(); got != `IDENT("abc")` {
+		t.Errorf("ident token = %q", got)
+	}
+	if got := (Token{Kind: PLUS}).String(); got != "+" {
+		t.Errorf("plus token = %q", got)
+	}
+	if got := Kind(9999).String(); got != "Kind(9999)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{File: "a.clk", Line: 3, Col: 7}
+	if p.String() != "a.clk:3:7" {
+		t.Errorf("pos = %s", p)
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero pos should be invalid")
+	}
+	if !p.IsValid() {
+		t.Error("populated pos should be valid")
+	}
+	noFile := Pos{Line: 2, Col: 1}
+	if noFile.String() != "2:1" {
+		t.Errorf("fileless pos = %s", noFile)
+	}
+}

@@ -1,0 +1,284 @@
+// Package types defines the MiniCilk type system and memory layout rules.
+//
+// Layout is what the pointer analysis consumes: struct fields have byte
+// offsets and array elements have strides, which become the offset and
+// stride components of location sets ⟨name, offset, stride⟩.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a type.
+type Kind int
+
+// The type kinds of MiniCilk.
+const (
+	Void Kind = iota
+	Int
+	Char
+	Float
+	Double
+	Pointer
+	Array
+	Struct
+	Func
+)
+
+// Sizes in bytes. All scalars except char occupy one word so that layout
+// stays simple and deterministic across platforms.
+const (
+	WordSize = 8
+	CharSize = 1
+)
+
+// Field is a named struct member with its byte offset.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64
+}
+
+// Type represents a MiniCilk type. Struct types are unique per declaration
+// (compare by pointer identity or by Same).
+type Type struct {
+	Kind   Kind
+	Elem   *Type    // Pointer element / Array element
+	Len    int64    // Array length
+	Name   string   // Struct tag
+	Fields []*Field // Struct members, in declaration order
+	Params []*Type  // Func parameter types
+	Result *Type    // Func result type
+
+	size     int64
+	sizeDone bool
+}
+
+// Singleton scalar types.
+var (
+	VoidType   = &Type{Kind: Void}
+	IntType    = &Type{Kind: Int}
+	CharType   = &Type{Kind: Char}
+	FloatType  = &Type{Kind: Float}
+	DoubleType = &Type{Kind: Double}
+)
+
+// PointerTo returns the type *elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: Pointer, Elem: elem} }
+
+// ArrayOf returns the type elem[n].
+func ArrayOf(elem *Type, n int64) *Type { return &Type{Kind: Array, Elem: elem, Len: n} }
+
+// FuncOf returns a function type.
+func FuncOf(result *Type, params []*Type) *Type {
+	return &Type{Kind: Func, Result: result, Params: params}
+}
+
+// NewStruct creates a struct type shell; call SetFields once the member
+// list is known (this two-step construction supports recursive structs).
+func NewStruct(name string) *Type { return &Type{Kind: Struct, Name: name} }
+
+// SetFields assigns the member list and computes field offsets.
+func (t *Type) SetFields(fields []*Field) {
+	t.Fields = fields
+	var off int64
+	for _, f := range fields {
+		a := f.Type.Align()
+		off = alignUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+	}
+	t.size = alignUp(off, t.Align())
+	t.sizeDone = true
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Align returns the alignment of the type in bytes.
+func (t *Type) Align() int64 {
+	switch t.Kind {
+	case Char:
+		return CharSize
+	case Struct:
+		a := int64(1)
+		for _, f := range t.Fields {
+			if fa := f.Type.Align(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	case Array:
+		return t.Elem.Align()
+	case Void, Func:
+		return 1
+	default:
+		return WordSize
+	}
+}
+
+// Size returns the size of the type in bytes. Void and Func have size 0.
+func (t *Type) Size() int64 {
+	switch t.Kind {
+	case Void, Func:
+		return 0
+	case Char:
+		return CharSize
+	case Int, Float, Double, Pointer:
+		return WordSize
+	case Array:
+		return t.Len * t.Elem.Size()
+	case Struct:
+		if !t.sizeDone {
+			// Recursive struct mentioned by value before completion; the
+			// parser rejects that, but stay defensive.
+			return 0
+		}
+		return t.size
+	}
+	return 0
+}
+
+// FieldByName returns the field with the given name, or nil.
+func (t *Type) FieldByName(name string) *Field {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPointer reports whether the type is a pointer.
+func (t *Type) IsPointer() bool { return t != nil && t.Kind == Pointer }
+
+// IsArray reports whether the type is an array.
+func (t *Type) IsArray() bool { return t != nil && t.Kind == Array }
+
+// IsStruct reports whether the type is a struct.
+func (t *Type) IsStruct() bool { return t != nil && t.Kind == Struct }
+
+// IsFunc reports whether the type is a function type.
+func (t *Type) IsFunc() bool { return t != nil && t.Kind == Func }
+
+// IsScalar reports whether the type is a non-aggregate value type.
+func (t *Type) IsScalar() bool {
+	switch t.Kind {
+	case Int, Char, Float, Double, Pointer:
+		return true
+	}
+	return false
+}
+
+// IsArith reports whether the type is numeric.
+func (t *Type) IsArith() bool {
+	switch t.Kind {
+	case Int, Char, Float, Double:
+		return true
+	}
+	return false
+}
+
+// HoldsPointer reports whether a value of this type contains pointer data:
+// a pointer itself, or an aggregate with a pointer-bearing member. Function
+// pointers are Pointer-to-Func, so they are covered by the Pointer case.
+func (t *Type) HoldsPointer() bool {
+	switch t.Kind {
+	case Pointer:
+		return true
+	case Array:
+		return t.Elem.HoldsPointer()
+	case Struct:
+		for _, f := range t.Fields {
+			if f.Type.HoldsPointer() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Decay returns the type after array-to-pointer decay: T[n] becomes *T,
+// func types become pointer-to-func; other types are unchanged.
+func (t *Type) Decay() *Type {
+	switch t.Kind {
+	case Array:
+		return PointerTo(t.Elem)
+	case Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// Same reports structural equality of two types. Struct types compare by
+// identity (each declaration is unique).
+func Same(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Pointer:
+		return Same(a.Elem, b.Elem)
+	case Array:
+		return a.Len == b.Len && Same(a.Elem, b.Elem)
+	case Func:
+		if len(a.Params) != len(b.Params) || !Same(a.Result, b.Result) {
+			return false
+		}
+		for i := range a.Params {
+			if !Same(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	case Struct:
+		return false // identity compared above
+	}
+	return true
+}
+
+// String renders the type in C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case Void:
+		return "void"
+	case Int:
+		return "int"
+	case Char:
+		return "char"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Pointer:
+		return t.Elem.String() + "*"
+	case Array:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case Struct:
+		return "struct " + t.Name
+	case Func:
+		var sb strings.Builder
+		sb.WriteString(t.Result.String())
+		sb.WriteString("(")
+		for i, p := range t.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.String())
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	return "<bad type>"
+}

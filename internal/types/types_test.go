@@ -1,0 +1,209 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarSizes(t *testing.T) {
+	tests := []struct {
+		typ  *Type
+		size int64
+	}{
+		{IntType, 8},
+		{CharType, 1},
+		{FloatType, 8},
+		{DoubleType, 8},
+		{VoidType, 0},
+		{PointerTo(IntType), 8},
+		{PointerTo(PointerTo(CharType)), 8},
+		{ArrayOf(IntType, 10), 80},
+		{ArrayOf(CharType, 10), 10},
+		{ArrayOf(ArrayOf(IntType, 4), 3), 96},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.Size(); got != tt.size {
+			t.Errorf("Size(%s) = %d, want %d", tt.typ, got, tt.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct { char c; int *p; char d; int n; } — alignment holes matter.
+	st := NewStruct("s")
+	st.SetFields([]*Field{
+		{Name: "c", Type: CharType},
+		{Name: "p", Type: PointerTo(IntType)},
+		{Name: "d", Type: CharType},
+		{Name: "n", Type: IntType},
+	})
+	wantOffsets := []int64{0, 8, 16, 24}
+	for i, f := range st.Fields {
+		if f.Offset != wantOffsets[i] {
+			t.Errorf("field %s offset = %d, want %d", f.Name, f.Offset, wantOffsets[i])
+		}
+	}
+	if st.Size() != 32 {
+		t.Errorf("struct size = %d, want 32", st.Size())
+	}
+	if st.Align() != 8 {
+		t.Errorf("struct align = %d, want 8", st.Align())
+	}
+}
+
+func TestStructCharOnly(t *testing.T) {
+	st := NewStruct("cs")
+	st.SetFields([]*Field{
+		{Name: "a", Type: CharType},
+		{Name: "b", Type: CharType},
+		{Name: "c", Type: CharType},
+	})
+	if st.Size() != 3 {
+		t.Errorf("char struct size = %d, want 3", st.Size())
+	}
+	if st.Fields[2].Offset != 2 {
+		t.Errorf("third char offset = %d, want 2", st.Fields[2].Offset)
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := NewStruct("vec")
+	inner.SetFields([]*Field{
+		{Name: "x", Type: DoubleType},
+		{Name: "y", Type: DoubleType},
+	})
+	outer := NewStruct("body")
+	outer.SetFields([]*Field{
+		{Name: "pos", Type: inner},
+		{Name: "mass", Type: DoubleType},
+		{Name: "next", Type: PointerTo(outer)},
+	})
+	if outer.Size() != 32 {
+		t.Errorf("outer size = %d, want 32", outer.Size())
+	}
+	if f := outer.FieldByName("next"); f == nil || f.Offset != 24 {
+		t.Errorf("next offset wrong: %+v", f)
+	}
+	if outer.FieldByName("absent") != nil {
+		t.Error("FieldByName should return nil for a missing field")
+	}
+}
+
+func TestHoldsPointer(t *testing.T) {
+	st := NewStruct("holder")
+	st.SetFields([]*Field{
+		{Name: "n", Type: IntType},
+		{Name: "p", Type: PointerTo(CharType)},
+	})
+	plain := NewStruct("plain")
+	plain.SetFields([]*Field{{Name: "n", Type: IntType}})
+	tests := []struct {
+		typ  *Type
+		want bool
+	}{
+		{IntType, false},
+		{PointerTo(IntType), true},
+		{st, true},
+		{plain, false},
+		{ArrayOf(PointerTo(IntType), 4), true},
+		{ArrayOf(IntType, 4), false},
+		{ArrayOf(st, 2), true},
+		{PointerTo(FuncOf(IntType, nil)), true},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.HoldsPointer(); got != tt.want {
+			t.Errorf("HoldsPointer(%s) = %v, want %v", tt.typ, got, tt.want)
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	arr := ArrayOf(IntType, 5)
+	d := arr.Decay()
+	if !d.IsPointer() || d.Elem.Kind != Int {
+		t.Errorf("array decay = %s", d)
+	}
+	fn := FuncOf(IntType, []*Type{IntType})
+	fd := fn.Decay()
+	if !fd.IsPointer() || !fd.Elem.IsFunc() {
+		t.Errorf("func decay = %s", fd)
+	}
+	if IntType.Decay() != IntType {
+		t.Error("scalar decay should be identity")
+	}
+}
+
+func TestSame(t *testing.T) {
+	s1 := NewStruct("s")
+	s2 := NewStruct("s")
+	tests := []struct {
+		a, b *Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, CharType, false},
+		{PointerTo(IntType), PointerTo(IntType), true},
+		{PointerTo(IntType), PointerTo(CharType), false},
+		{ArrayOf(IntType, 3), ArrayOf(IntType, 3), true},
+		{ArrayOf(IntType, 3), ArrayOf(IntType, 4), false},
+		{s1, s1, true},
+		{s1, s2, false}, // structs compare by identity
+		{FuncOf(IntType, []*Type{IntType}), FuncOf(IntType, []*Type{IntType}), true},
+		{FuncOf(IntType, []*Type{IntType}), FuncOf(IntType, nil), false},
+	}
+	for _, tt := range tests {
+		if got := Same(tt.a, tt.b); got != tt.want {
+			t.Errorf("Same(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	st := NewStruct("node")
+	tests := []struct {
+		typ  *Type
+		want string
+	}{
+		{IntType, "int"},
+		{PointerTo(PointerTo(IntType)), "int**"},
+		{ArrayOf(CharType, 7), "char[7]"},
+		{st, "struct node"},
+		{FuncOf(VoidType, []*Type{PointerTo(st)}), "void(struct node*)"},
+	}
+	for _, tt := range tests {
+		if got := tt.typ.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// Property: struct size is at least the sum of field sizes and every field
+// fits inside the struct at its natural alignment.
+func TestQuickLayoutInvariants(t *testing.T) {
+	kinds := []*Type{IntType, CharType, DoubleType, PointerTo(IntType)}
+	f := func(picks []uint8) bool {
+		if len(picks) == 0 || len(picks) > 12 {
+			return true
+		}
+		st := NewStruct("q")
+		var fields []*Field
+		for i, p := range picks {
+			fields = append(fields, &Field{Name: string(rune('a' + i%26)), Type: kinds[int(p)%len(kinds)]})
+		}
+		st.SetFields(fields)
+		var prevEnd int64
+		for _, fl := range st.Fields {
+			if fl.Offset < prevEnd {
+				return false // overlap
+			}
+			if fl.Type.Align() > 1 && fl.Offset%fl.Type.Align() != 0 {
+				return false // misaligned
+			}
+			prevEnd = fl.Offset + fl.Type.Size()
+		}
+		return st.Size() >= prevEnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

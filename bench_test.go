@@ -13,6 +13,7 @@
 package mtpa_test
 
 import (
+	"fmt"
 	"testing"
 
 	"mtpa"
@@ -311,5 +312,31 @@ func BenchmarkCompile(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkParallelCorpus measures whole-corpus analysis wall time through
+// the parallel driver at several worker counts. The per-program analyses
+// are independent; the shared hash-consed set intern table is lock-striped,
+// so throughput should scale with workers until memory bandwidth saturates.
+func BenchmarkParallelCorpus(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := bench.AnalyzeAll(mtpa.Options{Mode: mtpa.Multithreaded}, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mtpa"
@@ -43,13 +44,13 @@ func main() {
 	corpus := flag.String("corpus", "", "analyse an embedded benchmark program by name")
 	flag.Parse()
 
-	if err := run(*mode, *summary, *accesses, *stats, *raceFlag, *indepFlag, *dumpIR, *format, *runFlag, *seed, *corpus, flag.Args()); err != nil {
+	if err := run(os.Stdout, os.Stderr, *mode, *summary, *accesses, *stats, *raceFlag, *indepFlag, *dumpIR, *format, *runFlag, *seed, *corpus, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mtpa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, format, runFlag bool, seed int64, corpus string, args []string) error {
+func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, format, runFlag bool, seed int64, corpus string, args []string) error {
 	var name, src string
 	switch {
 	case corpus != "":
@@ -73,15 +74,15 @@ func run(mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, for
 		return err
 	}
 	for _, w := range prog.Warnings {
-		fmt.Fprintln(os.Stderr, "warning:", w)
+		fmt.Fprintln(errOut, "warning:", w)
 	}
 
 	if format {
-		fmt.Print(ast.Print(prog.AST))
+		fmt.Fprint(out, ast.Print(prog.AST))
 		return nil
 	}
 	if dumpIR {
-		fmt.Print(prog.IR.Format())
+		fmt.Fprint(out, prog.IR.Format())
 	}
 
 	opts := mtpa.Options{Mode: mtpa.Multithreaded}
@@ -93,21 +94,21 @@ func run(mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, for
 		return err
 	}
 	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, "analysis warning:", w)
+		fmt.Fprintln(errOut, "analysis warning:", w)
 	}
 
 	tab := prog.Table()
 	if summary {
-		fmt.Printf("== %s analysis: points-to graph at main's exit ==\n", opts.Mode)
-		fmt.Println(res.MainOut.C.FormatFiltered(tab, func(id mtpa.LocSetID) bool {
+		fmt.Fprintf(out, "== %s analysis: points-to graph at main's exit ==\n", opts.Mode)
+		fmt.Fprintln(out, res.MainOut.C.FormatFiltered(tab, func(id mtpa.LocSetID) bool {
 			k := tab.Get(id).Block.Kind
 			return k == locset.KindTemp || k == locset.KindRet
 		}))
-		fmt.Printf("(%d contexts, %d fixed-point rounds)\n", res.ContextsTotal(), res.Rounds)
+		fmt.Fprintf(out, "(%d contexts, %d fixed-point rounds)\n", res.ContextsTotal(), res.Rounds)
 	}
 
 	if accesses {
-		fmt.Println("== pointer accesses (per analysis context) ==")
+		fmt.Fprintln(out, "== pointer accesses (per analysis context) ==")
 		for _, s := range res.Metrics.AccessSamples() {
 			acc := prog.IR.Accesses[s.AccID]
 			kind := "load"
@@ -123,45 +124,45 @@ func run(mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, for
 			for _, l := range s.Locs {
 				names = append(names, tab.String(l))
 			}
-			fmt.Printf("%s %s ctx%d: %d location set(s)%s %v\n",
+			fmt.Fprintf(out, "%s %s ctx%d: %d location set(s)%s %v\n",
 				acc.Instr.Pos, kind, s.CtxID, n, mark, names)
 		}
 	}
 
 	if stats {
 		st := metrics.Characteristics(name, "", src, prog.IR)
-		fmt.Println(metrics.RenderTable1([]metrics.ProgramStats{st}))
-		fmt.Println(metrics.RenderTable3([]metrics.Convergence{metrics.ConvergenceOf(name, res)}))
+		fmt.Fprintln(out, metrics.RenderTable1([]metrics.ProgramStats{st}))
+		fmt.Fprintln(out, metrics.RenderTable3([]metrics.Convergence{metrics.ConvergenceOf(name, res)}))
 	}
 
 	if raceFlag {
 		races := race.New(prog.IR, res).Detect()
-		fmt.Printf("== race detector: %d potential race(s) ==\n", len(races))
+		fmt.Fprintf(out, "== race detector: %d potential race(s) ==\n", len(races))
 		for _, r := range races {
-			fmt.Println(" ", r)
+			fmt.Fprintln(out, " ", r)
 			var names []string
 			for _, l := range r.Shared {
 				names = append(names, tab.String(l))
 			}
-			fmt.Printf("    shared locations: %v\n", names)
+			fmt.Fprintf(out, "    shared locations: %v\n", names)
 		}
 	}
 
 	if indepFlag {
 		cs := race.New(prog.IR, res).CheckIndependence()
-		fmt.Printf("== independence: %d parallel construct(s) ==\n", len(cs))
+		fmt.Fprintf(out, "== independence: %d parallel construct(s) ==\n", len(cs))
 		for _, c := range cs {
-			fmt.Println(" ", c)
+			fmt.Fprintln(out, " ", c)
 		}
 	}
 
 	if runFlag {
-		m := interp.New(prog.IR, os.Stdout, seed)
+		m := interp.New(prog.IR, out, seed)
 		code, err := m.Run()
 		if err != nil {
 			return fmt.Errorf("interpreter: %w", err)
 		}
-		fmt.Printf("== program exited with %d (seed %d) ==\n", code, seed)
+		fmt.Fprintf(out, "== program exited with %d (seed %d) ==\n", code, seed)
 	}
 	return nil
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// runCLI invokes run with defaults matching the flag defaults, letting a
+// test override the interesting knobs.
+func runCLI(t *testing.T, out, errOut *bytes.Buffer, mode string, summary, accesses, stats, raceFlag bool, corpus string, args ...string) error {
+	t.Helper()
+	return run(out, errOut, mode, summary, accesses, stats, raceFlag, false, false, false, false, 1, corpus, args)
+}
+
+func TestSummaryGoldenMultithreaded(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "", "testdata/simple.clk"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "simple_mt.golden", out.Bytes())
+	if errOut.Len() != 0 {
+		t.Errorf("unexpected diagnostics: %s", errOut.String())
+	}
+}
+
+func TestSummaryGoldenSequential(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runCLI(t, &out, &errOut, "seq", true, false, false, false, "", "testdata/simple.clk"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "simple_seq.golden", out.Bytes())
+}
+
+func TestAccessesGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runCLI(t, &out, &errOut, "mt", false, true, false, false, "", "testdata/simple.clk"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "simple_accesses.golden", out.Bytes())
+}
+
+func TestRaceGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runCLI(t, &out, &errOut, "mt", false, false, false, true, "", "testdata/simple.clk"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "simple_race.golden", out.Bytes())
+}
+
+func TestCorpusSummaryGolden(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "fib"); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fib_mt.golden", out.Bytes())
+}
+
+func TestParseErrorDiagnostic(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "", "testdata/parse_error.clk")
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	msg := err.Error()
+	// The diagnostic must carry the file:line:col position and the cause;
+	// main prints it to stderr and exits 1.
+	if !strings.Contains(msg, "parse_error.clk:3:1") || !strings.Contains(msg, "expected ;") {
+		t.Errorf("diagnostic lacks position or cause: %q", msg)
+	}
+	if out.Len() != 0 {
+		t.Errorf("parse failure wrote to stdout: %s", out.String())
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "")
+	if err == nil || !strings.Contains(err.Error(), "usage:") {
+		t.Errorf("expected usage error, got %v", err)
+	}
+}
+
+func TestUnknownCorpusError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "no-such-program")
+	if err == nil || !strings.Contains(err.Error(), "unknown program") {
+		t.Errorf("expected unknown-program error, got %v", err)
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -27,7 +28,7 @@ func main() {
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
 	flag.Parse()
 
-	if err := run(*table, *timingRuns); err != nil {
+	if err := run(os.Stdout, *table, *timingRuns); err != nil {
 		fmt.Fprintln(os.Stderr, "mttables:", err)
 		os.Exit(1)
 	}
@@ -35,36 +36,45 @@ func main() {
 
 type analysed struct {
 	bench.Program
-	Compiled *mtpa.Program
-	MT       *mtpa.Result
-	Seq      *mtpa.Result
+	Compiled    *mtpa.Program
+	SeqCompiled *mtpa.Program
+	MT          *mtpa.Result
+	Seq         *mtpa.Result
 }
 
+// analyseCorpus runs both analysis modes over the whole corpus through the
+// parallel driver, fanning the 18 programs across GOMAXPROCS workers.
 func analyseCorpus() ([]analysed, error) {
 	progs, err := bench.Programs()
 	if err != nil {
 		return nil, err
 	}
+	mt, err := bench.AnalyzeAll(mtpa.Options{Mode: mtpa.Multithreaded}, 0)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := bench.AnalyzeAll(mtpa.Options{Mode: mtpa.Sequential}, 0)
+	if err != nil {
+		return nil, err
+	}
 	var out []analysed
-	for _, p := range progs {
-		compiled, err := mtpa.Compile(p.Name+".clk", p.Source)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+	for i, p := range progs {
+		if mt[i].Err != nil {
+			return nil, mt[i].Err
 		}
-		mt, err := compiled.Analyze(mtpa.Options{Mode: mtpa.Multithreaded})
-		if err != nil {
-			return nil, fmt.Errorf("%s (multithreaded): %w", p.Name, err)
+		if seq[i].Err != nil {
+			return nil, seq[i].Err
 		}
-		seq, err := compiled.Analyze(mtpa.Options{Mode: mtpa.Sequential})
-		if err != nil {
-			return nil, fmt.Errorf("%s (sequential): %w", p.Name, err)
-		}
-		out = append(out, analysed{Program: p, Compiled: compiled, MT: mt, Seq: seq})
+		out = append(out, analysed{
+			Program:  p,
+			Compiled: mt[i].Prog, SeqCompiled: seq[i].Prog,
+			MT: mt[i].Res, Seq: seq[i].Res,
+		})
 	}
 	return out, nil
 }
 
-func run(table string, timingRuns int) error {
+func run(out io.Writer, table string, timingRuns int) error {
 	all, err := analyseCorpus()
 	if err != nil {
 		return err
@@ -77,7 +87,7 @@ func run(table string, timingRuns int) error {
 		for _, a := range all {
 			rows = append(rows, metrics.Characteristics(a.Name, a.Description, a.Source, a.Compiled.IR))
 		}
-		fmt.Println(metrics.RenderTable1(rows))
+		fmt.Fprintln(out, metrics.RenderTable1(rows))
 	}
 
 	if want("2") || want("fig8") || want("fig9") {
@@ -91,15 +101,15 @@ func run(table string, timingRuns int) error {
 			agg.Merge(d)
 		}
 		if want("fig8") {
-			fmt.Println(metrics.RenderHistogram(
+			fmt.Fprintln(out, metrics.RenderHistogram(
 				"Figure 8: Location Set Histogram for Load Instructions (all contexts)", agg.Loads))
 		}
 		if want("fig9") {
-			fmt.Println(metrics.RenderHistogram(
+			fmt.Fprintln(out, metrics.RenderHistogram(
 				"Figure 9: Location Set Histogram for Store Instructions (all contexts)", agg.Stores))
 		}
 		if want("2") {
-			fmt.Println(metrics.RenderPerProgramCounts(
+			fmt.Fprintln(out, metrics.RenderPerProgramCounts(
 				"Table 2: Location Sets per Access — Separate Contexts, Ghost Location Sets",
 				names, dists))
 		}
@@ -110,7 +120,7 @@ func run(table string, timingRuns int) error {
 		for _, a := range all {
 			rows = append(rows, metrics.ConvergenceOf(a.Name, a.MT))
 		}
-		fmt.Println(metrics.RenderTable3(rows))
+		fmt.Fprintln(out, metrics.RenderTable3(rows))
 	}
 
 	if want("4") {
@@ -120,12 +130,12 @@ func run(table string, timingRuns int) error {
 		for _, a := range all {
 			names = append(names, a.Name)
 			mtDists[a.Name] = metrics.MergedContexts(a.Compiled.IR, a.MT)
-			seqDists[a.Name] = metrics.MergedContexts(a.Compiled.IR, a.Seq)
+			seqDists[a.Name] = metrics.MergedContexts(a.SeqCompiled.IR, a.Seq)
 		}
-		fmt.Println(metrics.RenderPerProgramCounts(
+		fmt.Fprintln(out, metrics.RenderPerProgramCounts(
 			"Table 4: Location Sets per Access — Merged Contexts, Ghosts Replaced by Actuals (Multithreaded)",
 			names, mtDists))
-		fmt.Println(metrics.RenderPerProgramCounts(
+		fmt.Fprintln(out, metrics.RenderPerProgramCounts(
 			"Table 4 (comparison): Same Metric for the Sequential Baseline",
 			names, seqDists))
 	}
@@ -139,7 +149,7 @@ func run(table string, timingRuns int) error {
 				MultiSeconds: timeAnalysis(a.Compiled, mtpa.Multithreaded, timingRuns),
 			})
 		}
-		fmt.Println(metrics.RenderTimes(rows))
+		fmt.Fprintln(out, metrics.RenderTimes(rows))
 	}
 	return nil
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestTableGoldens locks the stable table renderings over the corpus: the
+// program characteristics (Table 1) and the convergence measurements
+// (Table 3). Both are deterministic functions of the corpus sources and the
+// analysis; the timing figure (fig10) is excluded.
+func TestTableGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus table rendering is slow in -short mode")
+	}
+	for _, table := range []string{"1", "3"} {
+		var out bytes.Buffer
+		if err := run(&out, table, 1); err != nil {
+			t.Fatalf("table %s: %v", table, err)
+		}
+		checkGolden(t, "table"+table+".golden", out.Bytes())
+	}
+}
+
+// TestTableFormattingStable checks structural formatting invariants that
+// must hold for any corpus: one row per program in the paper's order, and
+// aligned columns (every data row as wide as its header).
+func TestTableFormattingStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus table rendering is slow in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run(&out, "3", 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) < 2+18 {
+		t.Fatalf("table 3 has %d lines, want a title, a header and 18 rows", len(lines))
+	}
+	rows := lines[2:]
+	if len(rows) != 18 {
+		t.Errorf("table 3 has %d data rows, want 18", len(rows))
+	}
+	first := rows[0]
+	if !strings.HasPrefix(first, "barnes") {
+		t.Errorf("first row %q, want the paper's order starting at barnes", first)
+	}
+	for _, r := range rows {
+		if len(r) != len(rows[0]) {
+			t.Errorf("misaligned row %q (width %d, want %d)", r, len(r), len(rows[0]))
+		}
+	}
+}

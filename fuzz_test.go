@@ -1,0 +1,47 @@
+package mtpa_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/bench"
+)
+
+// FuzzAnalyzeNoPanic feeds arbitrary source through the whole pipeline —
+// parse, check, lower, then both analysis modes with tight resource bounds
+// — and requires that it never panics: every malformed input must be
+// rejected with an error, and every accepted input must analyse (or fail)
+// cleanly.
+func FuzzAnalyzeNoPanic(f *testing.F) {
+	for _, name := range []string{"fib", "queens", "knary"} {
+		p, err := bench.Load(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Source)
+	}
+	f.Add("int main(int argc) { return 0; }")
+	f.Add("int *p; int main(int argc) { *p = 1; return 0; }")
+	f.Add("int g; int main(int argc) { par { { g = 1; } { g = 2; } } return g; }")
+	f.Add("int main(int argc) { int i; int *p; parfor (i = 0; i < 4; i++) { p = &i; } return 0; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return // bound compile time, not coverage
+		}
+		prog, err := mtpa.Compile("fuzz.clk", src)
+		if err != nil {
+			if strings.Contains(err.Error(), "panic") {
+				t.Fatalf("compile reported a panic: %v", err)
+			}
+			return
+		}
+		for _, mode := range []mtpa.Mode{mtpa.Multithreaded, mtpa.Sequential} {
+			// Bounded rounds and contexts: divergent fixed points must
+			// surface as errors, never hangs or panics.
+			_, err := prog.Analyze(mtpa.Options{Mode: mode, MaxRounds: 50, MaxContexts: 2000})
+			_ = err
+		}
+	})
+}

@@ -90,11 +90,12 @@ func newCallResult() *callResult {
 // ctxEntry is one multithreaded analysis context ⟨C_p, I_p⟩ of a procedure
 // (Definition 2) together with its current best result.
 type ctxEntry struct {
-	id  int
-	fn  *ir.Func
-	key string
-	Cp  *ptgraph.Graph
-	Ip  *ptgraph.Graph
+	id   int
+	fn   *ir.Func
+	hash uint64   // bucket key: mix of Cp.Hash, Ip.Hash and the ghost signature
+	sig  []uint64 // exact ghost-source signature (sorted, canonical)
+	Cp   *ptgraph.Graph
+	Ip   *ptgraph.Graph
 
 	// ghostSrc maps each ghost block appearing in this context to the
 	// actual (source-program) blocks it stands for, used for the merged
@@ -114,7 +115,7 @@ type Analysis struct {
 	tab  *locset.Table
 	opts Options
 
-	entries map[*ir.Func]map[string]*ctxEntry
+	entries map[*ir.Func]map[uint64][]*ctxEntry
 	ctxList []*ctxEntry
 
 	round     int
@@ -158,7 +159,7 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 		prog:       prog,
 		tab:        prog.Table,
 		opts:       opts,
-		entries:    map[*ir.Func]map[string]*ctxEntry{},
+		entries:    map[*ir.Func]map[uint64][]*ctxEntry{},
 		warnedUnk:  map[*ir.Instr]bool{},
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
@@ -221,7 +222,7 @@ func NewInstrEvaluator(prog *ir.Program) *InstrEvaluator {
 	return &InstrEvaluator{a: &Analysis{
 		prog:       prog,
 		tab:        prog.Table,
-		entries:    map[*ir.Func]map[string]*ctxEntry{},
+		entries:    map[*ir.Func]map[uint64][]*ctxEntry{},
 		warnedUnk:  map[*ir.Instr]bool{},
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
@@ -255,26 +256,64 @@ func (a *Analysis) analyzeRoot() (*Triple, error) {
 	return &Triple{C: e.result.C.Clone(), I: ptgraph.New(), E: e.result.E.Clone()}, nil
 }
 
-// getContext interns an analysis context.
+// mixU64 is the splitmix64 finalizer, used to combine context hash keys.
+func mixU64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ctxHash combines the precomputed graph hashes and the ghost signature
+// into the context bucket key.
+func ctxHash(Cp, Ip *ptgraph.Graph, sig []uint64) uint64 {
+	h := mixU64(Cp.Hash() ^ mixU64(Ip.Hash()^0x9e3779b97f4a7c15))
+	for _, s := range sig {
+		h = mixU64(h ^ s)
+	}
+	return h
+}
+
+func equalSig(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if b[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// getContext interns an analysis context. Contexts are bucketed by a hash
+// of the input graphs' incremental hashes; exact equality inside a bucket
+// is verified with per-source interned-set pointer comparisons, so no
+// serialised string keys are ever built.
 func (a *Analysis) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*locset.Block][]*locset.Block) (*ctxEntry, error) {
-	key := Cp.Key() + "|" + Ip.Key() + "|" + ghostSrcKey(ghostSrc)
+	sig := ghostSig(ghostSrc)
+	h := ctxHash(Cp, Ip, sig)
 	m, ok := a.entries[fn]
 	if !ok {
-		m = map[string]*ctxEntry{}
+		m = map[uint64][]*ctxEntry{}
 		a.entries[fn] = m
 	}
-	if e, ok := m[key]; ok {
-		return e, nil
+	for _, e := range m[h] {
+		if e.Cp.Equal(Cp) && e.Ip.Equal(Ip) && equalSig(e.sig, sig) {
+			return e, nil
+		}
 	}
 	if len(a.ctxList) >= a.opts.maxContexts() {
 		return nil, fmt.Errorf("core: context limit of %d exceeded (recursion through the context cache?)", a.opts.maxContexts())
 	}
 	e := &ctxEntry{
-		id: len(a.ctxList), fn: fn, key: key,
+		id: len(a.ctxList), fn: fn, hash: h, sig: sig,
 		Cp: Cp, Ip: Ip, ghostSrc: ghostSrc,
 		result: newCallResult(),
 	}
-	m[key] = e
+	m[h] = append(m[h], e)
 	a.ctxList = append(a.ctxList, e)
 	return e, nil
 }
@@ -419,18 +458,18 @@ func (a *Analysis) transferInstr(in *ir.Instr, t *Triple, ctx *ctxEntry) error {
 		a.assignThrough(t, lhs, vals)
 	case ir.OpArith, ir.OpIndexAddr:
 		src := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		targets := ptgraph.Set{}
-		for l := range src {
-			targets.Add(a.tab.Bump(l, in.Elem))
+		var b ptgraph.SetBuilder
+		for _, l := range src.IDs() {
+			b.Add(a.tab.Bump(l, in.Elem))
 		}
-		a.assign(t, in.Dst, targets)
+		a.assign(t, in.Dst, b.Build())
 	case ir.OpField:
 		src := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		targets := ptgraph.Set{}
-		for l := range src {
-			targets.Add(a.tab.Elem(l, in.Elem, in.PtrTarget))
+		var b ptgraph.SetBuilder
+		for _, l := range src.IDs() {
+			b.Add(a.tab.Elem(l, in.Elem, in.PtrTarget))
 		}
-		a.assign(t, in.Dst, targets)
+		a.assign(t, in.Dst, b.Build())
 	case ir.OpAlloc:
 		site := a.prog.Info.AllocSites[in.Site]
 		hb := a.tab.HeapBlock(in.Site, site.SiteType, "")
@@ -466,43 +505,30 @@ func (a *Analysis) assign(t *Triple, dst locset.ID, targets ptgraph.Set) {
 	}
 	strong := strongLoc(a.tab, dst) && !a.opts.DisableStrongUpdates
 	if strong {
-		t.C.Kill(ptgraph.NewSet(dst))
+		// Kill + gen + interference restore in one interned-set replacement.
+		t.C.ReplaceSucc(dst, targets.UnionSet(t.I.Succs(dst)))
+	} else {
+		t.C.AddSet(dst, targets)
 	}
-	for d := range targets {
-		t.C.Add(dst, d)
-		t.E.Add(dst, d)
-	}
-	if strong {
-		for d := range t.I.Succs(dst) {
-			t.C.Add(dst, d)
-		}
-	}
+	t.E.AddSet(dst, targets)
 }
 
 // assignThrough implements the store equations: a strong update only when
 // the written location is unique and strongly updatable.
 func (a *Analysis) assignThrough(t *Triple, lhs ptgraph.Set, vals ptgraph.Set) {
 	strong := false
-	if len(lhs) == 1 && !a.opts.DisableStrongUpdates {
-		for z := range lhs {
-			strong = strongLoc(a.tab, z)
-		}
+	if lhs.Len() == 1 && !a.opts.DisableStrongUpdates {
+		strong = strongLoc(a.tab, lhs.IDs()[0])
 	}
-	for z := range lhs {
+	for _, z := range lhs.IDs() {
 		if z == locset.UnkID {
 			continue // gen excludes {unk} × L
 		}
 		if strong {
-			t.C.Kill(ptgraph.NewSet(z))
+			t.C.ReplaceSucc(z, vals.UnionSet(t.I.Succs(z)))
+		} else {
+			t.C.AddSet(z, vals)
 		}
-		for d := range vals {
-			t.C.Add(z, d)
-			t.E.Add(z, d)
-		}
-		if strong {
-			for d := range t.I.Succs(z) {
-				t.C.Add(z, d)
-			}
-		}
+		t.E.AddSet(z, vals)
 	}
 }

@@ -222,24 +222,26 @@ func (a *Analysis) isPrivate(id locset.ID) bool {
 // via the deref backstop), and edges pointing at private globals are
 // redirected to unk.
 func (a *Analysis) privEnterThread(g *ptgraph.Graph) {
-	kill := ptgraph.Set{}
-	type redirect struct{ src, dst locset.ID }
-	var redirects []redirect
-	for _, e := range g.Edges() {
-		if a.isPrivate(e.Src) {
-			kill.Add(e.Src)
+	var kill ptgraph.SetBuilder
+	var rm ptgraph.GraphBuilder
+	var unkSrcs []locset.ID
+	g.ForEach(func(src locset.ID, dsts ptgraph.Set) {
+		srcPrivate := a.isPrivate(src)
+		if srcPrivate {
+			kill.Add(src)
 		}
-		if a.isPrivate(e.Dst) {
-			redirects = append(redirects, redirect{e.Src, e.Dst})
+		for _, d := range dsts.IDs() {
+			if !srcPrivate && a.isPrivate(d) {
+				rm.Add(src, d)
+				unkSrcs = append(unkSrcs, src)
+			}
 		}
-	}
-	g.Kill(kill)
-	for _, r := range redirects {
-		if !a.isPrivate(r.src) {
-			rm := ptgraph.New()
-			rm.Add(r.src, r.dst)
-			g.KillEdges(rm)
-			g.Add(r.src, locset.UnkID)
+	})
+	g.Kill(kill.Build())
+	if len(unkSrcs) > 0 {
+		g.KillEdges(rm.Build())
+		for _, s := range unkSrcs {
+			g.Add(s, locset.UnkID)
 		}
 	}
 }
@@ -258,9 +260,15 @@ func (a *Analysis) privMask(g *ptgraph.Graph) *ptgraph.Graph {
 // privRestoreParent restores the parent's private-global points-to
 // information from the graph that flowed into the parallel construct.
 func (a *Analysis) privRestoreParent(g *ptgraph.Graph, inC *ptgraph.Graph) {
-	for _, e := range inC.Edges() {
-		if a.isPrivate(e.Src) || a.isPrivate(e.Dst) {
-			g.Add(e.Src, e.Dst)
+	inC.ForEach(func(src locset.ID, dsts ptgraph.Set) {
+		if a.isPrivate(src) {
+			g.AddSet(src, dsts)
+			return
 		}
-	}
+		for _, d := range dsts.IDs() {
+			if a.isPrivate(d) {
+				g.Add(src, d)
+			}
+		}
+	})
 }

@@ -110,22 +110,31 @@ func (t *Triple) Leq(other *Triple) bool {
 // unk via L×{unk}; interning location sets lazily makes the explicit
 // product impractical, so absence of edges means "points to unk").
 func derefPtr(s ptgraph.Set, c *ptgraph.Graph) ptgraph.Set {
-	out := ptgraph.Set{}
-	for x := range s {
+	if s.Len() == 1 {
+		x := s.IDs()[0]
 		if x == locset.UnkID {
-			out.Add(locset.UnkID)
+			return s
+		}
+		succs := c.Succs(x)
+		if succs.IsEmpty() {
+			return ptgraph.NewSet(locset.UnkID)
+		}
+		return succs
+	}
+	var b ptgraph.SetBuilder
+	for _, x := range s.IDs() {
+		if x == locset.UnkID {
+			b.Add(locset.UnkID)
 			continue
 		}
 		succs := c.Succs(x)
-		if len(succs) == 0 {
-			out.Add(locset.UnkID)
+		if succs.IsEmpty() {
+			b.Add(locset.UnkID)
 			continue
 		}
-		for d := range succs {
-			out.Add(d)
-		}
+		b.AddSet(succs)
 	}
-	return out
+	return b.Build()
 }
 
 // strongLoc reports whether a strong update may be performed on the given

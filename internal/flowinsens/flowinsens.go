@@ -67,27 +67,39 @@ func (a *analyzer) add(src, dst locset.ID) {
 // deref applies the unk backstop of the core analysis so the two engines
 // agree on uninitialised pointers.
 func (a *analyzer) deref(s ptgraph.Set) ptgraph.Set {
-	out := ptgraph.Set{}
-	for x := range s {
+	if s.Len() == 1 {
+		x := s.IDs()[0]
 		if x == locset.UnkID {
-			out.Add(locset.UnkID)
+			return s
+		}
+		succ := a.g.Succs(x)
+		if succ.IsEmpty() {
+			return ptgraph.NewSet(locset.UnkID)
+		}
+		return succ
+	}
+	var b ptgraph.SetBuilder
+	for _, x := range s.IDs() {
+		if x == locset.UnkID {
+			b.Add(locset.UnkID)
 			continue
 		}
 		succ := a.g.Succs(x)
-		if len(succ) == 0 {
-			out.Add(locset.UnkID)
+		if succ.IsEmpty() {
+			b.Add(locset.UnkID)
 			continue
 		}
-		for d := range succ {
-			out.Add(d)
-		}
+		b.AddSet(succ)
 	}
-	return out
+	return b.Build()
 }
 
 func (a *analyzer) copyInto(dst locset.ID, targets ptgraph.Set) {
-	for d := range targets {
-		a.add(dst, d)
+	if dst == locset.UnkID {
+		return
+	}
+	if a.g.AddSet(dst, targets) {
+		a.changed = true
 	}
 }
 
@@ -101,18 +113,18 @@ func (a *analyzer) apply(in *ir.Instr) {
 		a.copyInto(in.Dst, a.deref(a.deref(ptgraph.NewSet(in.Src))))
 	case ir.OpStore:
 		vals := a.deref(ptgraph.NewSet(in.Src))
-		for z := range a.deref(ptgraph.NewSet(in.Dst)) {
+		for _, z := range a.deref(ptgraph.NewSet(in.Dst)).IDs() {
 			if z == locset.UnkID {
 				continue
 			}
 			a.copyInto(z, vals)
 		}
 	case ir.OpArith, ir.OpIndexAddr:
-		for l := range a.deref(ptgraph.NewSet(in.Src)) {
+		for _, l := range a.deref(ptgraph.NewSet(in.Src)).IDs() {
 			a.add(in.Dst, a.tab.Bump(l, in.Elem))
 		}
 	case ir.OpField:
-		for l := range a.deref(ptgraph.NewSet(in.Src)) {
+		for _, l := range a.deref(ptgraph.NewSet(in.Src)).IDs() {
 			a.add(in.Dst, a.tab.Elem(l, in.Elem, in.PtrTarget))
 		}
 	case ir.OpAlloc:
@@ -146,7 +158,7 @@ func (a *analyzer) applyCall(call *ir.Call) {
 			targets = append(targets, fn)
 		}
 	} else if call.FnLoc != ir.NoLoc {
-		for l := range a.deref(ptgraph.NewSet(call.FnLoc)) {
+		for _, l := range a.deref(ptgraph.NewSet(call.FnLoc)).IDs() {
 			if l == locset.UnkID {
 				continue
 			}
@@ -190,7 +202,7 @@ func (r *Result) AccessCount(prog *ir.Program, acc ir.Access) (int, bool) {
 		return 0, false
 	}
 	locs := a.deref(ptgraph.NewSet(ptr))
-	n := len(locs)
+	n := locs.Len()
 	uninit := locs.Has(locset.UnkID)
 	if uninit {
 		n--

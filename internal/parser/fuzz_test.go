@@ -1,0 +1,44 @@
+package parser_test
+
+import (
+	"testing"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/bench"
+	"mtpa/internal/parser"
+)
+
+// FuzzParseRoundTrip checks the printer/parser fixpoint: any program the
+// parser accepts must survive print → re-parse, and the re-parsed program
+// must print identically (the printed form is canonical). Seeds are the
+// whole benchmark corpus plus grammar corners.
+func FuzzParseRoundTrip(f *testing.F) {
+	progs, err := bench.Programs()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range progs {
+		f.Add(p.Source)
+	}
+	f.Add("int main(int argc) { return 0; }")
+	f.Add("int *p; int x; int main(int argc) { p = &x; *p = 1; return *p; }")
+	f.Add("cilk int t(int n) { return n; } int main(int argc) { int a; a = spawn t(1); sync; return a; }")
+	f.Add("int g; private int h; int main(int argc) { par { { g = 1; } { h = 2; } } return 0; }")
+	f.Add("struct s { int v; struct s *next; }; int main(int argc) { struct s n; n.next = 0; return 0; }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fuzz.clk", src)
+		if err != nil {
+			return // rejected inputs need no round trip
+		}
+		printed := ast.Print(prog)
+		prog2, err := parser.Parse("fuzz2.clk", printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\n--- printed ---\n%s", err, printed)
+		}
+		printed2 := ast.Print(prog2)
+		if printed != printed2 {
+			t.Fatalf("print is not a fixpoint\n--- first ---\n%s\n--- second ---\n%s", printed, printed2)
+		}
+	})
+}

@@ -1,0 +1,293 @@
+// Package mapref preserves the original mutable, map-based points-to set
+// and graph representation. It is the executable specification for the
+// hash-consed, copy-on-write representation in package ptgraph: the shadow
+// seam (ptgraph.SetShadowMode) mirrors every graph operation into a mapref
+// graph and panics on any divergence, and the differential tests replay
+// random operation sequences against both implementations. It must keep
+// exactly the semantics the analysis was built against; do not "improve" it.
+package mapref
+
+import (
+	"sort"
+
+	"mtpa/internal/locset"
+)
+
+// Set is a mutable set of location-set IDs.
+type Set map[locset.ID]struct{}
+
+// NewSet builds a set from the given IDs.
+func NewSet(ids ...locset.ID) Set {
+	s := make(Set, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts id.
+func (s Set) Add(id locset.ID) { s[id] = struct{}{} }
+
+// Has reports membership.
+func (s Set) Has(id locset.ID) bool { _, ok := s[id]; return ok }
+
+// AddAll inserts every element of other.
+func (s Set) AddAll(other Set) {
+	for id := range other {
+		s[id] = struct{}{}
+	}
+}
+
+// Clone returns a copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Sorted returns the elements in ascending order.
+func (s Set) Sorted() []locset.ID {
+	ids := make([]locset.ID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Equal reports set equality.
+func (s Set) Equal(other Set) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for id := range s {
+		if !other.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Edge is a points-to edge between two location sets.
+type Edge struct {
+	Src, Dst locset.ID
+}
+
+// Graph is a points-to graph: a set of edges with successor indexing.
+type Graph struct {
+	succ  map[locset.ID]Set
+	count int
+}
+
+// New returns an empty points-to graph.
+func New() *Graph {
+	return &Graph{succ: map[locset.ID]Set{}}
+}
+
+// Len returns the number of edges.
+func (g *Graph) Len() int { return g.count }
+
+// Add inserts the edge src→dst; it reports whether the graph changed.
+func (g *Graph) Add(src, dst locset.ID) bool {
+	s, ok := g.succ[src]
+	if !ok {
+		s = Set{}
+		g.succ[src] = s
+	}
+	if s.Has(dst) {
+		return false
+	}
+	s.Add(dst)
+	g.count++
+	return true
+}
+
+// Has reports whether src→dst is present.
+func (g *Graph) Has(src, dst locset.ID) bool {
+	return g.succ[src].Has(dst)
+}
+
+// Succs returns the successor set of src (nil when empty; do not modify).
+func (g *Graph) Succs(src locset.ID) Set { return g.succ[src] }
+
+// OutDegree returns the number of edges leaving src.
+func (g *Graph) OutDegree(src locset.ID) int { return len(g.succ[src]) }
+
+// Deref returns {y | ∃x ∈ srcs : (x,y) ∈ g}; dereferencing the unknown
+// location yields the unknown location itself.
+func (g *Graph) Deref(srcs Set) Set {
+	out := Set{}
+	for s := range srcs {
+		if s == locset.UnkID {
+			out.Add(locset.UnkID)
+			continue
+		}
+		for d := range g.succ[s] {
+			out.Add(d)
+		}
+	}
+	return out
+}
+
+// Kill removes every edge whose source is in srcs; it reports change.
+func (g *Graph) Kill(srcs Set) bool {
+	changed := false
+	for s := range srcs {
+		if set, ok := g.succ[s]; ok && len(set) > 0 {
+			g.count -= len(set)
+			delete(g.succ, s)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// KillEdges removes the specific edges in kill; it reports change.
+func (g *Graph) KillEdges(kill *Graph) bool {
+	changed := false
+	for src, dsts := range kill.succ {
+		cur, ok := g.succ[src]
+		if !ok {
+			continue
+		}
+		for d := range dsts {
+			if cur.Has(d) {
+				delete(cur, d)
+				g.count--
+				changed = true
+			}
+		}
+		if len(cur) == 0 {
+			delete(g.succ, src)
+		}
+	}
+	return changed
+}
+
+// Union adds every edge of other into g; it reports change.
+func (g *Graph) Union(other *Graph) bool {
+	if other == nil {
+		return false
+	}
+	changed := false
+	for src, dsts := range other.succ {
+		for d := range dsts {
+			if g.Add(src, d) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Clone returns a deep copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{succ: make(map[locset.ID]Set, len(g.succ)), count: g.count}
+	for src, dsts := range g.succ {
+		c.succ[src] = dsts.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two graphs contain the same edges.
+func (g *Graph) Equal(other *Graph) bool {
+	if g.count != other.count {
+		return false
+	}
+	for src, dsts := range g.succ {
+		os, ok := other.succ[src]
+		if !ok && len(dsts) > 0 {
+			return false
+		}
+		if !dsts.Equal(os) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether g contains every edge of other (other ⊆ g).
+func (g *Graph) Contains(other *Graph) bool {
+	for src, dsts := range other.succ {
+		gs, ok := g.succ[src]
+		if !ok {
+			if len(dsts) > 0 {
+				return false
+			}
+			continue
+		}
+		for d := range dsts {
+			if !gs.Has(d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Intersect returns a new graph with the edges present in both graphs.
+func Intersect(a, b *Graph) *Graph {
+	if b.count < a.count {
+		a, b = b, a
+	}
+	out := New()
+	for src, dsts := range a.succ {
+		bs, ok := b.succ[src]
+		if !ok {
+			continue
+		}
+		for d := range dsts {
+			if bs.Has(d) {
+				out.Add(src, d)
+			}
+		}
+	}
+	return out
+}
+
+// Map returns a new graph with every node rewritten by f. Edges whose
+// mapped source is the unknown location set are dropped.
+func (g *Graph) Map(f func(locset.ID) locset.ID) *Graph {
+	out := New()
+	for src, dsts := range g.succ {
+		ms := f(src)
+		if ms == locset.UnkID {
+			continue
+		}
+		for d := range dsts {
+			out.Add(ms, f(d))
+		}
+	}
+	return out
+}
+
+// Sources returns the location sets with at least one outgoing edge.
+func (g *Graph) Sources() []locset.ID {
+	out := make([]locset.ID, 0, len(g.succ))
+	for s, dsts := range g.succ {
+		if len(dsts) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Edges returns all edges sorted by (src, dst).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.count)
+	for src, dsts := range g.succ {
+		for d := range dsts {
+			out = append(out, Edge{Src: src, Dst: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}

@@ -3,6 +3,13 @@
 // means a location in x may hold a pointer to a location in y. Graphs are
 // ordered by edge-set inclusion; the lattice meet is set union, and the
 // dataflow equations for par constructs additionally use intersection.
+//
+// Representation: successor sets are immutable hash-consed Sets (see
+// set.go), and the successor map is copy-on-write — Clone is O(1) and the
+// map is copied only when one of the sharers mutates. Every graph maintains
+// an incremental, order-independent 64-bit hash of its edge set, so context
+// caches can bucket graphs by hash and verify equality with per-source
+// pointer comparisons instead of serialised edge lists.
 package ptgraph
 
 import (
@@ -11,64 +18,8 @@ import (
 	"strings"
 
 	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph/mapref"
 )
-
-// Set is a set of location-set IDs.
-type Set map[locset.ID]struct{}
-
-// NewSet builds a set from the given IDs.
-func NewSet(ids ...locset.ID) Set {
-	s := make(Set, len(ids))
-	for _, id := range ids {
-		s[id] = struct{}{}
-	}
-	return s
-}
-
-// Add inserts id.
-func (s Set) Add(id locset.ID) { s[id] = struct{}{} }
-
-// Has reports membership.
-func (s Set) Has(id locset.ID) bool { _, ok := s[id]; return ok }
-
-// AddAll inserts every element of other.
-func (s Set) AddAll(other Set) {
-	for id := range other {
-		s[id] = struct{}{}
-	}
-}
-
-// Clone returns a copy of the set.
-func (s Set) Clone() Set {
-	c := make(Set, len(s))
-	for id := range s {
-		c[id] = struct{}{}
-	}
-	return c
-}
-
-// Sorted returns the elements in ascending order.
-func (s Set) Sorted() []locset.ID {
-	ids := make([]locset.ID, 0, len(s))
-	for id := range s {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// Equal reports set equality.
-func (s Set) Equal(other Set) bool {
-	if len(s) != len(other) {
-		return false
-	}
-	for id := range s {
-		if !other.Has(id) {
-			return false
-		}
-	}
-	return true
-}
 
 // Edge is a points-to edge between two location sets.
 type Edge struct {
@@ -77,44 +28,125 @@ type Edge struct {
 
 // Graph is a points-to graph: a set of edges with successor indexing.
 type Graph struct {
-	succ  map[locset.ID]Set
-	count int
+	// succ maps each source to its interned successor set; empty sets are
+	// never stored. The map may be shared with clones (copy-on-write).
+	succ   map[locset.ID]Set
+	count  int
+	hash   uint64
+	shared bool
+
+	// shadow mirrors every operation into the original map-based
+	// representation when differential shadow mode is enabled (test seam).
+	shadow *mapref.Graph
+}
+
+// contrib is the hash contribution of one (source, successor-set) entry.
+// XORing contributions gives an order-independent graph hash that can be
+// updated incrementally when a source's set changes.
+func contrib(src locset.ID, s Set) uint64 {
+	if s.d == nil {
+		return 0
+	}
+	return mix64(s.d.hash + uint64(uint32(src))*0x9e3779b97f4a7c15)
 }
 
 // New returns an empty points-to graph.
 func New() *Graph {
-	return &Graph{succ: map[locset.ID]Set{}}
+	g := &Graph{}
+	if shadowEnabled() {
+		g.shadow = mapref.New()
+	}
+	return g
 }
 
 // Len returns the number of edges.
 func (g *Graph) Len() int { return g.count }
 
+// Hash returns the order-independent hash of the edge set. Equal graphs
+// have equal hashes; unequal graphs collide with probability ~2^-64.
+func (g *Graph) Hash() uint64 { return g.hash }
+
+// mutable prepares the successor map for in-place modification, copying it
+// if it is shared with clones.
+func (g *Graph) mutable() {
+	if g.shared || g.succ == nil {
+		m := make(map[locset.ID]Set, len(g.succ)+1)
+		for k, v := range g.succ {
+			m[k] = v
+		}
+		g.succ = m
+		g.shared = false
+	}
+}
+
+// setSucc replaces src's successor set old (the current entry) with next,
+// updating the edge count and hash. The caller must have called mutable().
+func (g *Graph) setSucc(src locset.ID, old, next Set) {
+	g.hash ^= contrib(src, old) ^ contrib(src, next)
+	g.count += next.Len() - old.Len()
+	if next.d == nil {
+		delete(g.succ, src)
+	} else {
+		g.succ[src] = next
+	}
+}
+
 // Add inserts the edge src→dst; it reports whether the graph changed.
 func (g *Graph) Add(src, dst locset.ID) bool {
-	s, ok := g.succ[src]
-	if !ok {
-		s = Set{}
-		g.succ[src] = s
-	}
-	if s.Has(dst) {
+	old := g.succ[src]
+	next := old.With(dst)
+	if next.d == old.d {
 		return false
 	}
-	s.Add(dst)
-	g.count++
+	g.mutable()
+	g.setSucc(src, old, next)
+	if g.shadow != nil {
+		g.shadowAdd(src, dst)
+	}
 	return true
 }
 
 // AddEdge inserts e.
 func (g *Graph) AddEdge(e Edge) bool { return g.Add(e.Src, e.Dst) }
 
+// AddSet unions dsts into src's successor set; it reports change.
+func (g *Graph) AddSet(src locset.ID, dsts Set) bool {
+	old := g.succ[src]
+	next := old.UnionSet(dsts)
+	if next.d == old.d {
+		return false
+	}
+	g.mutable()
+	g.setSucc(src, old, next)
+	if g.shadow != nil {
+		g.shadowAddSet(src, dsts)
+	}
+	return true
+}
+
+// ReplaceSucc sets src's successor set to exactly dsts (the strong-update
+// primitive: kill src's edges, then gen src×dsts in one step).
+func (g *Graph) ReplaceSucc(src locset.ID, dsts Set) {
+	old := g.succ[src]
+	if old.d == dsts.d {
+		return
+	}
+	g.mutable()
+	g.setSucc(src, old, dsts)
+	if g.shadow != nil {
+		g.shadowReplace(src, dsts)
+	}
+}
+
 // AddProduct inserts every edge in srcs × dsts; it reports change.
 func (g *Graph) AddProduct(srcs, dsts Set) bool {
+	if dsts.IsEmpty() {
+		return false
+	}
 	changed := false
-	for s := range srcs {
-		for d := range dsts {
-			if g.Add(s, d) {
-				changed = true
-			}
+	for _, s := range srcs.IDs() {
+		if g.AddSet(s, dsts) {
+			changed = true
 		}
 	}
 	return changed
@@ -125,59 +157,76 @@ func (g *Graph) Has(src, dst locset.ID) bool {
 	return g.succ[src].Has(dst)
 }
 
-// Succs returns the successor set of src (nil when empty; do not modify).
+// Succs returns the (interned, immutable) successor set of src.
 func (g *Graph) Succs(src locset.ID) Set { return g.succ[src] }
 
 // OutDegree returns the number of edges leaving src.
-func (g *Graph) OutDegree(src locset.ID) int { return len(g.succ[src]) }
+func (g *Graph) OutDegree(src locset.ID) int { return g.succ[src].Len() }
+
+// unkSingleton returns the canonical {unk} set.
+func unkSingleton() Set { return intern([]locset.ID{locset.UnkID}) }
 
 // Deref returns {y | ∃x ∈ srcs : (x,y) ∈ g}, the deref function of §3.2.
 // Dereferencing the unknown location yields the unknown location itself.
 func (g *Graph) Deref(srcs Set) Set {
-	out := Set{}
-	for s := range srcs {
-		if s == locset.UnkID {
-			out.Add(locset.UnkID)
+	if srcs.Len() == 1 {
+		x := srcs.IDs()[0]
+		if x == locset.UnkID {
+			return unkSingleton()
+		}
+		return g.succ[x]
+	}
+	var b SetBuilder
+	for _, x := range srcs.IDs() {
+		if x == locset.UnkID {
+			b.Add(locset.UnkID)
 			continue
 		}
-		for d := range g.succ[s] {
-			out.Add(d)
-		}
+		b.AddSet(g.succ[x])
 	}
-	return out
+	return b.Build()
 }
 
 // Kill removes every edge whose source is in srcs; it reports change.
 func (g *Graph) Kill(srcs Set) bool {
 	changed := false
-	for s := range srcs {
-		if set, ok := g.succ[s]; ok && len(set) > 0 {
-			g.count -= len(set)
-			delete(g.succ, s)
+	for _, s := range srcs.IDs() {
+		if g.KillSrc(s) {
 			changed = true
 		}
 	}
 	return changed
 }
 
+// KillSrc removes every edge leaving src; it reports change.
+func (g *Graph) KillSrc(src locset.ID) bool {
+	old := g.succ[src]
+	if old.d == nil {
+		return false
+	}
+	g.mutable()
+	g.setSucc(src, old, Set{})
+	if g.shadow != nil {
+		g.shadowKillSrc(src)
+	}
+	return true
+}
+
 // KillEdges removes the specific edges in kill (a src×dst product given as
 // a graph); it reports change.
 func (g *Graph) KillEdges(kill *Graph) bool {
 	changed := false
-	for src, dsts := range kill.succ {
-		cur, ok := g.succ[src]
-		if !ok {
+	for src, ks := range kill.succ {
+		old := g.succ[src]
+		next := old.MinusSet(ks)
+		if next.d == old.d {
 			continue
 		}
-		for d := range dsts {
-			if cur.Has(d) {
-				delete(cur, d)
-				g.count--
-				changed = true
-			}
-		}
-		if len(cur) == 0 {
-			delete(g.succ, src)
+		g.mutable()
+		g.setSucc(src, old, next)
+		changed = true
+		if g.shadow != nil {
+			g.shadowKillEdges(src, ks)
 		}
 	}
 	return changed
@@ -185,40 +234,52 @@ func (g *Graph) KillEdges(kill *Graph) bool {
 
 // Union adds every edge of other into g; it reports change.
 func (g *Graph) Union(other *Graph) bool {
-	if other == nil {
+	if other == nil || other.count == 0 {
 		return false
 	}
 	changed := false
-	for src, dsts := range other.succ {
-		for d := range dsts {
-			if g.Add(src, d) {
-				changed = true
-			}
+	for src, os := range other.succ {
+		old := g.succ[src]
+		next := old.UnionSet(os)
+		if next.d == old.d {
+			continue
+		}
+		g.mutable()
+		g.setSucc(src, old, next)
+		changed = true
+		if g.shadow != nil {
+			g.shadowAddSet(src, os)
 		}
 	}
 	return changed
 }
 
-// Clone returns a deep copy.
+// Clone returns a logically independent copy. The successor map is shared
+// copy-on-write, so cloning is O(1) and memory is only spent when one of
+// the copies diverges.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{succ: make(map[locset.ID]Set, len(g.succ)), count: g.count}
-	for src, dsts := range g.succ {
-		c.succ[src] = dsts.Clone()
+	g.shared = true
+	c := &Graph{succ: g.succ, count: g.count, hash: g.hash, shared: true}
+	if g.shadow != nil {
+		c.shadow = g.shadow.Clone()
+		g.checkCount("Clone")
 	}
 	return c
 }
 
 // Equal reports whether two graphs contain the same edges.
 func (g *Graph) Equal(other *Graph) bool {
-	if g.count != other.count {
+	if g == other {
+		return true
+	}
+	if g.count != other.count || g.hash != other.hash {
 		return false
 	}
-	for src, dsts := range g.succ {
-		os, ok := other.succ[src]
-		if !ok && len(dsts) > 0 {
-			return false
-		}
-		if !dsts.Equal(os) {
+	if len(g.succ) != len(other.succ) {
+		return false
+	}
+	for src, s := range g.succ {
+		if other.succ[src].d != s.d {
 			return false
 		}
 	}
@@ -227,18 +288,15 @@ func (g *Graph) Equal(other *Graph) bool {
 
 // Contains reports whether g contains every edge of other (other ⊆ g).
 func (g *Graph) Contains(other *Graph) bool {
-	for src, dsts := range other.succ {
-		gs, ok := g.succ[src]
-		if !ok {
-			if len(dsts) > 0 {
-				return false
-			}
-			continue
-		}
-		for d := range dsts {
-			if !gs.Has(d) {
-				return false
-			}
+	if g == other {
+		return true
+	}
+	if other.count > g.count {
+		return false
+	}
+	for src, os := range other.succ {
+		if !os.SubsetOf(g.succ[src]) {
+			return false
 		}
 	}
 	return true
@@ -250,15 +308,15 @@ func Intersect(a, b *Graph) *Graph {
 		a, b = b, a
 	}
 	out := New()
-	for src, dsts := range a.succ {
-		bs, ok := b.succ[src]
-		if !ok {
+	for src, as := range a.succ {
+		next := as.IntersectSet(b.succ[src])
+		if next.d == nil {
 			continue
 		}
-		for d := range dsts {
-			if bs.Has(d) {
-				out.Add(src, d)
-			}
+		out.mutable()
+		out.setSucc(src, Set{}, next)
+		if out.shadow != nil {
+			out.shadowAddSet(src, next)
 		}
 	}
 	return out
@@ -276,30 +334,36 @@ func IntersectAll(gs []*Graph) *Graph {
 	return out
 }
 
+// ForEach calls f for every (source, successor-set) pair, in unspecified
+// order. The sets are interned and must not be modified.
+func (g *Graph) ForEach(f func(src locset.ID, dsts Set)) {
+	for src, dsts := range g.succ {
+		f(src, dsts)
+	}
+}
+
 // Map returns a new graph with every node rewritten by f. Edges whose
 // mapped source is the unknown location set are dropped (stores through
 // unk are ignored, and ⟨unk⟩×L edges are removed by unmapping — §3.10.1).
 func (g *Graph) Map(f func(locset.ID) locset.ID) *Graph {
-	out := New()
+	var b GraphBuilder
 	for src, dsts := range g.succ {
 		ms := f(src)
 		if ms == locset.UnkID {
 			continue
 		}
-		for d := range dsts {
-			out.Add(ms, f(d))
+		for _, d := range dsts.IDs() {
+			b.Add(ms, f(d))
 		}
 	}
-	return out
+	return b.Build()
 }
 
 // Sources returns the location sets with at least one outgoing edge.
 func (g *Graph) Sources() []locset.ID {
 	out := make([]locset.ID, 0, len(g.succ))
-	for s, dsts := range g.succ {
-		if len(dsts) > 0 {
-			out = append(out, s)
-		}
+	for s := range g.succ {
+		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -308,47 +372,23 @@ func (g *Graph) Sources() []locset.ID {
 // Nodes returns the set of location sets appearing as an endpoint of any
 // edge (the nodes(C) function of §3.10.1).
 func (g *Graph) Nodes() Set {
-	out := Set{}
+	var b SetBuilder
 	for src, dsts := range g.succ {
-		if len(dsts) == 0 {
-			continue
-		}
-		out.Add(src)
-		for d := range dsts {
-			out.Add(d)
-		}
+		b.Add(src)
+		b.AddSet(dsts)
 	}
-	return out
+	return b.Build()
 }
 
 // Edges returns all edges sorted by (src, dst).
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.count)
-	for src, dsts := range g.succ {
-		for d := range dsts {
+	for _, src := range g.Sources() {
+		for _, d := range g.succ[src].IDs() {
 			out = append(out, Edge{Src: src, Dst: d})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
 	return out
-}
-
-// Key returns a canonical string encoding of the edge set, usable as a
-// cache key (contexts canonicalise ghost numbering, so equal contexts
-// produce equal keys).
-func (g *Graph) Key() string {
-	edges := g.Edges()
-	var sb strings.Builder
-	sb.Grow(len(edges) * 8)
-	for _, e := range edges {
-		fmt.Fprintf(&sb, "%d>%d;", e.Src, e.Dst)
-	}
-	return sb.String()
 }
 
 // Format renders the graph with human-readable location-set names.
@@ -379,4 +419,60 @@ func (g *Graph) FormatFiltered(tab *locset.Table, hide func(locset.ID) bool) str
 		return "{}"
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// GraphBuilder accumulates edges grouped by source and interns each
+// successor set once at Build time. Use it when constructing a graph whose
+// edges arrive in arbitrary order (Map, unmapping, graph rewrites).
+type GraphBuilder struct {
+	succ map[locset.ID]*SetBuilder
+}
+
+// Add records the edge src→dst.
+func (b *GraphBuilder) Add(src, dst locset.ID) {
+	if b.succ == nil {
+		b.succ = map[locset.ID]*SetBuilder{}
+	}
+	sb := b.succ[src]
+	if sb == nil {
+		sb = &SetBuilder{}
+		b.succ[src] = sb
+	}
+	sb.Add(dst)
+}
+
+// AddSet records every edge in {src} × dsts.
+func (b *GraphBuilder) AddSet(src locset.ID, dsts Set) {
+	if dsts.IsEmpty() {
+		return
+	}
+	if b.succ == nil {
+		b.succ = map[locset.ID]*SetBuilder{}
+	}
+	sb := b.succ[src]
+	if sb == nil {
+		sb = &SetBuilder{}
+		b.succ[src] = sb
+	}
+	sb.AddSet(dsts)
+}
+
+// Build interns the accumulated graph.
+func (b *GraphBuilder) Build() *Graph {
+	g := New()
+	if len(b.succ) == 0 {
+		return g
+	}
+	g.mutable()
+	for src, sb := range b.succ {
+		s := sb.Build()
+		if s.d == nil {
+			continue
+		}
+		g.setSucc(src, Set{}, s)
+		if g.shadow != nil {
+			g.shadowAddSet(src, s)
+		}
+	}
+	return g
 }

@@ -32,6 +32,71 @@ func abs(x int) int {
 	return x
 }
 
+func TestSetInterning(t *testing.T) {
+	a := NewSet(3, 1, 2, 2)
+	b := NewSet(1, 2, 3)
+	if !a.Equal(b) {
+		t.Fatal("equal-content sets must be pointer-identical")
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets must share a hash")
+	}
+	if got := a.IDs(); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("IDs = %v, want [1 2 3]", got)
+	}
+	if NewSet().Len() != 0 || !NewSet().Equal(Set{}) {
+		t.Fatal("empty set must be the zero value")
+	}
+	if a.Equal(NewSet(1, 2)) {
+		t.Fatal("distinct sets must not be equal")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := NewSet(1, 3, 5)
+	if s := a.With(3); !s.Equal(a) {
+		t.Error("With on a member must return the same set")
+	}
+	if s := a.With(4); !s.Equal(NewSet(1, 3, 4, 5)) {
+		t.Errorf("With(4) = %v", s.IDs())
+	}
+	b := NewSet(3, 5, 7)
+	if u := a.UnionSet(b); !u.Equal(NewSet(1, 3, 5, 7)) {
+		t.Errorf("UnionSet = %v", u.IDs())
+	}
+	if u := a.UnionSet(NewSet(1)); !u.Equal(a) {
+		t.Error("UnionSet with a subset must return the receiver handle")
+	}
+	if m := a.MinusSet(b); !m.Equal(NewSet(1)) {
+		t.Errorf("MinusSet = %v", m.IDs())
+	}
+	if m := a.MinusSet(NewSet(9)); !m.Equal(a) {
+		t.Error("MinusSet with a disjoint set must return the receiver")
+	}
+	if x := a.IntersectSet(b); !x.Equal(NewSet(3, 5)) {
+		t.Errorf("IntersectSet = %v", x.IDs())
+	}
+	if !NewSet(3).SubsetOf(a) || a.SubsetOf(b) || !(Set{}).SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+}
+
+func TestSetBuilder(t *testing.T) {
+	var b SetBuilder
+	b.Add(5)
+	b.AddSet(NewSet(1, 5, 9))
+	b.Add(1)
+	if s := b.Build(); !s.Equal(NewSet(1, 5, 9)) {
+		t.Errorf("Build = %v", s.IDs())
+	}
+	if !b.Empty() {
+		t.Error("Build must reset the builder")
+	}
+	if s := b.Build(); !s.IsEmpty() {
+		t.Error("empty Build must be the empty set")
+	}
+}
+
 func TestAddHasLen(t *testing.T) {
 	g := New()
 	if g.Len() != 0 {
@@ -57,19 +122,24 @@ func TestDeref(t *testing.T) {
 	g.Add(1, 3)
 	g.Add(2, 4)
 	d := g.Deref(NewSet(1))
-	if len(d) != 2 || !d.Has(2) || !d.Has(3) {
+	if d.Len() != 2 || !d.Has(2) || !d.Has(3) {
 		t.Errorf("deref(1) = %v", d.Sorted())
 	}
 	// Dereferencing unk yields unk itself.
 	d = g.Deref(NewSet(locset.UnkID))
-	if len(d) != 1 || !d.Has(locset.UnkID) {
+	if d.Len() != 1 || !d.Has(locset.UnkID) {
 		t.Errorf("deref(unk) = %v", d.Sorted())
 	}
 	// Dereferencing an edgeless node yields the empty set at graph level
 	// (the core analysis layers the unk backstop on top).
 	d = g.Deref(NewSet(9))
-	if len(d) != 0 {
+	if d.Len() != 0 {
 		t.Errorf("deref(9) = %v, want empty", d.Sorted())
+	}
+	// Multi-element source sets union the successor sets.
+	d = g.Deref(NewSet(1, 2))
+	if !d.Equal(NewSet(2, 3, 4)) {
+		t.Errorf("deref(1,2) = %v", d.Sorted())
 	}
 }
 
@@ -133,14 +203,40 @@ func TestMapDropsUnkSources(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
+func TestCloneIsLogicallyIndependent(t *testing.T) {
 	g := New()
 	g.Add(1, 2)
 	c := g.Clone()
 	c.Add(3, 4)
 	g.Kill(NewSet(1))
 	if !c.Has(1, 2) || !c.Has(3, 4) || g.Len() != 0 {
-		t.Error("Clone is not deep")
+		t.Error("Clone is not independent")
+	}
+	// Mutating the original after both sides diverged must not leak back.
+	g.Add(7, 8)
+	if c.Has(7, 8) {
+		t.Error("mutation leaked into the clone")
+	}
+	// A clone of a clone must also be independent.
+	c2 := c.Clone()
+	c.Add(9, 9)
+	if c2.Has(9, 9) {
+		t.Error("mutation leaked into the second clone")
+	}
+}
+
+func TestReplaceSucc(t *testing.T) {
+	g := New()
+	g.Add(1, 2)
+	g.Add(1, 3)
+	g.Add(2, 4)
+	g.ReplaceSucc(1, NewSet(5))
+	if !g.Has(1, 5) || g.Has(1, 2) || g.Has(1, 3) || g.Len() != 2 {
+		t.Errorf("ReplaceSucc wrong: %v", g.Edges())
+	}
+	g.ReplaceSucc(1, Set{})
+	if g.OutDegree(1) != 0 || g.Len() != 1 {
+		t.Errorf("ReplaceSucc to empty wrong: %v", g.Edges())
 	}
 }
 
@@ -189,9 +285,10 @@ func TestQuickIntersection(t *testing.T) {
 	}
 }
 
-// Property: Key is canonical — equal graphs have equal keys, and a graph
-// equals any graph rebuilt from its edge list in shuffled order.
-func TestQuickCanonicalKey(t *testing.T) {
+// Property: the incremental hash is canonical — a graph equals (and shares
+// a hash with) any graph rebuilt from its edge list in shuffled order, and
+// killing the added edges returns to the original hash.
+func TestQuickCanonicalHash(t *testing.T) {
 	r := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 200; trial++ {
 		g := randomGraph(r, 10, r.Intn(30))
@@ -201,8 +298,24 @@ func TestQuickCanonicalKey(t *testing.T) {
 		for _, e := range edges {
 			h.AddEdge(e)
 		}
-		if g.Key() != h.Key() || !g.Equal(h) {
-			t.Fatalf("canonical key broken: %q vs %q", g.Key(), h.Key())
+		if g.Hash() != h.Hash() || !g.Equal(h) {
+			t.Fatalf("canonical hash broken: %x vs %x", g.Hash(), h.Hash())
+		}
+		extra := randomGraph(r, 10, 5)
+		before := g.Hash()
+		grown := g.Clone()
+		if !grown.Union(extra) {
+			continue
+		}
+		rm := New()
+		for _, e := range extra.Edges() {
+			if !g.Has(e.Src, e.Dst) {
+				rm.AddEdge(e)
+			}
+		}
+		grown.KillEdges(rm)
+		if grown.Hash() != before || !grown.Equal(g) {
+			t.Fatalf("hash not restored after add+kill: %x vs %x", grown.Hash(), before)
 		}
 	}
 }
@@ -232,19 +345,17 @@ func TestQuickContainsOrder(t *testing.T) {
 func TestQuickDerefMonotone(t *testing.T) {
 	f := func(xs, ys []int, sraw []int) bool {
 		a, b := graphGen(xs), graphGen(ys)
-		s := Set{}
+		var sb SetBuilder
 		for _, v := range sraw {
-			id := locset.ID(abs(v)%11 + 1) // avoid unk
-			s.Add(id)
+			sb.Add(locset.ID(abs(v)%11 + 1)) // avoid unk
 		}
+		s := sb.Build()
 		u := a.Clone()
 		u.Union(b)
 		da := a.Deref(s)
 		db := b.Deref(s)
 		du := u.Deref(s)
-		want := da.Clone()
-		want.AddAll(db)
-		return du.Equal(want)
+		return du.Equal(da.UnionSet(db))
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -269,5 +380,14 @@ func BenchmarkGraphIntersect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Intersect(g1, g2)
+	}
+}
+
+func BenchmarkGraphClone(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	g := randomGraph(r, 200, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Clone()
 	}
 }

@@ -1,0 +1,122 @@
+// The differential shadow seam. With shadow mode enabled, every Graph
+// created by New carries a mapref.Graph — the original mutable, map-based
+// representation — and every mutating operation is mirrored into it and
+// cross-checked. Any divergence between the hash-consed copy-on-write
+// representation and the reference panics immediately, with the offending
+// source's successor sets in the message. The corpus differential test
+// enables shadow mode and replays the entire analysis of all 18 benchmark
+// programs, which verifies every points-to graph at every node, context and
+// par fixed-point round against the reference, node by node.
+
+package ptgraph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph/mapref"
+)
+
+var shadowMode atomic.Bool
+
+// SetShadowMode switches differential shadow verification on or off for
+// graphs created afterwards. It is a test seam: enabling it makes every
+// graph operation mirror into the original map-based representation and
+// panic on divergence. Not for production use.
+func SetShadowMode(on bool) { shadowMode.Store(on) }
+
+// ShadowMode reports whether shadow verification is enabled.
+func ShadowMode() bool { return shadowMode.Load() }
+
+func shadowEnabled() bool { return shadowMode.Load() }
+
+// checkSrc verifies that src's successor set matches the reference.
+func (g *Graph) checkSrc(op string, src locset.ID) {
+	got := g.succ[src].IDs()
+	want := g.shadow.Succs(src).Sorted()
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("ptgraph shadow divergence after %s: src %d has %v, reference has %v", op, src, got, want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			panic(fmt.Sprintf("ptgraph shadow divergence after %s: src %d has %v, reference has %v", op, src, got, want))
+		}
+	}
+}
+
+func (g *Graph) checkCount(op string) {
+	if g.count != g.shadow.Len() {
+		panic(fmt.Sprintf("ptgraph shadow divergence after %s: %d edges, reference has %d", op, g.count, g.shadow.Len()))
+	}
+}
+
+// VerifyShadow performs a full structural comparison against the reference
+// representation (a no-op when the graph carries no shadow). Differential
+// tests call it on result graphs; mutating operations already verify their
+// touched sources eagerly.
+func (g *Graph) VerifyShadow() {
+	if g.shadow != nil {
+		g.shadowCheck("VerifyShadow")
+	}
+}
+
+// shadowCheck performs a full structural comparison against the reference,
+// plus a from-scratch recomputation of the incremental hash.
+func (g *Graph) shadowCheck(op string) {
+	g.checkCount(op)
+	if len(g.succ) != len(g.shadow.Sources()) {
+		panic(fmt.Sprintf("ptgraph shadow divergence after %s: %d sources, reference has %d", op, len(g.succ), len(g.shadow.Sources())))
+	}
+	var h uint64
+	for src, dsts := range g.succ {
+		g.checkSrc(op, src)
+		h ^= contrib(src, dsts)
+	}
+	if h != g.hash {
+		panic(fmt.Sprintf("ptgraph shadow divergence after %s: incremental hash %x, recomputed %x", op, g.hash, h))
+	}
+}
+
+func (g *Graph) shadowAdd(src, dst locset.ID) {
+	if !g.shadow.Add(src, dst) {
+		panic(fmt.Sprintf("ptgraph shadow divergence: Add(%d,%d) changed the graph but not the reference", src, dst))
+	}
+	g.checkSrc("Add", src)
+	g.checkCount("Add")
+}
+
+func (g *Graph) shadowAddSet(src locset.ID, dsts Set) {
+	for _, d := range dsts.IDs() {
+		g.shadow.Add(src, d)
+	}
+	g.checkSrc("AddSet", src)
+	g.checkCount("AddSet")
+}
+
+func (g *Graph) shadowReplace(src locset.ID, dsts Set) {
+	g.shadow.Kill(mapref.NewSet(src))
+	for _, d := range dsts.IDs() {
+		g.shadow.Add(src, d)
+	}
+	g.checkSrc("ReplaceSucc", src)
+	g.checkCount("ReplaceSucc")
+}
+
+func (g *Graph) shadowKillSrc(src locset.ID) {
+	if !g.shadow.Kill(mapref.NewSet(src)) {
+		panic(fmt.Sprintf("ptgraph shadow divergence: KillSrc(%d) changed the graph but not the reference", src))
+	}
+	g.checkSrc("KillSrc", src)
+	g.checkCount("KillSrc")
+}
+
+func (g *Graph) shadowKillEdges(src locset.ID, ks Set) {
+	rm := mapref.New()
+	for _, d := range ks.IDs() {
+		rm.Add(src, d)
+	}
+	g.shadow.KillEdges(rm)
+	g.checkSrc("KillEdges", src)
+	g.checkCount("KillEdges")
+}

@@ -10,6 +10,7 @@
 //	-stats             print program characteristics and convergence data
 //	-race              run the static race detector
 //	-dump-ir           print the lowered parallel flow graph
+//	-dump-pfg          print the vertex-level flow graphs the solver runs on
 //	-run               execute the program under the interpreter
 //	-seed n            scheduler seed for -run
 //	-corpus name       analyse an embedded benchmark instead of a file
@@ -27,6 +28,7 @@ import (
 	"mtpa/internal/interp"
 	"mtpa/internal/locset"
 	"mtpa/internal/metrics"
+	"mtpa/internal/pfg"
 	"mtpa/internal/race"
 )
 
@@ -38,19 +40,20 @@ func main() {
 	raceFlag := flag.Bool("race", false, "run the static race detector")
 	indepFlag := flag.Bool("independence", false, "classify each parallel construct as independent or conflicting (§4.4)")
 	dumpIR := flag.Bool("dump-ir", false, "print the lowered parallel flow graph")
+	dumpPFG := flag.Bool("dump-pfg", false, "print the vertex-level flow graphs the solver runs on")
 	format := flag.Bool("format", false, "pretty-print the parsed program and exit")
 	runFlag := flag.Bool("run", false, "execute the program under the interpreter")
 	seed := flag.Int64("seed", 1, "scheduler seed for -run")
 	corpus := flag.String("corpus", "", "analyse an embedded benchmark program by name")
 	flag.Parse()
 
-	if err := run(os.Stdout, os.Stderr, *mode, *summary, *accesses, *stats, *raceFlag, *indepFlag, *dumpIR, *format, *runFlag, *seed, *corpus, flag.Args()); err != nil {
+	if err := run(os.Stdout, os.Stderr, *mode, *summary, *accesses, *stats, *raceFlag, *indepFlag, *dumpIR, *dumpPFG, *format, *runFlag, *seed, *corpus, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "mtpa:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, format, runFlag bool, seed int64, corpus string, args []string) error {
+func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, dumpPFG, format, runFlag bool, seed int64, corpus string, args []string) error {
 	var name, src string
 	switch {
 	case corpus != "":
@@ -83,6 +86,12 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 	}
 	if dumpIR {
 		fmt.Fprint(out, prog.IR.Format())
+	}
+	if dumpPFG {
+		flow := pfg.BuildProgram(prog.IR)
+		for _, fn := range prog.IR.Funcs {
+			fmt.Fprintf(out, "func %s:\n%s", fn.Name, pfg.Format(flow.FuncGraph(fn)))
+		}
 	}
 
 	opts := mtpa.Options{Mode: mtpa.Multithreaded}

@@ -33,7 +33,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // test override the interesting knobs.
 func runCLI(t *testing.T, out, errOut *bytes.Buffer, mode string, summary, accesses, stats, raceFlag bool, corpus string, args ...string) error {
 	t.Helper()
-	return run(out, errOut, mode, summary, accesses, stats, raceFlag, false, false, false, false, 1, corpus, args)
+	return run(out, errOut, mode, summary, accesses, stats, raceFlag, false, false, false, false, false, 1, corpus, args)
 }
 
 func TestSummaryGoldenMultithreaded(t *testing.T) {
@@ -109,5 +109,18 @@ func TestUnknownCorpusError(t *testing.T) {
 	err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "no-such-program")
 	if err == nil || !strings.Contains(err.Error(), "unknown program") {
 		t.Errorf("expected unknown-program error, got %v", err)
+	}
+}
+
+func TestDumpPFG(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(&out, &errOut, "mt", false, false, false, false, false, false, true, false, false, 1, "", []string{"testdata/simple.clk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"func main:", "parbegin", "thread-exit"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-dump-pfg output missing %q:\n%s", want, out.String())
+		}
 	}
 }

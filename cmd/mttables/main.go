@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mtpa"
@@ -26,12 +28,61 @@ import (
 func main() {
 	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, all")
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the table generation to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after table generation to this file")
 	flag.Parse()
 
-	if err := run(os.Stdout, *table, *timingRuns); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "mttables:", err)
 		os.Exit(1)
 	}
+
+	runErr := run(os.Stdout, *table, *timingRuns)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "mttables:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "mttables:", runErr)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts the requested pprof profiles and returns a function
+// that finalises them (stopping the CPU profile and snapshotting the heap).
+func startProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // a settled heap makes the profile reproducible
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 type analysed struct {

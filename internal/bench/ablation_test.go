@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/flowinsens"
+	"mtpa/internal/locset"
+	"mtpa/internal/ptgraph"
+)
+
+// TestParWorkersBitIdentical pins the central property of the concurrent
+// par fixed point: the speculative concurrent execution (ParWorkers > 1)
+// must produce results bit-identical to the sequential Gauss–Seidel sweep
+// (ParWorkers = 1) — same graphs, same contexts, same iteration counts,
+// same samples, same warnings. Under -race this also exercises the
+// speculation machinery for data races.
+func TestParWorkersBitIdentical(t *testing.T) {
+	conc, err := AnalyzeAll(mtpa.Options{Mode: mtpa.Multithreaded, ParWorkers: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := AnalyzeAll(mtpa.Options{Mode: mtpa.Multithreaded, ParWorkers: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conc {
+		s := seq[i]
+		if c.Err != nil || s.Err != nil {
+			t.Fatalf("%s: conc err %v, seq err %v", c.Name, c.Err, s.Err)
+		}
+		if !c.Res.MainOut.C.Equal(s.Res.MainOut.C) || !c.Res.MainOut.E.Equal(s.Res.MainOut.E) {
+			t.Errorf("%s: concurrent and sequential par solves produced different graphs", c.Name)
+		}
+		if c.Res.ContextsTotal() != s.Res.ContextsTotal() ||
+			c.Res.Rounds != s.Res.Rounds ||
+			c.Res.ProcAnalyses != s.Res.ProcAnalyses {
+			t.Errorf("%s: contexts/rounds/analyses diverged: %d/%d/%d vs %d/%d/%d", c.Name,
+				c.Res.ContextsTotal(), c.Res.Rounds, c.Res.ProcAnalyses,
+				s.Res.ContextsTotal(), s.Res.Rounds, s.Res.ProcAnalyses)
+		}
+		if fmt.Sprint(c.Res.Warnings) != fmt.Sprint(s.Res.Warnings) {
+			t.Errorf("%s: warnings diverged:\n%v\n%v", c.Name, c.Res.Warnings, s.Res.Warnings)
+		}
+		ca, sa := c.Res.Metrics.AccessSamples(), s.Res.Metrics.AccessSamples()
+		if len(ca) != len(sa) {
+			t.Fatalf("%s: %d vs %d access samples", c.Name, len(ca), len(sa))
+		}
+		for j := range ca {
+			if ca[j].AccID != sa[j].AccID || ca[j].CtxID != sa[j].CtxID ||
+				fmt.Sprint(ca[j].Locs) != fmt.Sprint(sa[j].Locs) {
+				t.Errorf("%s: access sample %d diverged: %+v vs %+v", c.Name, j, ca[j], sa[j])
+			}
+		}
+		cp, sp := c.Res.Metrics.ParSamples(), s.Res.Metrics.ParSamples()
+		if len(cp) != len(sp) {
+			t.Fatalf("%s: %d vs %d par samples", c.Name, len(cp), len(sp))
+		}
+		for j := range cp {
+			if *cp[j] != *sp[j] {
+				t.Errorf("%s: par sample %d diverged: %+v vs %+v", c.Name, j, cp[j], sp[j])
+			}
+		}
+	}
+}
+
+// TestAblationMatrix runs the corpus under every combination of the three
+// ablation switches and checks the soundness invariant that survives all
+// of them: every flow-sensitive edge at main's exit (unk excepted, see
+// TestFlowInsensSoundness) is contained in the flow-insensitive
+// Andersen-style graph. Ghost-merging ablation can legitimately diverge on
+// recursive programs — contexts then proliferate without bound — so the
+// valves are set tight and valve errors are tolerated; any program that
+// does converge must still be sound.
+func TestAblationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8-combination corpus sweep is slow in -short mode")
+	}
+	for mask := 0; mask < 8; mask++ {
+		opts := mtpa.Options{
+			Mode:                 mtpa.Multithreaded,
+			DisableContextCache:  mask&1 != 0,
+			DisableStrongUpdates: mask&2 != 0,
+			DisableGhostMerging:  mask&4 != 0,
+			MaxRounds:            50,
+			MaxContexts:          2000,
+		}
+		name := fmt.Sprintf("cache=%v,strong=%v,ghost=%v",
+			!opts.DisableContextCache, !opts.DisableStrongUpdates, !opts.DisableGhostMerging)
+		t.Run(name, func(t *testing.T) {
+			results, err := AnalyzeAll(opts, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					if opts.DisableGhostMerging && (strings.Contains(r.Err.Error(), "context limit") ||
+						strings.Contains(r.Err.Error(), "did not converge")) {
+						continue // a valve fired, as documented
+					}
+					t.Fatalf("%v", r.Err)
+				}
+				fi := flowinsens.Analyze(r.Prog.IR)
+				tab := r.Prog.Table()
+				for _, g := range []*ptgraph.Graph{r.Res.MainOut.C, r.Res.MainOut.E} {
+					for _, e := range g.Edges() {
+						if e.Dst == locset.UnkID {
+							continue
+						}
+						if !fi.Graph.Has(e.Src, e.Dst) {
+							t.Errorf("%s: edge %s->%s escapes the flow-insensitive graph",
+								r.Name, tab.String(e.Src), tab.String(e.Dst))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeAll measures the whole-corpus analysis in the serial
+// configuration (one driver worker, sequential par sweeps) and the
+// parallel one (GOMAXPROCS driver workers, concurrent speculative par
+// solves). The two produce bit-identical results; the benchmark quantifies
+// what the concurrency buys on the current machine.
+func BenchmarkAnalyzeAll(b *testing.B) {
+	bench := func(b *testing.B, opts mtpa.Options, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, err := AnalyzeAll(opts, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		bench(b, mtpa.Options{Mode: mtpa.Multithreaded, ParWorkers: 1}, 1)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		bench(b, mtpa.Options{Mode: mtpa.Multithreaded, ParWorkers: runtime.GOMAXPROCS(0)}, 0)
+	})
+}

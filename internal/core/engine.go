@@ -1,14 +1,20 @@
-// The fixed-point analysis engine (§3.5): a worklist solver over the
-// parallel flow graph, with transfer functions for the basic statements of
-// Figures 3 and 4.
+// The fixed-point analysis engine (§3.5). Program bodies are lowered once
+// to the explicit parallel flow graphs of internal/pfg; each body is then
+// solved by the generic worklist solver of internal/dataflow, instantiated
+// with the ⟨C,I,E⟩ triple lattice and the transfer functions of Figures 3
+// and 4 (see solve.go). This file holds the interprocedural driver: the
+// outer recursion rounds, the context cache of Definition 2, and the
+// per-context procedure analysis.
 
 package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
+	"mtpa/internal/pfg"
 	"mtpa/internal/ptgraph"
 )
 
@@ -49,15 +55,23 @@ type Options struct {
 	// programs that build linked structures on the call stack).
 	DisableGhostMerging bool
 
+	// ParWorkers bounds how many per-thread solves of one par fixed-point
+	// iteration may run concurrently (0 = GOMAXPROCS). With fewer than two
+	// workers the iteration runs sequentially — the speculative machinery
+	// only pays off when thread solves actually overlap. The result is
+	// bit-identical either way.
+	ParWorkers int
+
 	// MaxRounds bounds the outer recursion fixed point (0 = default 1000).
 	MaxRounds int
 	// MaxContexts bounds the number of analysis contexts (0 = default
 	// 100000); exceeding it returns an error.
 	MaxContexts int
 
-	// RecordPoints stores the ⟨C,I,E⟩ triple at every program point during
-	// the metrics pass, for inspection, golden tests and the differential
-	// soundness checks (memory-proportional to program points × contexts).
+	// RecordPoints derives the ⟨C,I,E⟩ triple at every program point from
+	// the solver facts of the metrics pass, for inspection, golden tests
+	// and the differential soundness checks (memory-proportional to
+	// program points × contexts).
 	RecordPoints bool
 }
 
@@ -66,6 +80,13 @@ func (o *Options) maxRounds() int {
 		return o.MaxRounds
 	}
 	return 1000
+}
+
+func (o *Options) parWorkers() int {
+	if o.ParWorkers > 0 {
+		return o.ParWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o *Options) maxContexts() int {
@@ -113,6 +134,7 @@ type ctxEntry struct {
 type Analysis struct {
 	prog *ir.Program
 	tab  *locset.Table
+	flow *pfg.Program
 	opts Options
 
 	entries map[*ir.Func]map[uint64][]*ctxEntry
@@ -150,7 +172,8 @@ type Result struct {
 }
 
 // Analyze runs the analysis to a fixed point and then performs one metrics
-// pass that records per-context precision data.
+// pass that records per-context solver facts, from which the precision
+// measurements are derived.
 func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 	if prog.Main == nil {
 		return nil, fmt.Errorf("core: program has no main function")
@@ -158,6 +181,7 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 	a := &Analysis{
 		prog:       prog,
 		tab:        prog.Table,
+		flow:       pfg.BuildProgram(prog),
 		opts:       opts,
 		entries:    map[*ir.Func]map[uint64][]*ctxEntry{},
 		warnedUnk:  map[*ir.Instr]bool{},
@@ -188,13 +212,15 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	// Metrics pass: every context is re-analysed exactly once at the fixed
-	// point, recording the per-access and per-par-construct measurements.
+	// point with a fact recorder attached; the per-access and per-point
+	// measurements are then derived from the recorded facts.
 	a.metricsOn = true
 	a.round = rounds + 1
 	out, err := a.analyzeRoot()
 	if err != nil {
 		return nil, err
 	}
+	a.deriveMetrics()
 	a.metrics.NumContexts = len(a.ctxList)
 
 	return &Result{
@@ -214,19 +240,19 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 // a full analysis run (used by the Interleaved reference algorithm and by
 // differential tests). Calls and parallel constructs are not supported.
 type InstrEvaluator struct {
-	a *Analysis
+	x *exec
 }
 
 // NewInstrEvaluator returns an evaluator over the program's location sets.
 func NewInstrEvaluator(prog *ir.Program) *InstrEvaluator {
-	return &InstrEvaluator{a: &Analysis{
+	return &InstrEvaluator{x: &exec{a: &Analysis{
 		prog:       prog,
 		tab:        prog.Table,
 		entries:    map[*ir.Func]map[uint64][]*ctxEntry{},
 		warnedUnk:  map[*ir.Instr]bool{},
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
-	}}
+	}}}
 }
 
 // Apply applies one basic statement's transfer function to the triple.
@@ -234,7 +260,7 @@ func (ev *InstrEvaluator) Apply(in *ir.Instr, t *Triple) error {
 	if in.Op == ir.OpCall {
 		return fmt.Errorf("core: InstrEvaluator cannot apply calls")
 	}
-	return ev.a.transferInstr(in, t, nil)
+	return ev.x.transferInstr(in, t, nil)
 }
 
 // ApplySequentialInstr is a convenience wrapper around InstrEvaluator for
@@ -246,11 +272,12 @@ func ApplySequentialInstr(prog *ir.Program, in *ir.Instr, t *Triple) error {
 // analyzeRoot analyses main in the empty root context and returns the
 // triple at main's exit.
 func (a *Analysis) analyzeRoot() (*Triple, error) {
-	e, err := a.getContext(a.prog.Main, ptgraph.New(), ptgraph.New(), nil)
+	x := &exec{a: a}
+	e, err := x.getContext(a.prog.Main, ptgraph.New(), ptgraph.New(), nil)
 	if err != nil {
 		return nil, err
 	}
-	if err := a.analyzeContext(e); err != nil {
+	if err := x.analyzeContext(e); err != nil {
 		return nil, err
 	}
 	return &Triple{C: e.result.C.Clone(), I: ptgraph.New(), E: e.result.E.Clone()}, nil
@@ -291,19 +318,24 @@ func equalSig(a, b []uint64) bool {
 // getContext interns an analysis context. Contexts are bucketed by a hash
 // of the input graphs' incremental hashes; exact equality inside a bucket
 // is verified with per-source interned-set pointer comparisons, so no
-// serialised string keys are ever built.
-func (a *Analysis) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*locset.Block][]*locset.Block) (*ctxEntry, error) {
+// serialised string keys are ever built. A speculative executor only
+// probes: a context that does not exist yet aborts the speculation.
+func (x *exec) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*locset.Block][]*locset.Block) (*ctxEntry, error) {
+	a := x.a
 	sig := ghostSig(ghostSrc)
 	h := ctxHash(Cp, Ip, sig)
+	for _, e := range a.entries[fn][h] {
+		if e.Cp.Equal(Cp) && e.Ip.Equal(Ip) && equalSig(e.sig, sig) {
+			return e, nil
+		}
+	}
+	if x.spec != nil {
+		x.abort()
+	}
 	m, ok := a.entries[fn]
 	if !ok {
 		m = map[uint64][]*ctxEntry{}
 		a.entries[fn] = m
-	}
-	for _, e := range m[h] {
-		if e.Cp.Equal(Cp) && e.Ip.Equal(Ip) && equalSig(e.sig, sig) {
-			return e, nil
-		}
 	}
 	if len(a.ctxList) >= a.opts.maxContexts() {
 		return nil, fmt.Errorf("core: context limit of %d exceeded (recursion through the context cache?)", a.opts.maxContexts())
@@ -320,8 +352,11 @@ func (a *Analysis) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*
 
 // analyzeContext analyses a procedure in a context, updating its current
 // best result. Recursive re-entry is handled by the outer rounds: callers
-// hitting an in-progress context consume its current best result.
-func (a *Analysis) analyzeContext(e *ctxEntry) error {
+// hitting an in-progress context consume its current best result. A
+// speculative executor may consume cached results (they are frozen while
+// the speculation runs) but aborts if the context would need real work.
+func (x *exec) analyzeContext(e *ctxEntry) error {
+	a := x.a
 	if e.inProgress {
 		return nil
 	}
@@ -335,6 +370,9 @@ func (a *Analysis) analyzeContext(e *ctxEntry) error {
 		// (ablation), the procedure is re-analysed at every call site.
 		return nil
 	}
+	if x.spec != nil {
+		x.abort()
+	}
 	e.inProgress = true
 	defer func() { e.inProgress = false }()
 	if a.metricsOn {
@@ -345,7 +383,7 @@ func (a *Analysis) analyzeContext(e *ctxEntry) error {
 	a.procAnalyses++
 
 	in := &Triple{C: e.Cp.Clone(), I: e.Ip.Clone(), E: ptgraph.New()}
-	out, err := a.analyzeBody(e.fn.Body, in, e)
+	out, err := x.solveBody(a.flow.FuncGraph(e.fn), in, e)
 	if err != nil {
 		return err
 	}
@@ -357,178 +395,4 @@ func (a *Analysis) analyzeContext(e *ctxEntry) error {
 		a.changed = true
 	}
 	return nil
-}
-
-// analyzeBody runs the intraprocedural worklist algorithm over one body.
-func (a *Analysis) analyzeBody(b *ir.Body, in *Triple, ctx *ctxEntry) (*Triple, error) {
-	ins := map[*ir.Node]*Triple{b.Entry: in}
-	outs := map[*ir.Node]*Triple{}
-
-	work := []*ir.Node{b.Entry}
-	queued := map[*ir.Node]bool{b.Entry: true}
-	for len(work) > 0 {
-		n := work[0]
-		work = work[1:]
-		queued[n] = false
-
-		nin, ok := ins[n]
-		if !ok {
-			continue
-		}
-		nout, err := a.transferNode(n, nin.Clone(), ctx)
-		if err != nil {
-			return nil, err
-		}
-		old := outs[n]
-		if old == nil {
-			outs[n] = nout
-		} else if !old.Merge(nout) {
-			continue // no change; successors unaffected
-		}
-		cur := outs[n]
-		for _, s := range n.Succs {
-			sin := ins[s]
-			changed := false
-			if sin == nil {
-				ins[s] = cur.Clone()
-				changed = true
-			} else {
-				changed = sin.Merge(cur)
-			}
-			if changed && !queued[s] {
-				queued[s] = true
-				work = append(work, s)
-			}
-		}
-	}
-	out := outs[b.Exit]
-	if out == nil {
-		// The exit is unreachable (the body never completes normally).
-		return NewTriple(), nil
-	}
-	return out, nil
-}
-
-// transferNode applies a node's transfer function to the (already cloned)
-// input triple.
-func (a *Analysis) transferNode(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
-	record := a.opts.RecordPoints && a.metricsOn
-	switch n.Kind {
-	case ir.NodeBlock:
-		for i, in := range n.Instrs {
-			if record {
-				a.recordPoint(ctx, n, i, t)
-			}
-			if err := a.transferInstr(in, t, ctx); err != nil {
-				return nil, err
-			}
-		}
-		if record {
-			a.recordPoint(ctx, n, len(n.Instrs), t)
-		}
-		return t, nil
-	case ir.NodePar:
-		return a.transferPar(n, t, ctx)
-	case ir.NodeParFor:
-		return a.transferParFor(n, t, ctx)
-	}
-	return nil, fmt.Errorf("core: unknown node kind %d", n.Kind)
-}
-
-// transferInstr implements Figures 3 and 4 plus the derived address
-// computations and calls.
-func (a *Analysis) transferInstr(in *ir.Instr, t *Triple, ctx *ctxEntry) error {
-	switch in.Op {
-	case ir.OpAddrOf:
-		a.assign(t, in.Dst, ptgraph.NewSet(in.Src))
-	case ir.OpCopy:
-		a.assign(t, in.Dst, derefPtr(ptgraph.NewSet(in.Src), t.C))
-	case ir.OpLoad:
-		addr := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		a.recordAccess(ctx, in, addr)
-		a.assign(t, in.Dst, derefPtr(addr, t.C))
-	case ir.OpStore:
-		lhs := derefPtr(ptgraph.NewSet(in.Dst), t.C)
-		a.recordAccess(ctx, in, lhs)
-		if lhs.Has(locset.UnkID) && !a.warnedUnk[in] {
-			a.warnedUnk[in] = true
-			a.warnings = append(a.warnings, fmt.Sprintf("%s: store through potentially uninitialised pointer; assignment to unknown location ignored", in.Pos))
-		}
-		vals := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		a.assignThrough(t, lhs, vals)
-	case ir.OpArith, ir.OpIndexAddr:
-		src := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		var b ptgraph.SetBuilder
-		for _, l := range src.IDs() {
-			b.Add(a.tab.Bump(l, in.Elem))
-		}
-		a.assign(t, in.Dst, b.Build())
-	case ir.OpField:
-		src := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		var b ptgraph.SetBuilder
-		for _, l := range src.IDs() {
-			b.Add(a.tab.Elem(l, in.Elem, in.PtrTarget))
-		}
-		a.assign(t, in.Dst, b.Build())
-	case ir.OpAlloc:
-		site := a.prog.Info.AllocSites[in.Site]
-		hb := a.tab.HeapBlock(in.Site, site.SiteType, "")
-		hl := a.tab.Intern(hb, 0, 0, in.PtrTarget)
-		a.assign(t, in.Dst, ptgraph.NewSet(hl))
-	case ir.OpNull, ir.OpUnknown:
-		a.assign(t, in.Dst, ptgraph.NewSet(locset.UnkID))
-	case ir.OpDataLoad:
-		addr := derefPtr(ptgraph.NewSet(in.Src), t.C)
-		a.recordAccess(ctx, in, addr)
-	case ir.OpDataStore:
-		lhs := derefPtr(ptgraph.NewSet(in.Dst), t.C)
-		a.recordAccess(ctx, in, lhs)
-	case ir.OpDirectLoad, ir.OpDirectStore:
-		// Direct array accesses have a statically known location set; they
-		// are counted in the program characteristics but not in the
-		// pointer-dereference precision metrics.
-	case ir.OpReturn:
-		// The return value was already copied to the ret location set.
-	case ir.OpCall:
-		return a.transferCall(in, t, ctx)
-	}
-	return nil
-}
-
-// assign implements the dataflow equations of Figure 3 for an update of a
-// single destination location set: kill (strong) or keep (weak) existing
-// edges, add the gen edges to C and E, and restore the interference edges
-// so that I ⊆ C is maintained.
-func (a *Analysis) assign(t *Triple, dst locset.ID, targets ptgraph.Set) {
-	if dst == locset.UnkID {
-		return // stores into the unknown location are ignored
-	}
-	strong := strongLoc(a.tab, dst) && !a.opts.DisableStrongUpdates
-	if strong {
-		// Kill + gen + interference restore in one interned-set replacement.
-		t.C.ReplaceSucc(dst, targets.UnionSet(t.I.Succs(dst)))
-	} else {
-		t.C.AddSet(dst, targets)
-	}
-	t.E.AddSet(dst, targets)
-}
-
-// assignThrough implements the store equations: a strong update only when
-// the written location is unique and strongly updatable.
-func (a *Analysis) assignThrough(t *Triple, lhs ptgraph.Set, vals ptgraph.Set) {
-	strong := false
-	if lhs.Len() == 1 && !a.opts.DisableStrongUpdates {
-		strong = strongLoc(a.tab, lhs.IDs()[0])
-	}
-	for _, z := range lhs.IDs() {
-		if z == locset.UnkID {
-			continue // gen excludes {unk} × L
-		}
-		if strong {
-			t.C.ReplaceSucc(z, vals.UnionSet(t.I.Succs(z)))
-		} else {
-			t.C.AddSet(z, vals)
-		}
-		t.E.AddSet(z, vals)
-	}
 }

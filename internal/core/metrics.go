@@ -1,9 +1,15 @@
 // Measurement collection for the paper's evaluation (§4): per-access
 // location-set counts in every analysis context (Tables 2 and 4, Figures 8
-// and 9) and parallel-construct convergence data (Table 3). Measurements
-// are recorded during a dedicated metrics pass that re-analyses every
-// context once at the fixed point, so each (access, context) pair is
-// sampled exactly once with converged values.
+// and 9) and parallel-construct convergence data (Table 3). During the
+// metrics pass — which re-analyses every context once at the fixed point —
+// a dataflow.Recorder snapshots the solver's per-vertex facts; the
+// measurements are then *derived* from those facts: the deref set of every
+// measured access is recomputed from the fact before its vertex, and with
+// Options.RecordPoints the full ⟨C,I,E⟩ triple at every program point is
+// reconstructed by replaying the vertex's instructions from the fact.
+// Because facts overwrite per (context, vertex) exactly like the old
+// transfer-time sampling did, the derived measurements are bit-identical
+// to measurements taken during the solve.
 
 package core
 
@@ -12,6 +18,7 @@ import (
 
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
+	"mtpa/internal/pfg"
 	"mtpa/internal/ptgraph"
 )
 
@@ -70,11 +77,24 @@ type parKey struct {
 	ctx  int
 }
 
+// FactKey identifies one recorded solver fact: the triple before vertex V
+// (or after the chain ending at V, with After set) in analysis context
+// Ctx.
+type FactKey struct {
+	Ctx   int
+	V     *pfg.Vertex
+	After bool
+}
+
 // Metrics aggregates the measurements of one analysis run.
 type Metrics struct {
 	access map[accKey]*AccessSample
 	par    map[parKey]*ParSample
 	points map[PointKey]*Triple
+
+	// facts holds the per-vertex solver snapshots of the metrics pass;
+	// they are consumed by deriveMetrics and dropped afterwards.
+	facts map[FactKey]*Triple
 
 	// NumContexts is the total number of analysis contexts generated.
 	NumContexts int
@@ -85,12 +105,8 @@ func newMetrics() *Metrics {
 		access: map[accKey]*AccessSample{},
 		par:    map[parKey]*ParSample{},
 		points: map[PointKey]*Triple{},
+		facts:  map[FactKey]*Triple{},
 	}
-}
-
-// recordPoint stores the triple at a program point (RecordPoints only).
-func (a *Analysis) recordPoint(ctx *ctxEntry, n *ir.Node, idx int, t *Triple) {
-	a.metrics.points[PointKey{Node: n, Idx: idx, Ctx: ctx.id}] = t.Clone()
 }
 
 // PointAt returns the recorded triple at a program point, or nil. The
@@ -134,30 +150,180 @@ func (m *Metrics) ParSamples() []*ParSample {
 	return out
 }
 
-// recordAccess stores the deref set for a measured access in the current
-// context. Within one metrics pass a thread body can be re-analysed while
-// the par fixed point iterates, so later (converged) samples overwrite
-// earlier ones.
-func (a *Analysis) recordAccess(ctx *ctxEntry, in *ir.Instr, locs ptgraph.Set) {
-	if !a.metricsOn || in.AccID < 0 {
+// ---------------------------------------------------------------------------
+// Fact recording (metrics pass only)
+
+// factRecorder snapshots solver facts into the metrics fact store. It
+// records the triple before every vertex that needs one — vertices with
+// measured accesses always, every vertex when RecordPoints is set — and
+// the triple after each chain tail when RecordPoints is set (the
+// after-the-last-instruction program point). Par vertices never carry
+// program points (their regions are solved at the parbegin transfer).
+type factRecorder struct {
+	x   *exec
+	ctx *ctxEntry
+}
+
+func (r *factRecorder) RecordIn(v *pfg.Vertex, in *Triple) {
+	if v.Kind == pfg.KindParBegin || v.Kind == pfg.KindParEnd {
 		return
 	}
-	k := accKey{acc: in.AccID, ctx: ctx.id}
-	a.metrics.access[k] = &AccessSample{AccID: in.AccID, CtxID: ctx.id, Locs: locs.Sorted()}
+	if r.x.a.opts.RecordPoints {
+		r.x.putFact(FactKey{Ctx: r.ctx.id, V: v}, in.Clone())
+		return
+	}
+	if !v.HasAcc {
+		return
+	}
+	// Access derivation reads C and I only (E never influences a deref
+	// set), so the created-edge graph need not be snapshotted.
+	r.x.putFact(FactKey{Ctx: r.ctx.id, V: v}, &Triple{C: in.C.Clone(), I: in.I.Clone()})
+}
+
+func (r *factRecorder) RecordOut(tail *pfg.Vertex, out *Triple) {
+	if !r.x.a.opts.RecordPoints {
+		return
+	}
+	if tail.Kind == pfg.KindParBegin || tail.Kind == pfg.KindParEnd {
+		return
+	}
+	r.x.putFact(FactKey{Ctx: r.ctx.id, V: tail, After: true}, out.Clone())
+}
+
+// putFact stores one solver fact; within a fixed point, later (more
+// converged) solves of the same vertex overwrite earlier ones. A
+// speculative executor buffers the fact instead; the buffer is replayed
+// in thread order when the speculation commits, reproducing the
+// last-write-wins order of the sequential sweep.
+func (x *exec) putFact(k FactKey, t *Triple) {
+	if x.spec != nil {
+		x.spec.buf.facts = append(x.spec.buf.facts, factRec{key: k, fact: t})
+		return
+	}
+	x.a.metrics.facts[k] = t
 }
 
 // recordParAnalysis stores the convergence measurement for one parallel
-// construct analysis in the current context.
-func (a *Analysis) recordParAnalysis(ctx *ctxEntry, n *ir.Node, iterations, threads int) {
-	if !a.metricsOn {
+// construct analysis in the current context (buffered under speculation).
+func (x *exec) recordParAnalysis(ctx *ctxEntry, n *ir.Node, iterations, threads int) {
+	if !x.a.metricsOn {
 		return
 	}
-	k := parKey{node: n, ctx: ctx.id}
-	a.metrics.par[k] = &ParSample{
+	if x.spec != nil {
+		x.spec.buf.pars = append(x.spec.buf.pars, parRec{node: n, ctx: ctx.id, iterations: iterations, threads: threads})
+		return
+	}
+	x.a.metrics.par[parKey{node: n, ctx: ctx.id}] = &ParSample{
 		NodeID: n.ID, FnName: n.Fn.Name, CtxID: ctx.id,
 		Iterations: iterations, Threads: threads,
 	}
 }
+
+// replaySpec applies the records buffered by a committed speculation.
+func (x *exec) replaySpec(buf *specBuf) {
+	for _, f := range buf.facts {
+		x.a.metrics.facts[f.key] = f.fact
+	}
+	for _, p := range buf.pars {
+		x.a.metrics.par[parKey{node: p.node, ctx: p.ctx}] = &ParSample{
+			NodeID: p.node.ID, FnName: p.node.Fn.Name, CtxID: p.ctx,
+			Iterations: p.iterations, Threads: p.threads,
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Deriving the measurements from the facts
+
+// deriveMetrics turns the recorded solver facts into access samples and
+// (with RecordPoints) per-point triples, then drops the fact store. The
+// replay applies only straight-line transfer functions: call instructions
+// are isolated in their own vertices, whose after-state is the next
+// vertex's fact, so they are never re-executed.
+func (a *Analysis) deriveMetrics() {
+	x := &exec{a: a}
+	// The replay can intern location sets the solve itself never
+	// materialised (a deref through an access-only fact's C graph), so it
+	// must run in a deterministic order or fresh IDs would depend on map
+	// iteration order.
+	keys := make([]FactKey, 0, len(a.metrics.facts))
+	for k := range a.metrics.facts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		if ki.Ctx != kj.Ctx {
+			return ki.Ctx < kj.Ctx
+		}
+		if ki.V.ID != kj.V.ID {
+			return ki.V.ID < kj.V.ID
+		}
+		return !ki.After && kj.After
+	})
+	for _, k := range keys {
+		fact := a.metrics.facts[k]
+		v := k.V
+		if k.After {
+			if a.opts.RecordPoints {
+				idx := v.InstrOff + len(v.Instrs)
+				a.metrics.points[PointKey{Node: v.Node, Idx: idx, Ctx: k.Ctx}] = fact
+			}
+			continue
+		}
+		if !v.HasAcc && !a.opts.RecordPoints {
+			continue
+		}
+		cur := fact
+		if cur.E == nil {
+			// Access-only facts carry no created-edge snapshot; the replay
+			// still needs a graph to write created edges into.
+			cur = &Triple{C: cur.C, I: cur.I, E: ptgraph.New()}
+		}
+		mutated := false
+		for i, in := range v.Instrs {
+			if a.opts.RecordPoints {
+				a.metrics.points[PointKey{Node: v.Node, Idx: v.InstrOff + i, Ctx: k.Ctx}] = cur.Clone()
+			}
+			if in.Op == ir.OpCall {
+				break // single-instruction call vertex; nothing to replay
+			}
+			if in.AccID >= 0 {
+				locs := accessLocs(in, cur)
+				ak := accKey{acc: in.AccID, ctx: k.Ctx}
+				a.metrics.access[ak] = &AccessSample{AccID: in.AccID, CtxID: k.Ctx, Locs: locs.Sorted()}
+			}
+			if i+1 < len(v.Instrs) || a.opts.RecordPoints {
+				if !mutated {
+					cur = cur.Clone()
+					mutated = true
+				}
+				// The replay re-applies the transfer on mostly-warm state;
+				// it may still intern location sets the solve never
+				// materialised, which is why the fact iteration above is
+				// ordered.
+				if err := x.transferInstr(in, cur, nil); err != nil {
+					panic("core: replaying a straight-line instruction failed: " + err.Error())
+				}
+			}
+		}
+	}
+	a.metrics.facts = nil
+}
+
+// accessLocs computes the deref set a measured access touches, from the
+// state in which the instruction executes.
+func accessLocs(in *ir.Instr, t *Triple) ptgraph.Set {
+	switch in.Op {
+	case ir.OpLoad, ir.OpDataLoad:
+		return derefPtr(ptgraph.NewSet(in.Src), t.C)
+	case ir.OpStore, ir.OpDataStore:
+		return derefPtr(ptgraph.NewSet(in.Dst), t.C)
+	}
+	return ptgraph.NewSet(locset.UnkID)
+}
+
+// ---------------------------------------------------------------------------
+// Result accessors
 
 // GhostSources returns, for an analysis context, the actual program blocks
 // each ghost block stands for (used to compute the merged-context metric

@@ -1,14 +1,37 @@
 // Dataflow equations for parallel constructs: the par fixed point of
 // Figure 6 (including conditionally created threads, §3.11), the parallel
 // loop equations of §3.8, and the private-global handling of §3.9.
+//
+// The per-thread solves of one Figure 6 iteration are independent given
+// the iteration's created-edge sets E_j, so they run concurrently (one
+// goroutine per thread, bounded by Options.ParWorkers, which defaults to
+// GOMAXPROCS) as *speculations*: each
+// thread is solved against a snapshot of the E_j with all shared-state
+// mutations forbidden (see solve.go). The coordinator then commits the
+// speculations in ascending thread order. A speculation for thread i is
+// valid exactly when no earlier thread j < i changed E_j this iteration —
+// then its inputs equal the ones the sequential Gauss–Seidel sweep would
+// have built, and because a valid speculation's trajectory is
+// bit-identical to the sequential solve, committing it preserves the
+// sequential result exactly. An aborted or invalidated speculation is
+// simply re-solved sequentially. The fixed point, iteration counts,
+// contexts and warnings are therefore independent of goroutine timing.
 
 package core
 
 import (
-	"mtpa/internal/ir"
+	"runtime"
+	"sync"
+
 	"mtpa/internal/locset"
+	"mtpa/internal/pfg"
 	"mtpa/internal/ptgraph"
 )
+
+// specSem bounds the number of concurrently running speculative thread
+// solves across the whole process. The floor of 2 lets tests exercise real
+// concurrency (Options.ParWorkers > 1) even on a single-CPU machine.
+var specSem = make(chan struct{}, max(2, runtime.GOMAXPROCS(0)))
 
 // transferPar solves the par-construct dataflow equations:
 //
@@ -18,11 +41,12 @@ import (
 //
 // The circular dependence on the E_j is broken by iterating from E_j = ∅
 // until the created-edge sets stabilise.
-func (a *Analysis) transferPar(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+func (x *exec) transferPar(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	a := x.a
 	if a.opts.Mode == Sequential {
-		return a.transferParSequential(n, t, ctx)
+		return x.transferParSequential(region, t, ctx)
 	}
-	k := len(n.Threads)
+	k := len(region.Threads)
 	Es := make([]*ptgraph.Graph, k)
 	for i := range Es {
 		Es[i] = ptgraph.New()
@@ -30,55 +54,48 @@ func (a *Analysis) transferPar(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, e
 	Couts := make([]*ptgraph.Graph, k)
 	Cins := make([]*ptgraph.Graph, k)
 
+	// Speculation pays off only when sibling solves can actually overlap
+	// (ParWorkers > 1) and hit the caches: nested speculations run
+	// sequentially (they already hold a concurrency slot), and with the
+	// context cache disabled every call forces real work, which a
+	// speculation may never perform.
+	speculate := x.spec == nil && k >= 2 && a.opts.parWorkers() > 1 &&
+		(a.metricsOn || !a.opts.DisableContextCache)
+
 	iters := 0
 	for {
 		iters++
 		changed := false
-		for i, th := range n.Threads {
-			Ci := t.C.Clone()
-			Ii := t.I.Clone()
-			for j := 0; j < k; j++ {
-				if j == i {
-					continue
-				}
-				// The sibling may have run (its created edges are visible)
-				// or not (locations it wrote still hold their prior values,
-				// including the initial unk).
-				addCreatedC(Ci, Es[j])
-				Ii.Union(Es[j])
-			}
-			if a.hasPrivates {
-				a.privEnterThread(Ci)
-				a.privEnterThread(Ii)
-			}
-			Cins[i] = Ci.Clone()
-			out, err := a.analyzeBody(th, &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
+		if speculate {
+			ch, err := x.parIteration(region, t, ctx, Es, Couts, Cins)
 			if err != nil {
 				return nil, err
 			}
-			Couts[i] = out.C
-			Ei := out.E
-			if a.hasPrivates {
-				Ei = a.privMask(Ei)
-			}
-			if !Ei.Equal(Es[i]) {
-				Es[i] = Ei
-				changed = true
+			changed = ch
+		} else {
+			for i := range region.Threads {
+				ch, err := x.parSolveThread(region, i, t, ctx, Es, Couts, Cins)
+				if err != nil {
+					return nil, err
+				}
+				if ch {
+					changed = true
+				}
 			}
 		}
 		if !changed {
 			break
 		}
 	}
-	a.recordParAnalysis(ctx, n, iters, k)
+	x.recordParAnalysis(ctx, region.Node, iters, k)
 
 	// Combine: intersection of the thread outputs; a conditionally created
 	// thread may not run at all, so its input graph is unioned back first
 	// (this restores every edge the thread killed, as §3.11 requires).
 	combined := make([]*ptgraph.Graph, k)
-	for i := range n.Threads {
+	for i := range region.Threads {
 		ci := Couts[i]
-		if n.CondThread[i] {
+		if region.CondThread[i] {
 			// The thread may not have been created at all: union its input
 			// graph back, restoring every edge it killed (§3.11).
 			ci = ci.Clone()
@@ -103,12 +120,162 @@ func (a *Analysis) transferPar(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, e
 	return &Triple{C: Cprime, I: t.I, E: Eprime}, nil
 }
 
+// prepareThreadInput builds the ⟨C_i, I_i⟩ inputs of thread i from the
+// construct input and the created-edge sets of the sibling threads.
+func (x *exec) prepareThreadInput(t *Triple, es []*ptgraph.Graph, i int) (Ci, Ii *ptgraph.Graph) {
+	a := x.a
+	Ci = t.C.Clone()
+	Ii = t.I.Clone()
+	for j := range es {
+		if j == i {
+			continue
+		}
+		// The sibling may have run (its created edges are visible) or not
+		// (locations it wrote still hold their prior values, including the
+		// initial unk).
+		addCreatedC(Ci, es[j])
+		Ii.Union(es[j])
+	}
+	if a.hasPrivates {
+		a.privEnterThread(Ci)
+		a.privEnterThread(Ii)
+	}
+	return Ci, Ii
+}
+
+// parSolveThread performs one sequential Gauss–Seidel step for thread i:
+// solve its body against the current E_j and update E_i. It reports
+// whether E_i changed.
+func (x *exec) parSolveThread(region *pfg.ParRegion, i int, t *Triple, ctx *ctxEntry, Es, Couts, Cins []*ptgraph.Graph) (bool, error) {
+	a := x.a
+	Ci, Ii := x.prepareThreadInput(t, Es, i)
+	Cins[i] = Ci.Clone()
+	out, err := x.solveBody(region.Threads[i], &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
+	if err != nil {
+		return false, err
+	}
+	Couts[i] = out.C
+	Ei := out.E
+	if a.hasPrivates {
+		Ei = a.privMask(Ei)
+	}
+	if !Ei.Equal(Es[i]) {
+		Es[i] = Ei
+		return true, nil
+	}
+	return false, nil
+}
+
+// specResult is the outcome of one speculative thread solve.
+type specResult struct {
+	out      *Triple
+	buf      *specBuf
+	aborted  bool
+	err      error
+	panicked any
+}
+
+// parIteration performs one Figure 6 iteration with concurrent
+// speculative thread solves, committing them in ascending thread order.
+func (x *exec) parIteration(region *pfg.ParRegion, t *Triple, ctx *ctxEntry, Es, Couts, Cins []*ptgraph.Graph) (bool, error) {
+	a := x.a
+	k := len(region.Threads)
+
+	// Snapshot the created-edge sets: E_j is replaced only when it grows,
+	// so pointer identity detects any change during the commit sweep.
+	snap := make([]*ptgraph.Graph, k)
+	copy(snap, Es)
+
+	// The coordinator prepares every thread input sequentially — Clone
+	// marks its receiver copy-on-write, so concurrent Clones of the
+	// shared construct input would race.
+	ins := make([]*Triple, k)
+	cins := make([]*ptgraph.Graph, k)
+	for i := 0; i < k; i++ {
+		Ci, Ii := x.prepareThreadInput(t, snap, i)
+		cins[i] = Ci.Clone()
+		ins[i] = &Triple{C: Ci, I: Ii, E: ptgraph.New()}
+	}
+
+	// width additionally bounds this construct's in-flight solves to the
+	// analysis' configured worker count (specSem bounds the whole process).
+	width := make(chan struct{}, a.opts.parWorkers())
+
+	results := make([]specResult, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		width <- struct{}{}
+		specSem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-specSem; <-width }()
+			r := &results[i]
+			defer func() {
+				if p := recover(); p != nil {
+					if _, isAbort := p.(specAbort); isAbort {
+						r.aborted = true
+					} else {
+						r.panicked = p
+					}
+				}
+			}()
+			sx := &exec{a: a, spec: &specState{}}
+			out, err := sx.solveBody(region.Threads[i], ins[i], ctx)
+			r.out, r.err, r.buf = out, err, &sx.spec.buf
+		}(i)
+	}
+	// Join every speculation before touching any shared state: sequential
+	// re-solves mutate tables no speculative reader may observe.
+	wg.Wait()
+	for i := range results {
+		if p := results[i].panicked; p != nil {
+			panic(p)
+		}
+	}
+
+	changed := false
+	for i := 0; i < k; i++ {
+		r := &results[i]
+		valid := !r.aborted && r.err == nil
+		for j := 0; valid && j < i; j++ {
+			if Es[j] != snap[j] {
+				valid = false
+			}
+		}
+		if !valid {
+			// Re-solve sequentially against the authoritative E_j — the
+			// exact Gauss–Seidel step the speculation tried to predict.
+			ch, err := x.parSolveThread(region, i, t, ctx, Es, Couts, Cins)
+			if err != nil {
+				return false, err
+			}
+			if ch {
+				changed = true
+			}
+			continue
+		}
+		x.replaySpec(r.buf)
+		Cins[i] = cins[i]
+		Couts[i] = r.out.C
+		Ei := r.out.E
+		if a.hasPrivates {
+			Ei = a.privMask(Ei)
+		}
+		if !Ei.Equal(Es[i]) {
+			Es[i] = Ei
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
 // transferParSequential analyses the threads one after another in textual
 // order, ignoring interference — the (unsound) Sequential baseline of §4.4.
-func (a *Analysis) transferParSequential(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+func (x *exec) transferParSequential(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Triple, error) {
 	cur := t
-	for _, th := range n.Threads {
-		out, err := a.analyzeBody(th, &Triple{C: cur.C, I: cur.I, E: ptgraph.New()}, ctx)
+	for _, th := range region.Threads {
+		out, err := x.solveBody(th, &Triple{C: cur.C, I: cur.I, E: ptgraph.New()}, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +283,7 @@ func (a *Analysis) transferParSequential(n *ir.Node, t *Triple, ctx *ctxEntry) (
 		e.Union(out.E)
 		cur = &Triple{C: out.C, I: cur.I, E: e}
 	}
-	a.recordParAnalysis(ctx, n, 1, len(n.Threads))
+	x.recordParAnalysis(ctx, region.Node, 1, len(region.Threads))
 	return cur, nil
 }
 
@@ -129,10 +296,13 @@ func (a *Analysis) transferParSequential(n *ir.Node, t *Triple, ctx *ctxEntry) (
 // unknown number of concurrent threads, conservatively assumed ≥ 2. As a
 // soundness refinement for loops that may execute zero iterations, the
 // input graph C is unioned into the outgoing graph (the paper's equations
-// assume the body executes).
-func (a *Analysis) transferParFor(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple, error) {
+// assume the body executes). The iterations are inherently sequential
+// (each consumes the E₀ of the previous one), so no speculation applies.
+func (x *exec) transferParFor(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	a := x.a
+	body := region.Threads[0]
 	if a.opts.Mode == Sequential {
-		return a.transferLoopSequential(n.Body, t, ctx)
+		return x.transferLoopSequential(body, t, ctx)
 	}
 	E0 := ptgraph.New()
 	Cout := ptgraph.New()
@@ -147,7 +317,7 @@ func (a *Analysis) transferParFor(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple
 			a.privEnterThread(Ci)
 			a.privEnterThread(Ii)
 		}
-		out, err := a.analyzeBody(n.Body, &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
+		out, err := x.solveBody(body, &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -161,7 +331,7 @@ func (a *Analysis) transferParFor(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple
 		}
 		E0.Union(Ei)
 	}
-	a.recordParAnalysis(ctx, n, iters, 2)
+	x.recordParAnalysis(ctx, region.Node, iters, 2)
 
 	Cprime := Cout
 	if a.hasPrivates {
@@ -181,11 +351,11 @@ func (a *Analysis) transferParFor(n *ir.Node, t *Triple, ctx *ctxEntry) (*Triple
 // transferLoopSequential analyses a parallel loop as an ordinary sequential
 // loop (for the Sequential baseline): iterate the body transfer until the
 // merged state stabilises.
-func (a *Analysis) transferLoopSequential(body *ir.Body, t *Triple, ctx *ctxEntry) (*Triple, error) {
+func (x *exec) transferLoopSequential(body *pfg.Graph, t *Triple, ctx *ctxEntry) (*Triple, error) {
 	cur := t.C.Clone()
 	eAcc := ptgraph.New()
 	for {
-		out, err := a.analyzeBody(body, &Triple{C: cur.Clone(), I: t.I, E: ptgraph.New()}, ctx)
+		out, err := x.solveBody(body, &Triple{C: cur.Clone(), I: t.I, E: ptgraph.New()}, ctx)
 		if err != nil {
 			return nil, err
 		}

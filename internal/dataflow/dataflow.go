@@ -1,0 +1,276 @@
+// Package dataflow is a generic worklist solver over the parallel flow
+// graphs of internal/pfg, parameterized by a fact lattice.
+//
+// # Solver contract
+//
+// A Problem supplies the lattice operations and the transfer function:
+//
+//   - Bottom() is the least element, used for unreachable exits;
+//   - Clone(f) must produce a fact that can be mutated independently of f;
+//   - Merge(dst, src) is the lattice join: it mutates dst in place and
+//     reports whether dst grew. Merge must be monotone in the lattice
+//     order (dst only ever gains information) even when the transfer
+//     function itself is not monotone;
+//   - Transfer(v, in) may consume its input (the solver always passes a
+//     fact it owns) and returns the fact after executing vertex v.
+//
+// The solver schedules *chains* (see pfg): the unit of work is a chain
+// head, and Transfer is applied to each vertex of the chain in sequence,
+// with facts flowing through chain edges by replacement. Facts arriving
+// over flow edges are merged into the successor's IN fact; the successor
+// is re-queued only when its IN fact grew, and a chain's OUT fact only
+// propagates when it changed. This is exactly the classic worklist
+// fixed point (§3.5 of the Rugina–Rinard paper), so for a monotone
+// transfer function over a finite lattice it terminates at the least
+// fixed point above the entry fact.
+//
+// # Determinism
+//
+// For a fixed schedule the solve is fully deterministic: FIFO visits
+// chains in arrival order seeded with the entry chain, and RPO pops the
+// queued chain with the smallest reverse-post-order index (computed by a
+// depth-first walk that follows successor edges in program order).
+// Successors are propagated to in edge order. Two runs over the same
+// graph with the same problem therefore produce identical fact
+// trajectories — the property the golden corpus relies on.
+//
+// # Widening valve
+//
+// Transfer functions that are not monotone (the pointer analysis performs
+// strong updates, which can shrink facts) can in principle oscillate. The
+// MaxVisits valve bounds how often a chain is re-transferred: past the
+// limit, the solver asks the Problem (if it implements Widener) to widen
+// the IN fact before transferring, accelerating convergence at the cost
+// of precision. A zero MaxVisits disables the valve. The core analysis
+// runs with the valve disabled — its lattice is finite and its fact
+// growth is join-driven, so termination is inherited from the underlying
+// worklist argument — but the valve is part of the solver contract for
+// future non-monotone instances.
+package dataflow
+
+import (
+	"container/heap"
+
+	"mtpa/internal/pfg"
+)
+
+// Problem defines a dataflow lattice and transfer function over facts of
+// type F.
+type Problem[F any] interface {
+	// Bottom returns the least lattice element (no information).
+	Bottom() F
+	// Clone returns an independently mutable copy of f.
+	Clone(f F) F
+	// Merge joins src into dst, mutating dst, and reports whether dst
+	// changed.
+	Merge(dst, src F) bool
+	// Transfer computes the fact after vertex v from the fact before it.
+	// The input fact is owned by the solver and may be mutated or
+	// returned directly.
+	Transfer(v *pfg.Vertex, in F) (F, error)
+}
+
+// Widener is optionally implemented by Problems that support the
+// MaxVisits widening valve.
+type Widener[F any] interface {
+	// Widen accelerates f at vertex v after the visit budget is spent.
+	Widen(v *pfg.Vertex, f F) F
+}
+
+// Recorder is optionally attached to a Solver to observe the final facts
+// as they are computed: RecordIn sees the fact before each vertex of a
+// transferred chain, RecordOut the fact after the chain tail. Facts
+// passed to a Recorder are still owned by the solver; record
+// implementations must Clone what they keep.
+type Recorder[F any] interface {
+	RecordIn(v *pfg.Vertex, in F)
+	RecordOut(tail *pfg.Vertex, out F)
+}
+
+// Schedule selects the worklist discipline.
+type Schedule int
+
+const (
+	// FIFO visits chains in arrival order. This is the discipline of the
+	// original analyzeBody worklist; the golden corpus pins its fact
+	// trajectory.
+	FIFO Schedule = iota
+	// RPO always pops the queued chain with the smallest
+	// reverse-post-order index, which converges in fewer visits on
+	// reducible graphs.
+	RPO
+)
+
+// Solver runs one dataflow problem over one pfg.Graph.
+type Solver[F any] struct {
+	Graph    *pfg.Graph
+	Prob     Problem[F]
+	Schedule Schedule
+	// MaxVisits caps re-transfers per chain before widening kicks in;
+	// zero disables the valve.
+	MaxVisits int
+	// Recorder, when non-nil, observes per-vertex facts during chain
+	// transfer.
+	Recorder Recorder[F]
+
+	// Per-chain state, indexed by pfg.Vertex.ChainIndex.
+	ins    []F
+	hasIn  []bool
+	outs   []F
+	hasOut []bool
+	visits []int
+}
+
+// rpoQueue is a priority queue of chain heads ordered by RPO index.
+type rpoQueue struct {
+	items []*pfg.Vertex
+	index map[*pfg.Vertex]int
+}
+
+func (q *rpoQueue) Len() int           { return len(q.items) }
+func (q *rpoQueue) Less(i, j int) bool { return q.index[q.items[i]] < q.index[q.items[j]] }
+func (q *rpoQueue) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *rpoQueue) Push(x any)         { q.items = append(q.items, x.(*pfg.Vertex)) }
+func (q *rpoQueue) Pop() any {
+	n := len(q.items)
+	v := q.items[n-1]
+	q.items = q.items[:n-1]
+	return v
+}
+
+// Run solves the problem from the graph entry seeded with entryIn and
+// returns the fact at the graph exit (Bottom if the exit is unreachable).
+// The solver owns entryIn after the call.
+func (s *Solver[F]) Run(entryIn F) (F, error) {
+	n := s.Graph.NumChains
+	s.ins = make([]F, n)
+	s.hasIn = make([]bool, n)
+	s.outs = make([]F, n)
+	s.hasOut = make([]bool, n)
+	if s.MaxVisits > 0 {
+		s.visits = make([]int, n)
+	}
+
+	entry := s.Graph.Entry
+	s.ins[entry.ChainIndex] = entryIn
+	s.hasIn[entry.ChainIndex] = true
+
+	var pq *rpoQueue
+	var fifo []*pfg.Vertex
+	if s.Schedule == RPO {
+		pq = &rpoQueue{index: s.Graph.RPOIndex()}
+		heap.Push(pq, entry)
+	} else {
+		fifo = make([]*pfg.Vertex, 0, n)
+		fifo = append(fifo, entry)
+	}
+	queued := make([]bool, n)
+	queued[entry.ChainIndex] = true
+
+	for {
+		var h *pfg.Vertex
+		if s.Schedule == RPO {
+			if pq.Len() == 0 {
+				break
+			}
+			h = heap.Pop(pq).(*pfg.Vertex)
+		} else {
+			if len(fifo) == 0 {
+				break
+			}
+			h = fifo[0]
+			fifo = fifo[1:]
+		}
+		hi := h.ChainIndex
+		queued[hi] = false
+		if !s.hasIn[hi] {
+			continue
+		}
+		nin := s.ins[hi]
+		if s.MaxVisits > 0 {
+			s.visits[hi]++
+			if s.visits[hi] > s.MaxVisits {
+				if w, isW := s.Prob.(Widener[F]); isW {
+					nin = w.Widen(h, nin)
+					s.ins[hi] = nin
+				}
+			}
+		}
+		nout, err := s.transferChain(h, s.Prob.Clone(nin))
+		if err != nil {
+			var zero F
+			return zero, err
+		}
+		if !s.hasOut[hi] {
+			s.outs[hi] = nout
+			s.hasOut[hi] = true
+		} else if !s.Prob.Merge(s.outs[hi], nout) {
+			continue
+		}
+		cur := s.outs[hi]
+		for _, succ := range h.Succs {
+			si := succ.ChainIndex
+			changed := false
+			if !s.hasIn[si] {
+				s.ins[si] = s.Prob.Clone(cur)
+				s.hasIn[si] = true
+				changed = true
+			} else if s.Prob.Merge(s.ins[si], cur) {
+				changed = true
+			}
+			if changed && !queued[si] {
+				queued[si] = true
+				if s.Schedule == RPO {
+					heap.Push(pq, succ)
+				} else {
+					fifo = append(fifo, succ)
+				}
+			}
+		}
+	}
+
+	if s.hasOut[s.Graph.Exit.ChainIndex] {
+		return s.outs[s.Graph.Exit.ChainIndex], nil
+	}
+	return s.Prob.Bottom(), nil
+}
+
+// transferChain pushes a fact through every vertex of the chain rooted at
+// h, honouring chain-edge replacement semantics.
+func (s *Solver[F]) transferChain(h *pfg.Vertex, cur F) (F, error) {
+	for v := h; v != nil; v = v.Next {
+		if s.Recorder != nil {
+			s.Recorder.RecordIn(v, cur)
+		}
+		next, err := s.Prob.Transfer(v, cur)
+		if err != nil {
+			var zero F
+			return zero, err
+		}
+		cur = next
+		if v.Next == nil && s.Recorder != nil {
+			s.Recorder.RecordOut(v, cur)
+		}
+	}
+	return cur, nil
+}
+
+// In returns the solved IN fact of a chain head (the second result is
+// false if the chain was never reached).
+func (s *Solver[F]) In(h *pfg.Vertex) (F, bool) {
+	return s.ins[h.ChainIndex], s.hasIn[h.ChainIndex]
+}
+
+// Out returns the solved OUT fact of a chain head.
+func (s *Solver[F]) Out(h *pfg.Vertex) (F, bool) {
+	return s.outs[h.ChainIndex], s.hasOut[h.ChainIndex]
+}
+
+// Visits returns how many times a chain was transferred (only tracked
+// when MaxVisits > 0).
+func (s *Solver[F]) Visits(h *pfg.Vertex) int {
+	if s.visits == nil {
+		return 0
+	}
+	return s.visits[h.ChainIndex]
+}

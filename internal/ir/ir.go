@@ -3,6 +3,12 @@
 // (address-of, copy, load, store) plus pointer arithmetic, allocation,
 // data accesses, calls and returns, arranged in a parallel flow graph
 // (§3.3) whose region nodes represent par constructs and parallel loops.
+//
+// The node-level graphs here stay close to the source structure; the
+// analysis lowers each body further to an explicit vertex-level flow
+// graph (package pfg) before solving. Node identity and edge order are
+// part of the analysis's deterministic trajectory, so passes must not
+// reorder AllNodes or a node's Succs.
 package ir
 
 import (

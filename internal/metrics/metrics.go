@@ -3,6 +3,11 @@
 // merged-context location-set counts for pointer-dereferencing accesses
 // (Tables 2 and 4, Figures 8 and 9), parallel-construct convergence
 // (Table 3), and analysis-time comparisons (Figure 10).
+//
+// The per-access and per-construct samples this package aggregates come
+// from core.Metrics, which derives them from the dataflow facts the
+// worklist solver records at each flow-graph vertex during the metrics
+// pass (see internal/core/metrics.go).
 package metrics
 
 import (

@@ -1,0 +1,375 @@
+// Package pfg materialises the parallel flow graph of §3.1/§3.3 as an
+// explicit graph over the lowered IR. Each ir.Body becomes a Graph whose
+// vertices are basic blocks of straight-line instructions, call vertices,
+// and parbegin/parend vertices for parallel regions; thread bodies become
+// nested Graphs rooted at thread-entry vertices. The worklist solver in
+// internal/dataflow runs over these graphs.
+//
+// # Construction rules
+//
+// One Graph is built per ir.Body (function bodies, par thread bodies and
+// parfor loop bodies). Every ir.Node lowers to a *chain* of vertices:
+//
+//   - a NodeBlock becomes alternating Block and Call vertices: maximal
+//     runs of non-call instructions form Block vertices, and every call
+//     instruction gets its own Call vertex (a node with no instructions
+//     becomes a single empty Block vertex — branch/merge points keep their
+//     own dataflow facts);
+//   - a NodePar becomes the two-vertex chain ParBegin → ParEnd, where the
+//     ParBegin vertex carries the ParRegion descriptor with one nested
+//     Graph per thread (conditional threads flagged, §3.11);
+//   - a NodeParFor becomes ParBegin → ParEnd with a single replicated
+//     loop-body Graph and IsLoop set (§3.8).
+//
+// Vertices within a chain are linked by Next ("chain edges"): control
+// flows through them unconditionally and in order, so a dataflow solver
+// treats the whole chain as one scheduling unit and threads facts through
+// chain edges by replacement. Edges between chains ("flow edges", stored
+// as Succs/Preds on the chain heads) mirror the branch/merge structure of
+// the ir.Body and carry join semantics: facts arriving over flow edges are
+// merged. The distinction is what lets a solver offer per-vertex fact
+// storage at call boundaries without changing the merge behaviour of the
+// original node-granular worklist.
+//
+// The entry and exit nodes of a body become Entry/Exit vertices, or
+// ThreadEntry/ThreadExit for the bodies of par threads and parfor loops —
+// the begin/end vertices of §3.3.
+package pfg
+
+import (
+	"fmt"
+
+	"mtpa/internal/ir"
+)
+
+// Kind classifies a vertex of the parallel flow graph.
+type Kind int
+
+// Vertex kinds.
+const (
+	KindEntry       Kind = iota // entry vertex of a function body
+	KindExit                    // exit vertex of a function body
+	KindThreadEntry             // entry vertex of a par-thread or parfor-loop body
+	KindThreadExit              // exit vertex of a par-thread or parfor-loop body
+	KindBlock                   // maximal run of straight-line non-call instructions
+	KindCall                    // a single call instruction
+	KindParBegin                // parbegin vertex of a par/parfor region
+	KindParEnd                  // parend vertex of a par/parfor region
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindThreadEntry:
+		return "thread-entry"
+	case KindThreadExit:
+		return "thread-exit"
+	case KindBlock:
+		return "block"
+	case KindCall:
+		return "call"
+	case KindParBegin:
+		return "parbegin"
+	case KindParEnd:
+		return "parend"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Vertex is one vertex of the parallel flow graph.
+type Vertex struct {
+	// ID is unique within the whole Program, assigned in construction
+	// order (deterministic for a given ir.Program).
+	ID   int
+	Kind Kind
+
+	// Node is the originating IR node.
+	Node *ir.Node
+
+	// Instrs is the instruction run of a Block-like vertex (exactly one
+	// call instruction for KindCall; empty for par vertices).
+	Instrs []*ir.Instr
+	// InstrOff is the index of Instrs[0] within Node.Instrs, so program
+	// points can be addressed as (Node, instruction index).
+	InstrOff int
+
+	// HasAcc reports whether any instruction in the vertex is a measured
+	// pointer access (AccID >= 0); solvers use it to decide which vertices
+	// need fact storage for the precision metrics.
+	HasAcc bool
+
+	// ChainIndex is the dense index of this chain within its graph, set on
+	// chain heads only (0 for non-head vertices). Solvers use it to keep
+	// per-chain state in flat arrays instead of maps.
+	ChainIndex int
+
+	// Par is the parallel-region descriptor of a KindParBegin vertex.
+	Par *ParRegion
+
+	// Next is the chain edge to the next vertex lowered from the same IR
+	// node (nil at the chain tail). Facts flow through chain edges by
+	// replacement.
+	Next *Vertex
+
+	// Succs and Preds are the flow edges between chains, stored on chain
+	// heads in the same order as the underlying ir.Node edges. Facts flow
+	// across them with join (merge) semantics.
+	Succs []*Vertex
+	Preds []*Vertex
+}
+
+// Tail returns the last vertex of the chain starting at v.
+func (v *Vertex) Tail() *Vertex {
+	t := v
+	for t.Next != nil {
+		t = t.Next
+	}
+	return t
+}
+
+// ParRegion describes the parallel region rooted at a ParBegin vertex.
+type ParRegion struct {
+	// Node is the originating NodePar/NodeParFor.
+	Node *ir.Node
+	// Begin and End are the region's parbegin/parend vertices.
+	Begin, End *Vertex
+	// IsLoop marks a parfor region (one replicated body) rather than a par
+	// construct (one body per thread).
+	IsLoop bool
+	// Threads holds the thread sub-graphs of a par region, in program
+	// order; for a parfor region it holds the single loop-body graph.
+	Threads []*Graph
+	// CondThread flags conditionally created threads (§3.11); empty for
+	// parfor regions.
+	CondThread []bool
+}
+
+// Graph is the parallel flow graph of one ir.Body. Entry and Exit are
+// chain heads; every other chain is reachable from Entry via flow edges
+// exactly when the underlying IR node is reachable.
+type Graph struct {
+	Body  *ir.Body
+	Entry *Vertex
+	Exit  *Vertex
+	// Vertices lists every vertex of this graph in construction order,
+	// excluding vertices of nested thread/loop-body graphs.
+	Vertices []*Vertex
+	// NumChains is the number of chains (chain heads) in this graph; chain
+	// heads carry dense ChainIndex values in [0, NumChains).
+	NumChains int
+
+	heads map[*ir.Node]*Vertex
+	rpo   []*Vertex
+}
+
+// HeadOf returns the chain head lowered from the given IR node, or nil.
+func (g *Graph) HeadOf(n *ir.Node) *Vertex { return g.heads[n] }
+
+// RPO returns the chain heads of this graph in reverse post-order of the
+// flow edges, starting at Entry. The order is deterministic: the
+// depth-first walk follows Succs in order. Unreachable chains are
+// excluded, exactly like a worklist seeded at Entry never visits them.
+func (g *Graph) RPO() []*Vertex {
+	if g.rpo == nil {
+		seen := map[*Vertex]bool{}
+		var order []*Vertex
+		var walk func(v *Vertex)
+		walk = func(v *Vertex) {
+			seen[v] = true
+			for _, s := range v.Succs {
+				if !seen[s] {
+					walk(s)
+				}
+			}
+			order = append(order, v)
+		}
+		walk(g.Entry)
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		g.rpo = order
+	}
+	return g.rpo
+}
+
+// RPOIndex returns a map from chain head to its reverse-post-order index.
+func (g *Graph) RPOIndex() map[*Vertex]int {
+	idx := make(map[*Vertex]int, len(g.RPO()))
+	for i, v := range g.RPO() {
+		idx[v] = i
+	}
+	return idx
+}
+
+// Program holds the parallel flow graphs of a whole program.
+type Program struct {
+	IR *ir.Program
+	// ByFunc maps each IR function to the graph of its body.
+	ByFunc map[*ir.Func]*Graph
+	// ByBody maps every body — function bodies, thread bodies, loop
+	// bodies — to its graph.
+	ByBody map[*ir.Body]*Graph
+
+	headByNode map[*ir.Node]*Vertex
+	nextID     int
+}
+
+// HeadOf returns the chain head lowered from the given IR node in any of
+// the program's graphs (including nested thread graphs), or nil.
+func (p *Program) HeadOf(n *ir.Node) *Vertex { return p.headByNode[n] }
+
+// FuncGraph returns the graph of a function's body.
+func (p *Program) FuncGraph(fn *ir.Func) *Graph { return p.ByFunc[fn] }
+
+// NumVertices returns the total number of vertices across all graphs.
+func (p *Program) NumVertices() int { return p.nextID }
+
+// BuildProgram lowers every function body of an ir.Program to its
+// parallel flow graph. Construction is deterministic: functions in
+// program order, nodes in body order, and vertex IDs in creation order.
+func BuildProgram(irProg *ir.Program) *Program {
+	p := &Program{
+		IR:         irProg,
+		ByFunc:     map[*ir.Func]*Graph{},
+		ByBody:     map[*ir.Body]*Graph{},
+		headByNode: map[*ir.Node]*Vertex{},
+	}
+	for _, fn := range irProg.Funcs {
+		p.ByFunc[fn] = p.buildBody(fn.Body, false)
+	}
+	return p
+}
+
+// BuildBody lowers a single body (and its nested bodies) for tests and
+// tools that work on one flow graph in isolation.
+func BuildBody(b *ir.Body) *Graph {
+	p := &Program{
+		ByFunc:     map[*ir.Func]*Graph{},
+		ByBody:     map[*ir.Body]*Graph{},
+		headByNode: map[*ir.Node]*Vertex{},
+	}
+	return p.buildBody(b, false)
+}
+
+func (p *Program) newVertex(kind Kind, n *ir.Node) *Vertex {
+	v := &Vertex{ID: p.nextID, Kind: kind, Node: n}
+	p.nextID++
+	return v
+}
+
+// buildBody lowers one ir.Body. thread marks bodies entered through a
+// thread-creation vertex (par threads, parfor loop bodies), whose entry
+// and exit become ThreadEntry/ThreadExit.
+func (p *Program) buildBody(b *ir.Body, thread bool) *Graph {
+	g := &Graph{Body: b, heads: map[*ir.Node]*Vertex{}}
+	p.ByBody[b] = g
+
+	for _, n := range b.Nodes {
+		head := p.buildChain(g, b, n, thread)
+		head.ChainIndex = g.NumChains
+		g.NumChains++
+		g.heads[n] = head
+		p.headByNode[n] = head
+	}
+	g.Entry = g.heads[b.Entry]
+	g.Exit = g.heads[b.Exit]
+
+	// Flow edges mirror the IR node edges, preserving successor order (the
+	// worklist trajectory depends on it).
+	for _, n := range b.Nodes {
+		head := g.heads[n]
+		for _, s := range n.Succs {
+			sh := g.heads[s]
+			head.Succs = append(head.Succs, sh)
+			sh.Preds = append(sh.Preds, head)
+		}
+	}
+	return g
+}
+
+// buildChain lowers one ir.Node to its vertex chain and returns the head.
+func (p *Program) buildChain(g *Graph, b *ir.Body, n *ir.Node, thread bool) *Vertex {
+	add := func(v *Vertex) *Vertex {
+		g.Vertices = append(g.Vertices, v)
+		return v
+	}
+	switch n.Kind {
+	case ir.NodeBlock:
+		kind := KindBlock
+		switch {
+		case n == b.Entry && thread:
+			kind = KindThreadEntry
+		case n == b.Entry:
+			kind = KindEntry
+		case n == b.Exit && thread:
+			kind = KindThreadExit
+		case n == b.Exit:
+			kind = KindExit
+		}
+		var head, tail *Vertex
+		link := func(v *Vertex) {
+			add(v)
+			if head == nil {
+				head = v
+			} else {
+				tail.Next = v
+			}
+			tail = v
+		}
+		flush := func(run []*ir.Instr, off int) {
+			if len(run) == 0 {
+				return
+			}
+			v := p.newVertex(kind, n)
+			v.Instrs, v.InstrOff = run, off
+			for _, in := range run {
+				if in.AccID >= 0 {
+					v.HasAcc = true
+				}
+			}
+			link(v)
+			kind = KindBlock // only the first vertex keeps the entry kind
+		}
+		start := 0
+		for i, in := range n.Instrs {
+			if in.Op != ir.OpCall {
+				continue
+			}
+			flush(n.Instrs[start:i], start)
+			c := p.newVertex(KindCall, n)
+			c.Instrs, c.InstrOff = n.Instrs[i:i+1], i
+			link(c)
+			kind = KindBlock
+			start = i + 1
+		}
+		flush(n.Instrs[start:], start)
+		if head == nil {
+			// Empty node: branch target, merge point, entry or exit.
+			v := p.newVertex(kind, n)
+			v.InstrOff = 0
+			link(v)
+		}
+		return head
+
+	case ir.NodePar, ir.NodeParFor:
+		begin := add(p.newVertex(KindParBegin, n))
+		end := add(p.newVertex(KindParEnd, n))
+		begin.Next = end
+		region := &ParRegion{Node: n, Begin: begin, End: end}
+		begin.Par = region
+		if n.Kind == ir.NodeParFor {
+			region.IsLoop = true
+			region.Threads = []*Graph{p.buildBody(n.Body, true)}
+		} else {
+			region.CondThread = n.CondThread
+			for _, th := range n.Threads {
+				region.Threads = append(region.Threads, p.buildBody(th, true))
+			}
+		}
+		return begin
+	}
+	panic(fmt.Sprintf("pfg: unknown node kind %d", n.Kind))
+}

@@ -1,0 +1,235 @@
+package pfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/ir"
+	"mtpa/internal/pfg"
+)
+
+func build(t *testing.T, src string) (*ir.Program, *pfg.Program) {
+	t.Helper()
+	prog, err := mtpa.Compile("test.clk", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog.IR, pfg.BuildProgram(prog.IR)
+}
+
+// TestChainStructure checks the chain/flow-edge invariants on a body with
+// branches, calls and a par region.
+func TestChainStructure(t *testing.T) {
+	irProg, p := build(t, `
+int x, y;
+int *p;
+int f(int *a) { *a = 1; return 0; }
+int main() {
+  p = &x;
+  if (x) { p = &y; } else { f(p); }
+  par {
+    { *p = 1; }
+    { p = &x; }
+  }
+  *p = 2;
+  return 0;
+}
+`)
+	g := p.FuncGraph(irProg.Main)
+	if g == nil {
+		t.Fatal("no graph for main")
+	}
+	if g.Entry.Kind != pfg.KindEntry {
+		t.Errorf("entry kind = %v", g.Entry.Kind)
+	}
+	if g.Exit.Kind != pfg.KindExit {
+		t.Errorf("exit kind = %v", g.Exit.Kind)
+	}
+
+	// Every IR node of every body maps to a chain whose instruction runs
+	// partition Node.Instrs exactly, with call instructions isolated.
+	var checkBody func(b *ir.Body)
+	checkBody = func(b *ir.Body) {
+		for _, n := range b.Nodes {
+			head := p.HeadOf(n)
+			if head == nil {
+				t.Fatalf("node n%d has no chain head", n.ID)
+			}
+			if n.Kind == ir.NodeBlock {
+				idx := 0
+				for v := head; v != nil; v = v.Next {
+					if v.InstrOff != idx && len(n.Instrs) > 0 {
+						t.Errorf("n%d: vertex v%d InstrOff=%d, want %d", n.ID, v.ID, v.InstrOff, idx)
+					}
+					for _, in := range v.Instrs {
+						if in.Op == ir.OpCall && (v.Kind != pfg.KindCall || len(v.Instrs) != 1) {
+							t.Errorf("n%d: call instruction not isolated in v%d (%v)", n.ID, v.ID, v.Kind)
+						}
+					}
+					idx += len(v.Instrs)
+				}
+				if idx != len(n.Instrs) {
+					t.Errorf("n%d: chain covers %d instrs, node has %d", n.ID, idx, len(n.Instrs))
+				}
+				// Flow edges live on heads and mirror the node edges.
+				if len(head.Succs) != len(n.Succs) {
+					t.Errorf("n%d: %d flow succs, node has %d", n.ID, len(head.Succs), len(n.Succs))
+				}
+				for i, s := range n.Succs {
+					if i < len(head.Succs) && head.Succs[i] != p.HeadOf(s) {
+						t.Errorf("n%d: succ %d mismatch", n.ID, i)
+					}
+				}
+			}
+			if n.Kind == ir.NodePar || n.Kind == ir.NodeParFor {
+				if head.Kind != pfg.KindParBegin || head.Par == nil {
+					t.Fatalf("n%d: par node head is %v", n.ID, head.Kind)
+				}
+				if head.Next == nil || head.Next.Kind != pfg.KindParEnd {
+					t.Errorf("n%d: parbegin not chained to parend", n.ID)
+				}
+				for _, tg := range head.Par.Threads {
+					if tg.Entry.Kind != pfg.KindThreadEntry || tg.Exit.Kind != pfg.KindThreadExit {
+						t.Errorf("n%d: thread graph entry/exit kinds %v/%v", n.ID, tg.Entry.Kind, tg.Exit.Kind)
+					}
+					checkBody(tg.Body)
+				}
+			}
+		}
+	}
+	for _, fn := range irProg.Funcs {
+		checkBody(fn.Body)
+	}
+
+	// The par region in main has two threads.
+	found := false
+	for _, v := range g.Vertices {
+		if v.Par != nil {
+			found = true
+			if len(v.Par.Threads) != 2 {
+				t.Errorf("par region has %d threads, want 2", len(v.Par.Threads))
+			}
+			if v.Par.IsLoop {
+				t.Error("par region marked as loop")
+			}
+		}
+	}
+	if !found {
+		t.Error("no par region found in main")
+	}
+}
+
+// TestParForRegion checks parfor lowering: one replicated loop body with
+// IsLoop set.
+func TestParForRegion(t *testing.T) {
+	irProg, p := build(t, `
+int a[10];
+int *p;
+int main() {
+  int i;
+  parfor (i = 0; i < 10; i++) {
+    p = &a[i];
+    *p = i;
+  }
+  return 0;
+}
+`)
+	g := p.FuncGraph(irProg.Main)
+	var region *pfg.ParRegion
+	for _, v := range g.Vertices {
+		if v.Par != nil {
+			region = v.Par
+		}
+	}
+	if region == nil {
+		t.Fatal("no parfor region found")
+	}
+	if !region.IsLoop {
+		t.Error("parfor region not marked IsLoop")
+	}
+	if len(region.Threads) != 1 {
+		t.Errorf("parfor region has %d bodies, want 1", len(region.Threads))
+	}
+}
+
+// TestRPODeterministic checks that the reverse post-order starts at the
+// entry, ends before unreachable chains, and is stable across rebuilds.
+func TestRPODeterministic(t *testing.T) {
+	src := `
+int x;
+int *p;
+int main() {
+  p = &x;
+  while (x) {
+    if (x) { p = &x; }
+  }
+  return 0;
+}
+`
+	irProg, p := build(t, src)
+	g := p.FuncGraph(irProg.Main)
+	rpo := g.RPO()
+	if len(rpo) == 0 || rpo[0] != g.Entry {
+		t.Fatalf("RPO does not start at entry")
+	}
+	idx := g.RPOIndex()
+	for i, v := range rpo {
+		if idx[v] != i {
+			t.Errorf("RPOIndex[%d] = %d", i, idx[v])
+		}
+	}
+	_, p2 := build(t, src)
+	g2 := p2.FuncGraph(p2.IR.Main)
+	if pfg.Format(g) != pfg.Format(g2) {
+		t.Error("graph format differs across rebuilds")
+	}
+	rpo2 := g2.RPO()
+	if len(rpo) != len(rpo2) {
+		t.Fatalf("RPO length differs across rebuilds: %d vs %d", len(rpo), len(rpo2))
+	}
+	for i := range rpo {
+		if rpo[i].ID != rpo2[i].ID {
+			t.Errorf("RPO[%d] differs across rebuilds: v%d vs v%d", i, rpo[i].ID, rpo2[i].ID)
+		}
+	}
+}
+
+// TestEmptyNodesGetVertices checks that instruction-less branch/merge
+// nodes still materialise a vertex (they carry their own dataflow facts).
+func TestEmptyNodesGetVertices(t *testing.T) {
+	irProg, p := build(t, `
+int x;
+int main() {
+  if (x) { x = 1; }
+  return 0;
+}
+`)
+	for _, n := range irProg.Main.Body.Nodes {
+		if p.HeadOf(n) == nil {
+			t.Errorf("node n%d has no vertex", n.ID)
+		}
+	}
+}
+
+// TestFormat smoke-tests the printer on a par example.
+func TestFormat(t *testing.T) {
+	irProg, p := build(t, `
+int x;
+int *p;
+int main() {
+  p = &x;
+  par {
+    { *p = 1; }
+    { p = &x; }
+  }
+  return 0;
+}
+`)
+	out := pfg.Format(p.FuncGraph(irProg.Main))
+	for _, want := range []string{"entry", "exit", "parbegin", "parend", "par(2)", "thread:", "thread-entry", "=>", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+}

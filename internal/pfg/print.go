@@ -1,0 +1,69 @@
+package pfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders a graph (and, recursively, its nested thread graphs) as a
+// deterministic text listing, one vertex per line:
+//
+//	v3 block n2 [instrs 0..2] -> v5
+//
+// Chain edges print as "=> vN", flow edges as "-> vN". It is meant for
+// tests and for the worked examples in DESIGN.md.
+func Format(g *Graph) string {
+	var b strings.Builder
+	formatInto(&b, g, "")
+	return b.String()
+}
+
+func formatInto(b *strings.Builder, g *Graph, indent string) {
+	var nested []*Graph
+	for _, n := range g.Body.Nodes {
+		for v := g.heads[n]; v != nil; v = v.Next {
+			fmt.Fprintf(b, "%sv%d %s n%d", indent, v.ID, v.Kind, v.Node.ID)
+			if len(v.Instrs) > 0 {
+				fmt.Fprintf(b, " [instrs %d..%d]", v.InstrOff, v.InstrOff+len(v.Instrs)-1)
+			}
+			if v.HasAcc {
+				b.WriteString(" acc")
+			}
+			if v.Par != nil {
+				kind := "par"
+				if v.Par.IsLoop {
+					kind = "parfor"
+				}
+				fmt.Fprintf(b, " %s(%d)", kind, len(v.Par.Threads))
+				nested = append(nested, v.Par.Threads...)
+			}
+			if v.Next != nil {
+				fmt.Fprintf(b, " => v%d", v.Next.ID)
+			}
+			if len(v.Succs) > 0 {
+				var ss []string
+				for _, s := range v.Succs {
+					ss = append(ss, fmt.Sprintf("v%d", s.ID))
+				}
+				fmt.Fprintf(b, " -> %s", strings.Join(ss, ","))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	sort.Slice(nested, func(i, j int) bool { return nested[i].Entry.ID < nested[j].Entry.ID })
+	for _, tg := range nested {
+		fmt.Fprintf(b, "%sthread:\n", indent)
+		formatInto(b, tg, indent+"  ")
+	}
+}
+
+// Stats summarises vertex counts by kind for one graph, nested graphs
+// excluded.
+func Stats(g *Graph) map[Kind]int {
+	m := map[Kind]int{}
+	for _, v := range g.Vertices {
+		m[v.Kind]++
+	}
+	return m
+}

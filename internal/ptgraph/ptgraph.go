@@ -14,7 +14,7 @@ package ptgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"mtpa/internal/locset"
@@ -335,10 +335,20 @@ func IntersectAll(gs []*Graph) *Graph {
 }
 
 // ForEach calls f for every (source, successor-set) pair, in unspecified
-// order. The sets are interned and must not be modified.
+// order. The sets are interned and must not be modified. Callbacks with
+// observable side effects beyond building canonical sets or graphs (e.g.
+// interning fresh location sets) must use ForEachOrdered instead.
 func (g *Graph) ForEach(f func(src locset.ID, dsts Set)) {
 	for src, dsts := range g.succ {
 		f(src, dsts)
+	}
+}
+
+// ForEachOrdered is ForEach with sources visited in ascending ID order,
+// for callbacks whose side effects must be deterministic.
+func (g *Graph) ForEachOrdered(f func(src locset.ID, dsts Set)) {
+	for _, src := range g.Sources() {
+		f(src, g.succ[src])
 	}
 }
 
@@ -365,7 +375,7 @@ func (g *Graph) Sources() []locset.ID {
 	for s := range g.succ {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

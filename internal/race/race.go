@@ -10,6 +10,10 @@
 // Accesses inside procedures called from a thread are attributed to the
 // thread through a call-graph closure (calls through function pointers
 // conservatively reach every function whose address is taken).
+//
+// Per-access location sets come from core.Metrics.AccessSamples, which the
+// analysis derives from the dataflow facts its worklist solver recorded at
+// each flow-graph vertex — the detector never re-walks procedure bodies.
 package race
 
 import (

@@ -8,6 +8,7 @@
 //	mttables -table fig8   load histogram                 (Figure 8)
 //	mttables -table fig9   store histogram                (Figure 9)
 //	mttables -table fig10  analysis times                 (Figure 10)
+//	mttables -table cache  context-cache and call-memo statistics
 //	mttables -table all    everything
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, all")
+	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, all")
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the table generation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after table generation to this file")
@@ -189,6 +190,14 @@ func run(out io.Writer, table string, timingRuns int) error {
 		fmt.Fprintln(out, metrics.RenderPerProgramCounts(
 			"Table 4 (comparison): Same Metric for the Sequential Baseline",
 			names, seqDists))
+	}
+
+	if want("cache") {
+		var rows []metrics.CacheStats
+		for _, a := range all {
+			rows = append(rows, metrics.CacheStatsOf(a.Name, a.MT))
+		}
+		fmt.Fprintln(out, metrics.RenderCacheStats(rows))
 	}
 
 	if want("fig10") {

@@ -46,6 +46,30 @@ func TestTableGoldens(t *testing.T) {
 	}
 }
 
+// TestCacheTableSmoke checks the cache/memo statistics render one row per
+// program and that the corpus produces memo traffic. The exact hit/miss
+// counts are not golden-pinned: the split varies with the speculation
+// schedule of the concurrent par solver (the analysis results do not).
+func TestCacheTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus table rendering is slow in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run(&out, "cache", 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2+18 {
+		t.Fatalf("cache table has %d lines, want a title, a header and 18 rows", len(lines))
+	}
+	if !strings.Contains(out.String(), "MemoHits") {
+		t.Errorf("cache table header missing MemoHits:\n%s", out.String())
+	}
+	if !strings.Contains(lines[2], "barnes") {
+		t.Errorf("first row %q, want the paper's order starting at barnes", lines[2])
+	}
+}
+
 // TestTableFormattingStable checks structural formatting invariants that
 // must hold for any corpus: one row per program in the paper's order, and
 // aligned columns (every data row as wide as its header).

@@ -67,7 +67,7 @@ func TestParWorkersBitIdentical(t *testing.T) {
 	}
 }
 
-// TestAblationMatrix runs the corpus under every combination of the three
+// TestAblationMatrix runs the corpus under every combination of the four
 // ablation switches and checks the soundness invariant that survives all
 // of them: every flow-sensitive edge at main's exit (unk excepted, see
 // TestFlowInsensSoundness) is contained in the flow-insensitive
@@ -77,19 +77,29 @@ func TestParWorkersBitIdentical(t *testing.T) {
 // does converge must still be sound.
 func TestAblationMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("8-combination corpus sweep is slow in -short mode")
+		t.Skip("16-combination corpus sweep is slow in -short mode")
 	}
-	for mask := 0; mask < 8; mask++ {
+	for mask := 0; mask < 16; mask++ {
+		if raceEnabled && mask > 8 {
+			// Under the race detector the full 16-combination sweep blows
+			// past go test's package timeout; cover the pre-memo eight
+			// combinations plus the memo-off row (mask 8). The soundness
+			// property is race-independent — the remaining combinations run
+			// in every non-race invocation.
+			continue
+		}
 		opts := mtpa.Options{
 			Mode:                 mtpa.Multithreaded,
 			DisableContextCache:  mask&1 != 0,
 			DisableStrongUpdates: mask&2 != 0,
 			DisableGhostMerging:  mask&4 != 0,
+			DisableCallMemo:      mask&8 != 0,
 			MaxRounds:            50,
 			MaxContexts:          2000,
 		}
-		name := fmt.Sprintf("cache=%v,strong=%v,ghost=%v",
-			!opts.DisableContextCache, !opts.DisableStrongUpdates, !opts.DisableGhostMerging)
+		name := fmt.Sprintf("cache=%v,strong=%v,ghost=%v,memo=%v",
+			!opts.DisableContextCache, !opts.DisableStrongUpdates, !opts.DisableGhostMerging,
+			!opts.DisableCallMemo)
 		t.Run(name, func(t *testing.T) {
 			results, err := AnalyzeAll(opts, 0)
 			if err != nil {

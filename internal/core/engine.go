@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
@@ -54,6 +55,12 @@ type Options struct {
 	// MaxContexts valve guards against the resulting non-termination on
 	// programs that build linked structures on the call stack).
 	DisableGhostMerging bool
+	// DisableCallMemo turns off the call-site transfer memo (memo.go):
+	// every call-vertex revisit then re-runs reachability, mapping,
+	// projection and expansion even when its ⟨C, I⟩ inputs are unchanged
+	// (ablation; results are bit-identical either way). The memo is also
+	// off whenever DisableContextCache is set.
+	DisableCallMemo bool
 
 	// ParWorkers bounds how many per-thread solves of one par fixed-point
 	// iteration may run concurrently (0 = GOMAXPROCS). With fewer than two
@@ -98,10 +105,14 @@ func (o *Options) maxContexts() int {
 
 // callResult is the cached analysis result of a procedure in one context:
 // the output points-to graph C′_p and the created edges E′_p (the return
-// value r_p is carried inside C′_p).
+// value r_p is carried inside C′_p). version counts the times the result
+// grew; the call-site memo uses it to detect that a cached expansion of
+// this result is out of date (an in-progress recursive context can grow
+// mid-round).
 type callResult struct {
-	C *ptgraph.Graph
-	E *ptgraph.Graph
+	C       *ptgraph.Graph
+	E       *ptgraph.Graph
+	version uint64
 }
 
 func newCallResult() *callResult {
@@ -140,6 +151,19 @@ type Analysis struct {
 	entries map[*ir.Func]map[uint64][]*ctxEntry
 	ctxList []*ctxEntry
 
+	// callMemo is the call-site transfer memo (memo.go); memoHits and
+	// memoMisses count its probes across all rounds and the metrics pass.
+	callMemo   map[memoKey][]*memoEntry
+	memoHits   int
+	memoMisses int
+
+	// rootBlocks caches the always-nameable reachability roots (globals,
+	// private globals, strings, functions, unk); these block kinds all
+	// exist before the analysis starts, so the slice is built once,
+	// lazily — possibly first from a speculative executor, hence the Once.
+	rootBlocks []*locset.Block
+	rootsOnce  sync.Once
+
 	round     int
 	changed   bool
 	metricsOn bool
@@ -150,6 +174,19 @@ type Analysis struct {
 	hasPrivates  bool
 	privBlocks   map[*locset.Block]bool
 	procAnalyses int
+}
+
+// roots returns the lazily built reachability root slice.
+func (a *Analysis) roots() []*locset.Block {
+	a.rootsOnce.Do(func() {
+		for _, b := range a.tab.Blocks() {
+			switch b.Kind {
+			case locset.KindGlobal, locset.KindPrivateGlobal, locset.KindString, locset.KindFunc, locset.KindUnk:
+				a.rootBlocks = append(a.rootBlocks, b)
+			}
+		}
+	})
+	return a.rootBlocks
 }
 
 // Result is the outcome of a whole-program analysis.
@@ -184,6 +221,7 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 		flow:       pfg.BuildProgram(prog),
 		opts:       opts,
 		entries:    map[*ir.Func]map[uint64][]*ctxEntry{},
+		callMemo:   map[memoKey][]*memoEntry{},
 		warnedUnk:  map[*ir.Instr]bool{},
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
@@ -222,6 +260,8 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 	}
 	a.deriveMetrics()
 	a.metrics.NumContexts = len(a.ctxList)
+	a.metrics.CallMemoHits = a.memoHits
+	a.metrics.CallMemoMisses = a.memoMisses
 
 	return &Result{
 		Prog:         prog,
@@ -392,6 +432,7 @@ func (x *exec) analyzeContext(e *ctxEntry) error {
 		grew = true
 	}
 	if grew {
+		e.result.version++
 		a.changed = true
 	}
 	return nil

@@ -1,0 +1,162 @@
+// The call-site transfer memo (a reuse layer below the context cache of
+// Definition 2): each call vertex caches, keyed on the exact incoming
+// ⟨C, I⟩ graphs, the fully unmapped output graphs of callOne together
+// with the mapping they were computed with — so a fixpoint revisit with
+// unchanged inputs returns in O(1) instead of re-running reachability,
+// mapping, projection, the callee lookup and expansion.
+//
+// A hit is only allowed to stand in for work that would have been a
+// no-op: the entry must have been populated in the current round (a
+// round restart invalidates every entry of the previous round), the
+// callee context must be one analyzeContext would not re-solve right
+// now, and the callee's result version must not have moved since the
+// entry was stored (an in-progress recursive context can grow its
+// result mid-round). Under those conditions the memoised output is
+// content-identical to what the full path would rebuild, so counters,
+// contexts, rounds and warnings are unaffected — the golden corpus is
+// bit-identical with the memo on or off.
+//
+// Speculation discipline (see solve.go): a speculative executor only
+// probes the table; on a miss it falls through to the ordinary probing
+// slow path, and populations plus hit/miss counter bumps are buffered
+// in the speculation's specBuf and applied by replaySpec only if the
+// speculation commits. Stored graphs are Clone snapshots (shared,
+// copy-on-write); hits hand out CloneShared copies, which never write
+// the cached graph and are therefore safe under concurrent probes.
+
+package core
+
+import (
+	"mtpa/internal/ir"
+	"mtpa/internal/ptgraph"
+)
+
+// memoKey identifies one memoised call-site transfer: the call
+// instruction, the resolved target (a function-pointer call has several)
+// and the calling context (buildMapping consults ctx.ghostSrc, so the
+// same call with the same graphs can still map differently in another
+// context).
+type memoKey struct {
+	call *ir.Call
+	fn   *ir.Func
+	ctx  *ctxEntry
+}
+
+// memoEntry is one cached call-site transfer.
+type memoEntry struct {
+	inC, inI *ptgraph.Graph // snapshot of the call inputs (exact verify)
+	round    int            // populated during this round; stale otherwise
+
+	callee    *ctxEntry
+	calleeVer uint64 // callee.result.version when the entry was stored
+
+	outC *ptgraph.Graph // final C after the call (isolated and I included)
+	outE *ptgraph.Graph // expanded created edges, before the ∪ t.E
+	m    *mapping       // the name-space translation the outputs used
+}
+
+// memoRec is a buffered speculative population.
+type memoRec struct {
+	key   memoKey
+	entry *memoEntry
+}
+
+// memoEnabled reports whether the call-site memo participates in this
+// run. It requires the context cache: with that cache disabled every
+// call re-solves its callee, which a memo hit would skip.
+func (a *Analysis) memoEnabled() bool {
+	return !a.opts.DisableCallMemo && !a.opts.DisableContextCache
+}
+
+// memoCalleeFresh reports whether analyzeContext(e) would be a no-op
+// right now — the precondition for a memo hit to skip it.
+func (a *Analysis) memoCalleeFresh(e *ctxEntry) bool {
+	if e.inProgress {
+		return true
+	}
+	if a.metricsOn {
+		return e.metricsDone
+	}
+	return e.doneRound == a.round
+}
+
+// probeCallMemo looks the call up in the memo. On a hit it returns the
+// output triple (created edges still need the caller's ∪ t.E); the
+// returned graphs are independently mutable snapshots.
+func (x *exec) probeCallMemo(k memoKey, t *Triple) (*Triple, bool) {
+	a := x.a
+	if !a.memoEnabled() {
+		return nil, false
+	}
+	for _, e := range a.callMemo[k] {
+		if e.round != a.round || !e.inC.Equal(t.C) || !e.inI.Equal(t.I) {
+			continue
+		}
+		if e.callee.result.version != e.calleeVer || !a.memoCalleeFresh(e.callee) {
+			continue
+		}
+		x.countMemo(true)
+		return &Triple{C: e.outC.CloneShared(), I: t.I, E: e.outE.CloneShared()}, true
+	}
+	x.countMemo(false)
+	return nil, false
+}
+
+// storeCallMemo records a just-computed call-site transfer. outC is the
+// final post-call C graph; outE is the expanded created-edge graph
+// before the caller's t.E union (t.E varies between revisits whose
+// ⟨C, I⟩ key is unchanged, so it stays out of the cached value). Both
+// must already be Clone snapshots. A speculative executor buffers the
+// entry; replaySpec installs it on commit (a stale buffered entry is
+// harmless — the version check rejects it at probe time).
+func (x *exec) storeCallMemo(k memoKey, t *Triple, callee *ctxEntry, m *mapping, outC, outE *ptgraph.Graph) {
+	a := x.a
+	if !a.memoEnabled() {
+		return
+	}
+	e := &memoEntry{
+		inC: t.C.Clone(), inI: t.I.Clone(),
+		round:  a.round,
+		callee: callee, calleeVer: callee.result.version,
+		outC: outC, outE: outE, m: m,
+	}
+	if x.spec != nil {
+		x.spec.buf.memos = append(x.spec.buf.memos, memoRec{key: k, entry: e})
+		return
+	}
+	a.installMemo(k, e)
+}
+
+// installMemo inserts an entry into its bucket, replacing a stale
+// (previous-round) or same-input entry rather than growing the bucket.
+func (a *Analysis) installMemo(k memoKey, e *memoEntry) {
+	if a.callMemo == nil {
+		a.callMemo = map[memoKey][]*memoEntry{}
+	}
+	bucket := a.callMemo[k]
+	for i, old := range bucket {
+		if old.round != e.round || (old.inC.Equal(e.inC) && old.inI.Equal(e.inI)) {
+			bucket[i] = e
+			return
+		}
+	}
+	a.callMemo[k] = append(bucket, e)
+}
+
+// countMemo bumps the hit/miss counters (buffered under speculation so
+// an aborted speculation leaves no trace).
+func (x *exec) countMemo(hit bool) {
+	if x.spec != nil {
+		if hit {
+			x.spec.buf.memoHits++
+		} else {
+			x.spec.buf.memoMisses++
+		}
+		return
+	}
+	if hit {
+		x.a.memoHits++
+	} else {
+		x.a.memoMisses++
+	}
+}

@@ -98,6 +98,14 @@ type Metrics struct {
 
 	// NumContexts is the total number of analysis contexts generated.
 	NumContexts int
+
+	// CallMemoHits and CallMemoMisses count the call-site transfer memo
+	// probes (memo.go) across all rounds and the metrics pass. The split
+	// between them can vary with the speculation schedule (a speculative
+	// solve probes the memo state of its iteration start), but the
+	// analysis results never do.
+	CallMemoHits   int
+	CallMemoMisses int
 }
 
 func newMetrics() *Metrics {
@@ -219,7 +227,11 @@ func (x *exec) recordParAnalysis(ctx *ctxEntry, n *ir.Node, iterations, threads 
 	}
 }
 
-// replaySpec applies the records buffered by a committed speculation.
+// replaySpec applies the records buffered by a committed speculation:
+// metric facts, par samples, call-memo populations and memo counters. A
+// buffered memo entry may have gone stale if an interleaved sequential
+// re-solve grew its callee's result — installing it is still safe, since
+// the version check rejects it at the next probe.
 func (x *exec) replaySpec(buf *specBuf) {
 	for _, f := range buf.facts {
 		x.a.metrics.facts[f.key] = f.fact
@@ -230,6 +242,11 @@ func (x *exec) replaySpec(buf *specBuf) {
 			Iterations: p.iterations, Threads: p.threads,
 		}
 	}
+	for _, m := range buf.memos {
+		x.a.installMemo(m.key, m.entry)
+	}
+	x.a.memoHits += buf.memoHits
+	x.a.memoMisses += buf.memoMisses
 }
 
 // ---------------------------------------------------------------------------

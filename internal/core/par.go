@@ -16,6 +16,11 @@
 // sequential result exactly. An aborted or invalidated speculation is
 // simply re-solved sequentially. The fixed point, iteration counts,
 // contexts and warnings are therefore independent of goroutine timing.
+// Committing a speculation also installs its buffered call-memo entries
+// and hit/miss counter bumps (memo.go) via replaySpec; speculative
+// executors probe the memo read-only, so concurrent threads may split
+// hits and misses differently than a sequential sweep would — the memoised
+// results themselves are identical either way.
 
 package core
 

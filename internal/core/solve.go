@@ -27,10 +27,22 @@ import (
 )
 
 // exec is one execution capability over an Analysis: either the real
-// executor (spec == nil) or a speculative one.
+// executor (spec == nil) or a speculative one. Each executor also owns
+// the reusable scratch state of the interprocedural hot path; every use
+// completes before analyzeContext can re-enter callOne on the same
+// executor, so plain per-exec reuse is safe (see interproc.go).
 type exec struct {
 	a    *Analysis
 	spec *specState
+
+	// Call-site scratch: the reachability bitset and the graph builders
+	// of projection and expansion (reset at each use, retaining storage).
+	reach          locset.BlockSet
+	cpB, isoB, ipB ptgraph.GraphBuilder
+	expB           ptgraph.GraphBuilder
+	cands          []candidate
+	sigGroups      []sigGroup
+	sigBuf         []uint64
 }
 
 // specState buffers the side effects of a speculative solve.
@@ -38,11 +50,15 @@ type specState struct {
 	buf specBuf
 }
 
-// specBuf holds metric records produced during a speculation, replayed in
-// commit order if the speculation is valid.
+// specBuf holds metric records, call-memo populations and memo counter
+// bumps produced during a speculation, replayed in commit order if the
+// speculation is valid.
 type specBuf struct {
-	facts []factRec
-	pars  []parRec
+	facts      []factRec
+	pars       []parRec
+	memos      []memoRec
+	memoHits   int
+	memoMisses int
 }
 
 type factRec struct {

@@ -495,3 +495,50 @@ func (t *Table) Overlap(a, b ID) bool {
 
 // String renders the location set with the given ID.
 func (t *Table) String(id ID) string { return t.sets[id].String() }
+
+// BlockSet is a reusable set of blocks backed by a block-ID-indexed
+// bitmap plus an insertion-ordered member list. It replaces per-use
+// map[*Block]bool scratch sets on hot paths: Reset clears only the bits
+// of the previous members, so a long-lived BlockSet allocates at most
+// once per table growth. The zero value is ready to use.
+type BlockSet struct {
+	bits []bool
+	list []*Block
+}
+
+// Reset empties the set and ensures capacity for block IDs below n
+// (pass Table.NumBlocks()).
+func (s *BlockSet) Reset(n int) {
+	for _, b := range s.list {
+		s.bits[b.ID] = false
+	}
+	s.list = s.list[:0]
+	if n > len(s.bits) {
+		s.bits = make([]bool, n)
+	}
+}
+
+// Add inserts b and reports whether it was absent.
+func (s *BlockSet) Add(b *Block) bool {
+	if s.bits[b.ID] {
+		return false
+	}
+	s.bits[b.ID] = true
+	s.list = append(s.list, b)
+	return true
+}
+
+// Has reports membership.
+func (s *BlockSet) Has(b *Block) bool { return s.bits[b.ID] }
+
+// Len returns the number of members.
+func (s *BlockSet) Len() int { return len(s.list) }
+
+// At returns the i-th member in insertion order. Members appended while
+// iterating by index are visited too, so a worklist closure can scan the
+// list it is growing.
+func (s *BlockSet) At(i int) *Block { return s.list[i] }
+
+// Blocks returns the members in insertion order (valid until the next
+// Reset; do not modify).
+func (s *BlockSet) Blocks() []*Block { return s.list }

@@ -235,3 +235,36 @@ type TimeRow struct {
 	SeqSeconds   float64
 	MultiSeconds float64
 }
+
+// CacheStats summarises the reuse machinery for one program: analysis
+// contexts and procedure analyses (the context cache of Definition 2) and
+// the call-site transfer memo's hit/miss counters. The hit/miss split can
+// vary with the speculation schedule of the concurrent par solver — the
+// analysis results never do — so these counts are reported, not golden-
+// pinned.
+type CacheStats struct {
+	Name         string
+	Contexts     int
+	ProcAnalyses int
+	MemoHits     int
+	MemoMisses   int
+}
+
+// CacheStatsOf extracts the cache measurements from an analysis result.
+func CacheStatsOf(name string, res *core.Result) CacheStats {
+	return CacheStats{
+		Name:         name,
+		Contexts:     res.ContextsTotal(),
+		ProcAnalyses: res.ProcAnalyses,
+		MemoHits:     res.Metrics.CallMemoHits,
+		MemoMisses:   res.Metrics.CallMemoMisses,
+	}
+}
+
+// HitRate returns the memo hit fraction in [0, 1], or 0 with no probes.
+func (c CacheStats) HitRate() float64 {
+	if c.MemoHits+c.MemoMisses == 0 {
+		return 0
+	}
+	return float64(c.MemoHits) / float64(c.MemoHits+c.MemoMisses)
+}

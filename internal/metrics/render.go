@@ -147,6 +147,20 @@ func RenderTable3(rows []Convergence) string {
 	return sb.String()
 }
 
+// RenderCacheStats renders the cache/memo measurements (not a table of
+// the paper; it reports the reuse machinery of the implementation).
+func RenderCacheStats(rows []CacheStats) string {
+	var sb strings.Builder
+	sb.WriteString("Cache and call-memo statistics\n")
+	fmt.Fprintf(&sb, "%-10s %10s %10s %10s %10s %9s\n",
+		"Program", "Contexts", "Analyses", "MemoHits", "MemoMiss", "HitRate")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %10d %10d %10d %10d %8.1f%%\n",
+			r.Name, r.Contexts, r.ProcAnalyses, r.MemoHits, r.MemoMisses, 100*r.HitRate())
+	}
+	return sb.String()
+}
+
 // RenderTimes renders Figure 10's analysis-time table.
 func RenderTimes(rows []TimeRow) string {
 	var sb strings.Builder

@@ -267,6 +267,22 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// CloneShared is Clone for a graph that is already marked copy-on-write
+// (i.e. was itself produced by Clone and not mutated since, such as a
+// cache-resident snapshot). Unlike Clone it performs no write on the
+// receiver, so concurrent CloneShared calls on one shared graph are
+// race-free; the returned copy is independently mutable as usual.
+func (g *Graph) CloneShared() *Graph {
+	if !g.shared && g.succ != nil {
+		panic("ptgraph: CloneShared on an unshared graph")
+	}
+	c := &Graph{succ: g.succ, count: g.count, hash: g.hash, shared: true}
+	if g.shadow != nil {
+		c.shadow = g.shadow.Clone()
+	}
+	return c
+}
+
 // Equal reports whether two graphs contain the same edges.
 func (g *Graph) Equal(other *Graph) bool {
 	if g == other {
@@ -433,9 +449,12 @@ func (g *Graph) FormatFiltered(tab *locset.Table, hide func(locset.ID) bool) str
 
 // GraphBuilder accumulates edges grouped by source and interns each
 // successor set once at Build time. Use it when constructing a graph whose
-// edges arrive in arbitrary order (Map, unmapping, graph rewrites).
+// edges arrive in arbitrary order (Map, unmapping, graph rewrites). A
+// builder can be recycled across constructions with Reset, which retains
+// the map storage and the per-source element buffers.
 type GraphBuilder struct {
 	succ map[locset.ID]*SetBuilder
+	free []*SetBuilder // recycled per-source builders with retained capacity
 }
 
 // Add records the edge src→dst.
@@ -445,7 +464,7 @@ func (b *GraphBuilder) Add(src, dst locset.ID) {
 	}
 	sb := b.succ[src]
 	if sb == nil {
-		sb = &SetBuilder{}
+		sb = b.newSetBuilder()
 		b.succ[src] = sb
 	}
 	sb.Add(dst)
@@ -461,10 +480,30 @@ func (b *GraphBuilder) AddSet(src locset.ID, dsts Set) {
 	}
 	sb := b.succ[src]
 	if sb == nil {
-		sb = &SetBuilder{}
+		sb = b.newSetBuilder()
 		b.succ[src] = sb
 	}
 	sb.AddSet(dsts)
+}
+
+func (b *GraphBuilder) newSetBuilder() *SetBuilder {
+	if n := len(b.free); n > 0 {
+		sb := b.free[n-1]
+		b.free = b.free[:n-1]
+		return sb
+	}
+	return &SetBuilder{}
+}
+
+// Reset discards all accumulated edges while keeping the allocated map
+// and element buffers, so a long-lived builder stops allocating once it
+// has seen its peak shape.
+func (b *GraphBuilder) Reset() {
+	for src, sb := range b.succ {
+		sb.ids = sb.ids[:0]
+		b.free = append(b.free, sb)
+		delete(b.succ, src)
+	}
 }
 
 // Build interns the accumulated graph.

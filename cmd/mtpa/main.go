@@ -14,13 +14,23 @@
 //	-run               execute the program under the interpreter
 //	-seed n            scheduler seed for -run
 //	-corpus name       analyse an embedded benchmark instead of a file
+//	-timeout d         cancel the analysis after duration d (exit code 3)
+//	-max-steps n       per-procedure solver step budget; exceeding it
+//	                   degrades that procedure to the flow-insensitive
+//	                   result instead of failing the run
+//
+// Exit codes: 0 success, 1 malformed input or usage error, 2 analysis
+// failure or internal error, 3 timeout/cancellation.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"mtpa"
 	"mtpa/internal/ast"
@@ -32,42 +42,94 @@ import (
 	"mtpa/internal/race"
 )
 
-func main() {
-	mode := flag.String("mode", "mt", "analysis mode: mt (multithreaded) or seq (sequential baseline)")
-	summary := flag.Bool("summary", true, "print the points-to graph at main's exit")
-	accesses := flag.Bool("accesses", false, "print location sets per pointer access")
-	stats := flag.Bool("stats", false, "print program characteristics and convergence")
-	raceFlag := flag.Bool("race", false, "run the static race detector")
-	indepFlag := flag.Bool("independence", false, "classify each parallel construct as independent or conflicting (§4.4)")
-	dumpIR := flag.Bool("dump-ir", false, "print the lowered parallel flow graph")
-	dumpPFG := flag.Bool("dump-pfg", false, "print the vertex-level flow graphs the solver runs on")
-	format := flag.Bool("format", false, "pretty-print the parsed program and exit")
-	runFlag := flag.Bool("run", false, "execute the program under the interpreter")
-	seed := flag.Int64("seed", 1, "scheduler seed for -run")
-	corpus := flag.String("corpus", "", "analyse an embedded benchmark program by name")
-	flag.Parse()
+// config carries the parsed command line into run.
+type config struct {
+	mode     string
+	summary  bool
+	accesses bool
+	stats    bool
+	race     bool
+	indep    bool
+	dumpIR   bool
+	dumpPFG  bool
+	format   bool
+	runProg  bool
+	seed     int64
+	corpus   string
+	timeout  time.Duration
+	maxSteps int
+	args     []string
+}
 
-	if err := run(os.Stdout, os.Stderr, *mode, *summary, *accesses, *stats, *raceFlag, *indepFlag, *dumpIR, *dumpPFG, *format, *runFlag, *seed, *corpus, flag.Args()); err != nil {
-		fmt.Fprintln(os.Stderr, "mtpa:", err)
-		os.Exit(1)
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.mode, "mode", "mt", "analysis mode: mt (multithreaded) or seq (sequential baseline)")
+	flag.BoolVar(&cfg.summary, "summary", true, "print the points-to graph at main's exit")
+	flag.BoolVar(&cfg.accesses, "accesses", false, "print location sets per pointer access")
+	flag.BoolVar(&cfg.stats, "stats", false, "print program characteristics and convergence")
+	flag.BoolVar(&cfg.race, "race", false, "run the static race detector")
+	flag.BoolVar(&cfg.indep, "independence", false, "classify each parallel construct as independent or conflicting (§4.4)")
+	flag.BoolVar(&cfg.dumpIR, "dump-ir", false, "print the lowered parallel flow graph")
+	flag.BoolVar(&cfg.dumpPFG, "dump-pfg", false, "print the vertex-level flow graphs the solver runs on")
+	flag.BoolVar(&cfg.format, "format", false, "pretty-print the parsed program and exit")
+	flag.BoolVar(&cfg.runProg, "run", false, "execute the program under the interpreter")
+	flag.Int64Var(&cfg.seed, "seed", 1, "scheduler seed for -run")
+	flag.StringVar(&cfg.corpus, "corpus", "", "analyse an embedded benchmark program by name")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "cancel the analysis after this duration (0 = no limit)")
+	flag.IntVar(&cfg.maxSteps, "max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
+	flag.Parse()
+	cfg.args = flag.Args()
+
+	if err := run(os.Stdout, os.Stderr, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "mtpa:", diagnostic(err))
+		os.Exit(exitCode(err))
 	}
 }
 
-func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag, indepFlag, dumpIR, dumpPFG, format, runFlag bool, seed int64, corpus string, args []string) error {
+// diagnostic renders the one-line form of an error for stderr: for
+// malformed input that is the first "file:line:col: message" diagnostic,
+// for everything else the error text.
+func diagnostic(err error) string {
+	var pe *mtpa.ParseError
+	if errors.As(err, &pe) {
+		return pe.Diagnostic()
+	}
+	return err.Error()
+}
+
+// exitCode classifies an error from run into the documented exit codes:
+// 3 for timeouts and cancellation, 2 for analysis failures and internal
+// errors, 1 for malformed input and usage errors.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return 3
+	}
+	var ae *mtpa.AnalysisError
+	var ice *mtpa.ICEError
+	if errors.As(err, &ae) || errors.As(err, &ice) {
+		return 2
+	}
+	return 1
+}
+
+func run(out, errOut io.Writer, cfg config) error {
 	var name, src string
 	switch {
-	case corpus != "":
-		p, err := bench.Load(corpus)
+	case cfg.corpus != "":
+		p, err := bench.Load(cfg.corpus)
 		if err != nil {
 			return err
 		}
-		name, src = corpus+".clk", p.Source
-	case len(args) == 1:
-		data, err := os.ReadFile(args[0])
+		name, src = cfg.corpus+".clk", p.Source
+	case len(cfg.args) == 1:
+		data, err := os.ReadFile(cfg.args[0])
 		if err != nil {
 			return err
 		}
-		name, src = args[0], string(data)
+		name, src = cfg.args[0], string(data)
 	default:
 		return fmt.Errorf("usage: mtpa [flags] file.clk (or -corpus name)")
 	}
@@ -80,14 +142,14 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 		fmt.Fprintln(errOut, "warning:", w)
 	}
 
-	if format {
+	if cfg.format {
 		fmt.Fprint(out, ast.Print(prog.AST))
 		return nil
 	}
-	if dumpIR {
+	if cfg.dumpIR {
 		fmt.Fprint(out, prog.IR.Format())
 	}
-	if dumpPFG {
+	if cfg.dumpPFG {
 		flow := pfg.BuildProgram(prog.IR)
 		for _, fn := range prog.IR.Funcs {
 			fmt.Fprintf(out, "func %s:\n%s", fn.Name, pfg.Format(flow.FuncGraph(fn)))
@@ -95,19 +157,29 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 	}
 
 	opts := mtpa.Options{Mode: mtpa.Multithreaded}
-	if mode == "seq" {
+	if cfg.mode == "seq" {
 		opts.Mode = mtpa.Sequential
 	}
-	res, err := prog.Analyze(opts)
+	opts.Budget.MaxSolverSteps = cfg.maxSteps
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	res, err := prog.AnalyzeContext(ctx, opts)
 	if err != nil {
 		return err
 	}
 	for _, w := range res.Warnings {
 		fmt.Fprintln(errOut, "analysis warning:", w)
 	}
+	for _, d := range res.Degraded {
+		fmt.Fprintf(errOut, "budget: %s ctx%d degraded to flow-insensitive (%s)\n", d.Proc, d.Ctx, d.Reason)
+	}
 
 	tab := prog.Table()
-	if summary {
+	if cfg.summary {
 		fmt.Fprintf(out, "== %s analysis: points-to graph at main's exit ==\n", opts.Mode)
 		fmt.Fprintln(out, res.MainOut.C.FormatFiltered(tab, func(id mtpa.LocSetID) bool {
 			k := tab.Get(id).Block.Kind
@@ -116,7 +188,7 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 		fmt.Fprintf(out, "(%d contexts, %d fixed-point rounds)\n", res.ContextsTotal(), res.Rounds)
 	}
 
-	if accesses {
+	if cfg.accesses {
 		fmt.Fprintln(out, "== pointer accesses (per analysis context) ==")
 		for _, s := range res.Metrics.AccessSamples() {
 			acc := prog.IR.Accesses[s.AccID]
@@ -138,13 +210,13 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 		}
 	}
 
-	if stats {
+	if cfg.stats {
 		st := metrics.Characteristics(name, "", src, prog.IR)
 		fmt.Fprintln(out, metrics.RenderTable1([]metrics.ProgramStats{st}))
 		fmt.Fprintln(out, metrics.RenderTable3([]metrics.Convergence{metrics.ConvergenceOf(name, res)}))
 	}
 
-	if raceFlag {
+	if cfg.race {
 		races := race.New(prog.IR, res).Detect()
 		fmt.Fprintf(out, "== race detector: %d potential race(s) ==\n", len(races))
 		for _, r := range races {
@@ -157,7 +229,7 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 		}
 	}
 
-	if indepFlag {
+	if cfg.indep {
 		cs := race.New(prog.IR, res).CheckIndependence()
 		fmt.Fprintf(out, "== independence: %d parallel construct(s) ==\n", len(cs))
 		for _, c := range cs {
@@ -165,13 +237,13 @@ func run(out, errOut io.Writer, mode string, summary, accesses, stats, raceFlag,
 		}
 	}
 
-	if runFlag {
-		m := interp.New(prog.IR, out, seed)
+	if cfg.runProg {
+		m := interp.New(prog.IR, out, cfg.seed)
 		code, err := m.Run()
 		if err != nil {
 			return fmt.Errorf("interpreter: %w", err)
 		}
-		fmt.Fprintf(out, "== program exited with %d (seed %d) ==\n", code, seed)
+		fmt.Fprintf(out, "== program exited with %d (seed %d) ==\n", code, cfg.seed)
 	}
 	return nil
 }

@@ -2,11 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"mtpa"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -33,7 +39,10 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // test override the interesting knobs.
 func runCLI(t *testing.T, out, errOut *bytes.Buffer, mode string, summary, accesses, stats, raceFlag bool, corpus string, args ...string) error {
 	t.Helper()
-	return run(out, errOut, mode, summary, accesses, stats, raceFlag, false, false, false, false, false, 1, corpus, args)
+	return run(out, errOut, config{
+		mode: mode, summary: summary, accesses: accesses, stats: stats,
+		race: raceFlag, seed: 1, corpus: corpus, args: args,
+	})
 }
 
 func TestSummaryGoldenMultithreaded(t *testing.T) {
@@ -94,6 +103,12 @@ func TestParseErrorDiagnostic(t *testing.T) {
 	if out.Len() != 0 {
 		t.Errorf("parse failure wrote to stdout: %s", out.String())
 	}
+	if exitCode(err) != 1 {
+		t.Errorf("parse error exit code = %d, want 1", exitCode(err))
+	}
+	// The one-line form main prints is golden-pinned: position first, then
+	// the cause, nothing else.
+	checkGolden(t, "parse_error.golden", []byte(diagnostic(err)+"\n"))
 }
 
 func TestUsageError(t *testing.T) {
@@ -101,6 +116,9 @@ func TestUsageError(t *testing.T) {
 	err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "")
 	if err == nil || !strings.Contains(err.Error(), "usage:") {
 		t.Errorf("expected usage error, got %v", err)
+	}
+	if exitCode(err) != 1 {
+		t.Errorf("usage error exit code = %d, want 1", exitCode(err))
 	}
 }
 
@@ -114,13 +132,76 @@ func TestUnknownCorpusError(t *testing.T) {
 
 func TestDumpPFG(t *testing.T) {
 	var out, errOut bytes.Buffer
-	err := run(&out, &errOut, "mt", false, false, false, false, false, false, true, false, false, 1, "", []string{"testdata/simple.clk"})
+	err := run(&out, &errOut, config{mode: "mt", dumpPFG: true, seed: 1, args: []string{"testdata/simple.clk"}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"func main:", "parbegin", "thread-exit"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-dump-pfg output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestTimeoutExit checks the -timeout path end to end: an unmeetable
+// deadline must abort the analysis with an error that classifies as exit
+// code 3, and the failure must identify itself as a deadline, not a crash.
+func TestTimeoutExit(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(&out, &errOut, config{
+		mode: "mt", summary: true, seed: 1, corpus: "barnes", timeout: time.Nanosecond,
+	})
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timeout error does not unwrap to context.DeadlineExceeded: %v", err)
+	}
+	if exitCode(err) != 3 {
+		t.Errorf("timeout exit code = %d, want 3", exitCode(err))
+	}
+	if out.Len() != 0 {
+		t.Errorf("timed-out run wrote to stdout: %s", out.String())
+	}
+}
+
+// TestMaxStepsDegrades checks the -max-steps path: an absurdly small step
+// budget must not fail the run — the offending procedures degrade to the
+// flow-insensitive result and the CLI reports each degradation on stderr.
+func TestMaxStepsDegrades(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run(&out, &errOut, config{
+		mode: "mt", summary: true, seed: 1, corpus: "fib", maxSteps: 1,
+	})
+	if err != nil {
+		t.Fatalf("budgeted run failed instead of degrading: %v", err)
+	}
+	if !strings.Contains(errOut.String(), "degraded to flow-insensitive") {
+		t.Errorf("no degradation report on stderr:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "points-to graph at main's exit") {
+		t.Errorf("degraded run produced no summary:\n%s", out.String())
+	}
+}
+
+// TestExitCodeClassification pins the documented exit-code mapping.
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"usage", fmt.Errorf("usage: mtpa"), 1},
+		{"parse", &mtpa.ParseError{File: "x.clk", Stage: "parse", Err: fmt.Errorf("bad")}, 1},
+		{"analysis", &mtpa.AnalysisError{File: "x.clk", Err: fmt.Errorf("diverged")}, 2},
+		{"ice", &mtpa.ICEError{Msg: "boom"}, 2},
+		{"deadline", &mtpa.AnalysisError{File: "x.clk", Err: context.DeadlineExceeded}, 3},
+		{"cancel", fmt.Errorf("wrapped: %w", context.Canceled), 3},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
 		}
 	}
 }

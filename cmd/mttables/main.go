@@ -9,10 +9,20 @@
 //	mttables -table fig9   store histogram                (Figure 9)
 //	mttables -table fig10  analysis times                 (Figure 10)
 //	mttables -table cache  context-cache and call-memo statistics
+//	mttables -table budget solver-step and degradation counters
 //	mttables -table all    everything
+//
+// A per-program analysis failure does not abort the run: the failing
+// program is reported on stderr, the tables render the remaining
+// programs, and the exit code is nonzero. -timeout bounds the whole
+// corpus analysis (exit code 3 on expiry); -max-steps sets the
+// per-procedure solver budget, degrading offenders to the
+// flow-insensitive result (see -table budget).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,12 +36,27 @@ import (
 	"mtpa/internal/metrics"
 )
 
+// validTables is the closed set of -table arguments; anything else is a
+// usage error (an unknown name used to silently render nothing).
+var validTables = map[string]bool{
+	"1": true, "2": true, "3": true, "4": true,
+	"fig8": true, "fig9": true, "fig10": true,
+	"cache": true, "budget": true, "all": true,
+}
+
 func main() {
-	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, all")
+	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, all")
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
+	timeout := flag.Duration("timeout", 0, "cancel the corpus analysis after this duration (0 = no limit)")
+	maxSteps := flag.Int("max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the table generation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after table generation to this file")
 	flag.Parse()
+
+	if !validTables[*table] {
+		fmt.Fprintln(os.Stderr, "mttables:", unknownTableDiag(*table))
+		os.Exit(1)
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -39,15 +64,37 @@ func main() {
 		os.Exit(1)
 	}
 
-	runErr := run(os.Stdout, *table, *timingRuns)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runErr := run(ctx, os.Stdout, os.Stderr, *table, *timingRuns, *maxSteps)
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "mttables:", err)
 		os.Exit(1)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "mttables:", runErr)
-		os.Exit(1)
+		os.Exit(exitCode(runErr))
 	}
+}
+
+// unknownTableDiag is the one-line diagnostic for a -table name outside
+// validTables (golden-pinned: an unknown name used to silently render
+// nothing and exit 0).
+func unknownTableDiag(table string) string {
+	return fmt.Sprintf("unknown table %q (valid: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, all)", table)
+}
+
+// exitCode mirrors the mtpa CLI's classification: 3 for timeouts and
+// cancellation, 1 for everything else.
+func exitCode(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return 3
+	}
+	return 1
 }
 
 // startProfiles starts the requested pprof profiles and returns a function
@@ -95,27 +142,40 @@ type analysed struct {
 }
 
 // analyseCorpus runs both analysis modes over the whole corpus through the
-// parallel driver, fanning the 18 programs across GOMAXPROCS workers.
-func analyseCorpus() ([]analysed, error) {
+// parallel driver, fanning the 18 programs across GOMAXPROCS workers. A
+// program that fails in either mode is reported to errOut and dropped; the
+// survivors come back with a summary error describing the failures, so the
+// caller can still render tables before exiting nonzero.
+func analyseCorpus(ctx context.Context, errOut io.Writer, opts mtpa.Options) ([]analysed, error) {
 	progs, err := bench.Programs()
 	if err != nil {
 		return nil, err
 	}
-	mt, err := bench.AnalyzeAll(mtpa.Options{Mode: mtpa.Multithreaded}, 0)
+	mtOpts, seqOpts := opts, opts
+	mtOpts.Mode, seqOpts.Mode = mtpa.Multithreaded, mtpa.Sequential
+	mt, err := bench.AnalyzeAllContext(ctx, mtOpts, 0)
 	if err != nil {
 		return nil, err
 	}
-	seq, err := bench.AnalyzeAll(mtpa.Options{Mode: mtpa.Sequential}, 0)
+	seq, err := bench.AnalyzeAllContext(ctx, seqOpts, 0)
 	if err != nil {
 		return nil, err
 	}
 	var out []analysed
+	var failed int
+	var firstErr error
 	for i, p := range progs {
-		if mt[i].Err != nil {
-			return nil, mt[i].Err
+		perr := mt[i].Err
+		if perr == nil {
+			perr = seq[i].Err
 		}
-		if seq[i].Err != nil {
-			return nil, seq[i].Err
+		if perr != nil {
+			failed++
+			fmt.Fprintln(errOut, "mttables:", perr)
+			if firstErr == nil {
+				firstErr = perr
+			}
+			continue
 		}
 		out = append(out, analysed{
 			Program:  p,
@@ -123,13 +183,18 @@ func analyseCorpus() ([]analysed, error) {
 			MT: mt[i].Res, Seq: seq[i].Res,
 		})
 	}
+	if failed > 0 {
+		return out, fmt.Errorf("%d of %d corpus programs failed to analyse: %w", failed, len(progs), firstErr)
+	}
 	return out, nil
 }
 
-func run(out io.Writer, table string, timingRuns int) error {
-	all, err := analyseCorpus()
-	if err != nil {
-		return err
+func run(ctx context.Context, out, errOut io.Writer, table string, timingRuns, maxSteps int) error {
+	var opts mtpa.Options
+	opts.Budget.MaxSolverSteps = maxSteps
+	all, corpusErr := analyseCorpus(ctx, errOut, opts)
+	if len(all) == 0 {
+		return corpusErr
 	}
 
 	want := func(t string) bool { return table == "all" || table == t }
@@ -200,6 +265,14 @@ func run(out io.Writer, table string, timingRuns int) error {
 		fmt.Fprintln(out, metrics.RenderCacheStats(rows))
 	}
 
+	if want("budget") {
+		var rows []metrics.BudgetStats
+		for _, a := range all {
+			rows = append(rows, metrics.BudgetStatsOf(a.Name, a.MT))
+		}
+		fmt.Fprintln(out, metrics.RenderBudgetStats(rows))
+	}
+
 	if want("fig10") {
 		var rows []metrics.TimeRow
 		for _, a := range all {
@@ -211,7 +284,7 @@ func run(out io.Writer, table string, timingRuns int) error {
 		}
 		fmt.Fprintln(out, metrics.RenderTimes(rows))
 	}
-	return nil
+	return corpusErr
 }
 
 func timeAnalysis(p *mtpa.Program, mode mtpa.Mode, runs int) float64 {

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -38,8 +41,8 @@ func TestTableGoldens(t *testing.T) {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
 	for _, table := range []string{"1", "3"} {
-		var out bytes.Buffer
-		if err := run(&out, table, 1); err != nil {
+		var out, errOut bytes.Buffer
+		if err := run(context.Background(), &out, &errOut, table, 1, 0); err != nil {
 			t.Fatalf("table %s: %v", table, err)
 		}
 		checkGolden(t, "table"+table+".golden", out.Bytes())
@@ -54,8 +57,8 @@ func TestCacheTableSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
-	var out bytes.Buffer
-	if err := run(&out, "cache", 1); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), &out, &errOut, "cache", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
@@ -77,8 +80,8 @@ func TestTableFormattingStable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
-	var out bytes.Buffer
-	if err := run(&out, "3", 1); err != nil {
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), &out, &errOut, "3", 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
@@ -98,4 +101,71 @@ func TestTableFormattingStable(t *testing.T) {
 			t.Errorf("misaligned row %q (width %d, want %d)", r, len(r), len(rows[0]))
 		}
 	}
+}
+
+// TestValidTables pins the closed set of -table names: an unknown name
+// must be rejected in main (it used to silently render nothing and exit 0).
+func TestValidTables(t *testing.T) {
+	for _, name := range []string{"1", "2", "3", "4", "fig8", "fig9", "fig10", "cache", "budget", "all"} {
+		if !validTables[name] {
+			t.Errorf("table %q missing from validTables", name)
+		}
+	}
+	for _, name := range []string{"", "5", "fig11", "Table1", "cahce"} {
+		if validTables[name] {
+			t.Errorf("invalid table %q accepted", name)
+		}
+	}
+}
+
+// TestBudgetTableSmoke checks the budget/degradation table renders one row
+// per program; without a budget no context degrades, so every row reports
+// zero degradations.
+func TestBudgetTableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus table rendering is slow in -short mode")
+	}
+	var out, errOut bytes.Buffer
+	if err := run(context.Background(), &out, &errOut, "budget", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2+18 {
+		t.Fatalf("budget table has %d lines, want a title, a header and 18 rows", len(lines))
+	}
+	for _, r := range lines[2:] {
+		if !strings.HasSuffix(r, "0  -") {
+			t.Errorf("unbudgeted row reports a degradation: %q", r)
+		}
+	}
+}
+
+// TestTimeoutAbortsCorpus checks cancellation plumbing through the corpus
+// driver: an expired deadline fails every program, the failures are
+// reported per program on stderr, and the summary error classifies as a
+// timeout (exit code 3 in main).
+func TestTimeoutAbortsCorpus(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	var out, errOut bytes.Buffer
+	err := run(ctx, &out, &errOut, "3", 1, 0)
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("corpus timeout does not unwrap to context.DeadlineExceeded: %v", err)
+	}
+	if exitCode(err) != 3 {
+		t.Errorf("timeout exit code = %d, want 3", exitCode(err))
+	}
+	if !strings.Contains(errOut.String(), "mttables:") {
+		t.Errorf("no per-program failure reports on stderr:\n%s", errOut.String())
+	}
+}
+
+// TestUnknownTableDiagnostic golden-pins the one-line diagnostic main
+// prints (with the "mttables:" prefix) before exiting 1 on an unknown
+// -table name.
+func TestUnknownTableDiagnostic(t *testing.T) {
+	checkGolden(t, "unknown_table.golden", []byte(unknownTableDiag("bogus")+"\n"))
 }

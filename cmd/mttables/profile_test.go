@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -19,8 +20,8 @@ func TestProfileFlags(t *testing.T) {
 	if err != nil {
 		t.Fatalf("startProfiles: %v", err)
 	}
-	var out bytes.Buffer
-	runErr := run(&out, "3", 1)
+	var out, errOut bytes.Buffer
+	runErr := run(context.Background(), &out, &errOut, "3", 1, 0)
 	if err := stop(); err != nil {
 		t.Fatalf("stop profiles: %v", err)
 	}

@@ -1,8 +1,9 @@
 package mtpa_test
 
 import (
-	"strings"
+	"errors"
 	"testing"
+	"time"
 
 	"mtpa"
 	"mtpa/internal/bench"
@@ -10,9 +11,11 @@ import (
 
 // FuzzAnalyzeNoPanic feeds arbitrary source through the whole pipeline —
 // parse, check, lower, then both analysis modes with tight resource bounds
-// — and requires that it never panics: every malformed input must be
-// rejected with an error, and every accepted input must analyse (or fail)
-// cleanly.
+// — and requires that it never panics and never reports an internal error:
+// every malformed input must be rejected with a *ParseError, and every
+// accepted input must analyse (or fail) cleanly. An *ICEError anywhere is
+// a bug by definition, so it fails the fuzz run. CI runs this seeds-only
+// (go test -run FuzzAnalyzeNoPanic) plus a short -fuzz smoke.
 func FuzzAnalyzeNoPanic(f *testing.F) {
 	for _, name := range []string{"fib", "queens", "knary"} {
 		p, err := bench.Load(name)
@@ -32,16 +35,28 @@ func FuzzAnalyzeNoPanic(f *testing.F) {
 		}
 		prog, err := mtpa.Compile("fuzz.clk", src)
 		if err != nil {
-			if strings.Contains(err.Error(), "panic") {
-				t.Fatalf("compile reported a panic: %v", err)
+			var ice *mtpa.ICEError
+			if errors.As(err, &ice) {
+				t.Fatalf("compile reported an internal error: %v", err)
+			}
+			var pe *mtpa.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("compile rejected input with a %T, want *ParseError: %v", err, err)
 			}
 			return
 		}
 		for _, mode := range []mtpa.Mode{mtpa.Multithreaded, mtpa.Sequential} {
-			// Bounded rounds and contexts: divergent fixed points must
-			// surface as errors, never hangs or panics.
-			_, err := prog.Analyze(mtpa.Options{Mode: mode, MaxRounds: 50, MaxContexts: 2000})
-			_ = err
+			// Bounded rounds, contexts and budget: divergent fixed points
+			// must surface as errors or degrade, never hang or panic.
+			opts := mtpa.Options{Mode: mode, MaxRounds: 50, MaxContexts: 2000}
+			opts.Budget.MaxWallTime = 5 * time.Second
+			_, err := prog.Analyze(opts)
+			if err != nil {
+				var ice *mtpa.ICEError
+				if errors.As(err, &ice) {
+					t.Fatalf("%v analysis reported an internal error: %v", mode, err)
+				}
+			}
 		}
 	})
 }

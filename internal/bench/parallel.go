@@ -7,14 +7,19 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"mtpa"
+	"mtpa/internal/errs"
 )
 
-// CorpusResult is the analysis outcome of one corpus program.
+// CorpusResult is the analysis outcome of one corpus program. Err is
+// per-program: one failing, cancelled or panicking program never aborts
+// the sweep — the remaining programs still analyse, and callers decide how
+// to report the failure.
 type CorpusResult struct {
 	Name string
 	Prog *mtpa.Program
@@ -22,11 +27,26 @@ type CorpusResult struct {
 	Err  error
 }
 
+// Degraded reports whether the analysis completed but fell back to the
+// flow-insensitive result for at least one procedure context.
+func (r *CorpusResult) Degraded() bool {
+	return r.Res != nil && len(r.Res.Degraded) > 0
+}
+
 // AnalyzeAll compiles and analyses every corpus program with the given
 // options, fanning the work across workers goroutines (GOMAXPROCS when
 // workers <= 0). Results are returned in corpus order regardless of
 // completion order.
 func AnalyzeAll(opts mtpa.Options, workers int) ([]CorpusResult, error) {
+	return AnalyzeAllContext(context.Background(), opts, workers)
+}
+
+// AnalyzeAllContext is AnalyzeAll with cooperative cancellation: ctx is
+// passed to every per-program analysis, so cancelling it makes in-flight
+// analyses unwind promptly and not-yet-started programs fail immediately
+// with the context's error. The sweep itself always completes with
+// per-program results; only corpus loading can fail as a whole.
+func AnalyzeAllContext(ctx context.Context, opts mtpa.Options, workers int) ([]CorpusResult, error) {
 	progs, err := Programs()
 	if err != nil {
 		return nil, err
@@ -42,7 +62,7 @@ func AnalyzeAll(opts mtpa.Options, workers int) ([]CorpusResult, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = analyzeOne(progs[i], opts)
+				out[i] = analyzeOne(ctx, progs[i], opts)
 			}
 		}()
 	}
@@ -54,15 +74,23 @@ func AnalyzeAll(opts mtpa.Options, workers int) ([]CorpusResult, error) {
 	return out, nil
 }
 
-func analyzeOne(p Program, opts mtpa.Options) CorpusResult {
-	r := CorpusResult{Name: p.Name}
+// analyzeOne compiles and analyses one corpus program. It never panics:
+// a stray panic would take down the whole worker pool, so it is converted
+// to an *errs.ICEError and reported like any other per-program failure.
+func analyzeOne(ctx context.Context, p Program, opts mtpa.Options) (r CorpusResult) {
+	r.Name = p.Name
+	defer func() {
+		if v := recover(); v != nil {
+			r.Err = fmt.Errorf("analyze %s: %w", p.Name, errs.FromPanic(v))
+		}
+	}()
 	prog, err := mtpa.Compile(p.Name+".clk", p.Source)
 	if err != nil {
 		r.Err = fmt.Errorf("compile %s: %w", p.Name, err)
 		return r
 	}
 	r.Prog = prog
-	res, err := prog.Analyze(opts)
+	res, err := prog.AnalyzeContext(ctx, opts)
 	if err != nil {
 		r.Err = fmt.Errorf("analyze %s: %w", p.Name, err)
 		return r

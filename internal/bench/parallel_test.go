@@ -118,14 +118,18 @@ func TestGoldenCorpus(t *testing.T) {
 // TestShadowDifferential replays the analysis of the whole corpus with the
 // differential shadow seam enabled: every graph operation in every transfer
 // function is mirrored into the original map-based representation and
-// cross-checked node by node, panicking on the first divergence. This is
-// the strongest equivalence evidence between the two representations — it
-// covers every intermediate graph, not just the final results.
+// cross-checked node by node. Divergences are recorded, not panicked, so a
+// representation bug surfaces here as a test failure listing every
+// mismatch (operation, source, edge delta) — debuggable from CI logs.
+// This is the strongest equivalence evidence between the two
+// representations — it covers every intermediate graph, not just the
+// final results.
 func TestShadowDifferential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("shadow-mode corpus replay is slow in -short mode")
 	}
 	ptgraph.SetShadowMode(true)
+	ptgraph.ResetDivergences()
 	t.Cleanup(func() { ptgraph.SetShadowMode(false) })
 	for _, mode := range bothModes {
 		mode := mode
@@ -140,6 +144,14 @@ func TestShadowDifferential(t *testing.T) {
 				}
 				r.Res.MainOut.C.VerifyShadow()
 				r.Res.MainOut.E.VerifyShadow()
+			}
+			if divs, dropped := ptgraph.Divergences(); len(divs) > 0 {
+				for _, d := range divs {
+					t.Errorf("shadow divergence %s", d)
+				}
+				if dropped > 0 {
+					t.Errorf("(and %d more divergences dropped)", dropped)
+				}
 			}
 		})
 	}

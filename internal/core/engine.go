@@ -9,10 +9,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"mtpa/internal/errs"
+	"mtpa/internal/flowinsens"
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
 	"mtpa/internal/pfg"
@@ -80,6 +86,46 @@ type Options struct {
 	// and the differential soundness checks (memory-proportional to
 	// program points × contexts).
 	RecordPoints bool
+
+	// Budget bounds the resources one run may consume. Exceeding a budget
+	// does not fail the run: the offending procedure analysis degrades to
+	// the flow-insensitive result (see Degradation) and the run completes.
+	Budget Budget
+}
+
+// Budget bounds the resources of one analysis run. A zero field means
+// unbounded. Budgets degrade rather than fail: when one is exceeded, the
+// procedure analysis that tripped it falls back to the sound
+// flow-insensitive over-approximation of internal/flowinsens and the run
+// records a Degradation instead of returning an error. (Cancellation via
+// AnalyzeContext's ctx, by contrast, aborts the whole run with the
+// context's error.)
+type Budget struct {
+	// MaxSolverSteps bounds the worklist chain transfers of a single
+	// procedure-context analysis (each nested par-region solve counts
+	// against its enclosing procedure's budget; callee procedures get a
+	// fresh budget).
+	MaxSolverSteps int
+	// MaxGraphNodes bounds the global location-set table size.
+	MaxGraphNodes int
+	// MaxWallTime bounds the whole run's wall-clock time.
+	MaxWallTime time.Duration
+}
+
+// budgetError signals an exceeded resource budget inside a solve. It never
+// escapes the engine: analyzeContext converts it into a Degradation.
+type budgetError struct {
+	reason string
+}
+
+func (e *budgetError) Error() string { return "core: budget exceeded: " + e.reason }
+
+// Degradation records that one procedure-context analysis exceeded its
+// budget and fell back to the flow-insensitive result.
+type Degradation struct {
+	Proc   string // procedure name
+	Ctx    int    // analysis context id
+	Reason string // which budget tripped, e.g. "solver steps > 1000"
 }
 
 func (o *Options) maxRounds() int {
@@ -139,6 +185,7 @@ type ctxEntry struct {
 	doneRound   int
 	metricsDone bool
 	provisional bool // result was computed using an in-progress callee
+	degraded    bool // a budget excess degraded this context (recorded once)
 }
 
 // Analysis is a single analysis run over one program.
@@ -168,6 +215,20 @@ type Analysis struct {
 	changed   bool
 	metricsOn bool
 	metrics   *Metrics
+
+	// Cancellation and budgets. polling is true when a context or budget
+	// is attached; only then do solves install a dataflow poll (the
+	// default path stays bit-identical and overhead-free). totalSteps
+	// counts chain transfers across the run; degraded records every
+	// budget-tripped procedure context. The flow-insensitive fallback
+	// graph is computed at most once, on first degradation.
+	ctx        context.Context
+	deadline   time.Time // zero when Budget.MaxWallTime is unset
+	polling    bool
+	totalSteps atomic.Int64
+	degraded   []Degradation
+	fiOnce     sync.Once
+	fiGraph    *ptgraph.Graph
 
 	warnings     []string
 	warnedUnk    map[*ir.Instr]bool
@@ -205,6 +266,12 @@ type Result struct {
 	// (cache hits excluded) across all rounds and the metrics pass.
 	ProcAnalyses int
 
+	// Degraded lists every procedure context whose analysis exceeded a
+	// resource budget and fell back to the flow-insensitive result. Empty
+	// on an unbudgeted or within-budget run; when non-empty the result is
+	// still sound but less precise, and golden comparisons do not apply.
+	Degraded []Degradation
+
 	analysis *Analysis
 }
 
@@ -212,6 +279,18 @@ type Result struct {
 // pass that records per-context solver facts, from which the precision
 // measurements are derived.
 func Analyze(prog *ir.Program, opts Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), prog, opts)
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation: the worklist
+// solver, the par fixed point and the interprocedural recursion all poll
+// ctx and unwind promptly (typically within one chain transfer) when it is
+// cancelled, returning the context's error. Budget excesses, by contrast,
+// degrade the offending procedure instead of failing (see Budget). The
+// function never panics: internal invariant violations are converted to
+// *errs.ICEError by a recover shim.
+func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (res *Result, err error) {
+	defer errs.Recover(&err)
 	if prog.Main == nil {
 		return nil, fmt.Errorf("core: program has no main function")
 	}
@@ -232,12 +311,20 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 			a.hasPrivates = true
 		}
 	}
+	a.ctx = ctx
+	if opts.Budget.MaxWallTime > 0 {
+		a.deadline = time.Now().Add(opts.Budget.MaxWallTime)
+	}
+	a.polling = ctx.Done() != nil || opts.Budget != (Budget{})
 
 	rounds := 0
 	for {
 		rounds++
 		if rounds > a.opts.maxRounds() {
 			return nil, fmt.Errorf("core: recursion fixed point did not converge after %d rounds", a.opts.maxRounds())
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		a.round = rounds
 		a.changed = false
@@ -258,10 +345,14 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a.deriveMetrics()
+	if err := a.deriveMetrics(); err != nil {
+		return nil, err
+	}
 	a.metrics.NumContexts = len(a.ctxList)
 	a.metrics.CallMemoHits = a.memoHits
 	a.metrics.CallMemoMisses = a.memoMisses
+	a.metrics.SolverSteps = a.totalSteps.Load()
+	a.metrics.DegradedContexts = len(a.degraded)
 
 	return &Result{
 		Prog:         prog,
@@ -272,8 +363,69 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 		Rounds:       rounds,
 		MainOut:      out,
 		ProcAnalyses: a.procAnalyses,
+		Degraded:     a.degraded,
 		analysis:     a,
 	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation polling and budget degradation
+
+// poll is the dataflow.Solver poll hook, installed only when a context or
+// budget is attached (a.polling). It runs before every chain transfer —
+// also inside speculative par solves, which share the enclosing
+// procedure's step counter. Reading the location-set table size from a
+// speculation is safe for the same reason its probes are: the coordinator
+// mutates no shared state while speculations run.
+func (x *exec) poll() error {
+	a := x.a
+	if err := a.ctx.Err(); err != nil {
+		return err
+	}
+	a.totalSteps.Add(1)
+	b := &a.opts.Budget
+	if b.MaxSolverSteps > 0 && x.steps != nil && x.steps.Add(1) > int64(b.MaxSolverSteps) {
+		return &budgetError{reason: fmt.Sprintf("solver steps > %d", b.MaxSolverSteps)}
+	}
+	if b.MaxGraphNodes > 0 && a.tab.NumLocSets() > b.MaxGraphNodes {
+		return &budgetError{reason: fmt.Sprintf("location sets > %d", b.MaxGraphNodes)}
+	}
+	if !a.deadline.IsZero() && time.Now().After(a.deadline) {
+		return &budgetError{reason: fmt.Sprintf("wall time > %v", b.MaxWallTime)}
+	}
+	return nil
+}
+
+// degrade falls one procedure context back to the flow-insensitive result
+// after a budget excess: the Andersen-style graph of internal/flowinsens
+// is a tested over-approximation of every flow-sensitive points-to graph
+// the full analysis can compute (flowinsens is the soundness oracle of the
+// differential tests), so unioning it into the context's result keeps the
+// whole run sound while ending the runaway solve — the degraded result can
+// no longer grow, so the enclosing fixed points still terminate.
+func (a *Analysis) degrade(e *ctxEntry, be *budgetError) {
+	fi := a.flowinsensGraph()
+	grew := e.result.C.Union(fi)
+	if e.result.E.Union(fi) {
+		grew = true
+	}
+	if grew {
+		e.result.version++
+		a.changed = true
+	}
+	if !e.degraded {
+		e.degraded = true
+		a.degraded = append(a.degraded, Degradation{Proc: e.fn.Name, Ctx: e.id, Reason: be.reason})
+	}
+}
+
+// flowinsensGraph lazily computes the flow-insensitive fallback graph,
+// once per run.
+func (a *Analysis) flowinsensGraph() *ptgraph.Graph {
+	a.fiOnce.Do(func() {
+		a.fiGraph = flowinsens.Analyze(a.prog).Graph
+	})
+	return a.fiGraph
 }
 
 // InstrEvaluator applies single basic-statement transfer functions outside
@@ -422,9 +574,25 @@ func (x *exec) analyzeContext(e *ctxEntry) error {
 	}
 	a.procAnalyses++
 
+	if a.opts.Budget.MaxSolverSteps > 0 {
+		// Each procedure-context analysis gets a fresh step budget; the
+		// caller's counter resumes when this analysis (and everything it
+		// solves, including par regions) finishes.
+		saved := x.steps
+		x.steps = new(atomic.Int64)
+		defer func() { x.steps = saved }()
+	}
+
 	in := &Triple{C: e.Cp.Clone(), I: e.Ip.Clone(), E: ptgraph.New()}
 	out, err := x.solveBody(a.flow.FuncGraph(e.fn), in, e)
 	if err != nil {
+		var be *budgetError
+		if errors.As(err, &be) {
+			// Budget excess: degrade this procedure context to the sound
+			// flow-insensitive result and let the run continue.
+			a.degrade(e, be)
+			return nil
+		}
 		return err
 	}
 	grew := e.result.C.Union(out.C)

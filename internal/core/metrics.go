@@ -14,8 +14,10 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"mtpa/internal/errs"
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
 	"mtpa/internal/pfg"
@@ -106,6 +108,15 @@ type Metrics struct {
 	// analysis results never do.
 	CallMemoHits   int
 	CallMemoMisses int
+
+	// SolverSteps counts worklist chain transfers across the run. It is
+	// tracked only when a context or budget is attached (the default path
+	// runs poll-free) and, like the memo split, may vary with the
+	// speculation schedule.
+	SolverSteps int64
+	// DegradedContexts counts the procedure contexts that exceeded a
+	// budget and fell back to the flow-insensitive result.
+	DegradedContexts int
 }
 
 func newMetrics() *Metrics {
@@ -256,8 +267,9 @@ func (x *exec) replaySpec(buf *specBuf) {
 // (with RecordPoints) per-point triples, then drops the fact store. The
 // replay applies only straight-line transfer functions: call instructions
 // are isolated in their own vertices, whose after-state is the next
-// vertex's fact, so they are never re-executed.
-func (a *Analysis) deriveMetrics() {
+// vertex's fact, so they are never re-executed. A failing replay is an
+// internal invariant violation, reported as an *errs.ICEError.
+func (a *Analysis) deriveMetrics() error {
 	x := &exec{a: a}
 	// The replay can intern location sets the solve itself never
 	// materialised (a deref through an access-only fact's C graph), so it
@@ -319,12 +331,13 @@ func (a *Analysis) deriveMetrics() {
 				// materialised, which is why the fact iteration above is
 				// ordered.
 				if err := x.transferInstr(in, cur, nil); err != nil {
-					panic("core: replaying a straight-line instruction failed: " + err.Error())
+					return errs.ICE(fmt.Sprint(in.Pos), "replaying a straight-line instruction failed: %v", err)
 				}
 			}
 		}
 	}
 	a.metrics.facts = nil
+	return nil
 }
 
 // accessLocs computes the deref set a measured access touches, from the

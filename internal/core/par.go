@@ -225,7 +225,7 @@ func (x *exec) parIteration(region *pfg.ParRegion, t *Triple, ctx *ctxEntry, Es,
 					}
 				}
 			}()
-			sx := &exec{a: a, spec: &specState{}}
+			sx := &exec{a: a, spec: &specState{}, steps: x.steps}
 			out, err := sx.solveBody(region.Threads[i], ins[i], ctx)
 			r.out, r.err, r.buf = out, err, &sx.spec.buf
 		}(i)

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"mtpa/internal/dataflow"
 	"mtpa/internal/ir"
@@ -34,6 +35,13 @@ import (
 type exec struct {
 	a    *Analysis
 	spec *specState
+
+	// steps counts the chain transfers of the current procedure-context
+	// analysis against Options.Budget.MaxSolverSteps (nil when that budget
+	// is unset). analyzeContext swaps in a fresh counter per procedure;
+	// speculative executors share their coordinator's counter so par-region
+	// solves bill the enclosing procedure.
+	steps *atomic.Int64
 
 	// Call-site scratch: the reachability bitset and the graph builders
 	// of projection and expansion (reset at each use, retaining storage).
@@ -201,6 +209,9 @@ func (x *exec) solveBody(g *pfg.Graph, in *Triple, ctx *ctxEntry) (*Triple, erro
 	}
 	if x.a.metricsOn && ctx != nil {
 		s.Recorder = &factRecorder{x: x, ctx: ctx}
+	}
+	if x.a.polling {
+		s.Poll = x.poll
 	}
 	return s.Run(in)
 }

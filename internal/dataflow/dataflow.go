@@ -112,6 +112,13 @@ type Solver[F any] struct {
 	// Recorder, when non-nil, observes per-vertex facts during chain
 	// transfer.
 	Recorder Recorder[F]
+	// Poll, when non-nil, runs before every chain transfer; a non-nil
+	// return aborts the solve with that error. It is the cooperative
+	// cancellation and resource-budget seam: the core analysis points it
+	// at a closure that checks the run's context and budgets, so a hung
+	// or oversized solve unwinds at the next chain pop instead of
+	// spinning to completion.
+	Poll func() error
 
 	// Per-chain state, indexed by pfg.Vertex.ChainIndex.
 	ins    []F
@@ -185,6 +192,12 @@ func (s *Solver[F]) Run(entryIn F) (F, error) {
 		queued[hi] = false
 		if !s.hasIn[hi] {
 			continue
+		}
+		if s.Poll != nil {
+			if err := s.Poll(); err != nil {
+				var zero F
+				return zero, err
+			}
 		}
 		nin := s.ins[hi]
 		if s.MaxVisits > 0 {

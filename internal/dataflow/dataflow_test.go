@@ -1,6 +1,7 @@
 package dataflow_test
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -199,5 +200,44 @@ int main() {
 	// is never returned and an unreachable exit yields Bottom.
 	if out == nil {
 		t.Fatal("Run returned a nil fact")
+	}
+}
+
+// TestPollStopsSolve checks the cooperative cancellation seam: a Poll hook
+// that reports an error makes Run stop promptly and return that error, and
+// a solve without Poll is unaffected.
+func TestPollStopsSolve(t *testing.T) {
+	g := buildGraph(t, branchy)
+
+	polls := 0
+	wantErr := errors.New("stop the solve")
+	s := &dataflow.Solver[map[int]bool]{
+		Graph: g, Prob: reachProblem{}, Schedule: dataflow.FIFO,
+		Poll: func() error {
+			polls++
+			if polls > 2 {
+				return wantErr
+			}
+			return nil
+		},
+	}
+	if _, err := s.Run(map[int]bool{}); !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v, want %v", err, wantErr)
+	}
+	if polls != 3 {
+		t.Errorf("solve continued past the failing poll: %d polls", polls)
+	}
+
+	// The same solve with a never-failing poll reaches the fixed point.
+	ok := &dataflow.Solver[map[int]bool]{
+		Graph: g, Prob: reachProblem{}, Schedule: dataflow.FIFO,
+		Poll: func() error { return nil },
+	}
+	out, err := ok.Run(map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("polled solve produced an empty exit fact")
 	}
 }

@@ -1,0 +1,129 @@
+// Package errs defines the failure taxonomy of the analysis stack and the
+// recover shim that seals the public API against panics.
+//
+// Three error kinds cross the mtpa boundary:
+//
+//   - ParseError: the input program is malformed (syntax or semantic
+//     diagnostics with source positions). The caller's input is at fault.
+//   - AnalysisError: the input compiled but the analysis could not finish
+//     (divergent fixed point, context explosion, cancellation). The input
+//     may be adversarial, but it is well-formed.
+//   - ICEError: an internal invariant was violated — a bug in the analyzer,
+//     never the caller's fault. Invariant sites raise it as a panic payload
+//     (panic(errs.ICE(...))); the Recover shim at the API boundary converts
+//     it, and any other stray panic, into an ordinary error carrying the
+//     goroutine stack.
+//
+// The package sits below every analysis package (it imports only the
+// standard library), so parser, sem, ir, pfg, locset, ptgraph, core and
+// interp can all raise typed failures without import cycles.
+package errs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// ParseError reports that the input program is malformed. Diags holds one
+// line per diagnostic in "file:line:col: message" form; Err is the
+// underlying diagnostic list (a parser or sem ErrorList) for unwrapping.
+type ParseError struct {
+	File  string
+	Stage string   // "parse", "check" or "lower"
+	Diags []string // one per diagnostic: "file:line:col: message"
+	Err   error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s %s: %v", e.Stage, e.File, e.Err) }
+
+// Unwrap exposes the underlying diagnostic list to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Diagnostic returns the first diagnostic line ("file:line:col: message"),
+// the one-line form command-line tools print before exiting.
+func (e *ParseError) Diagnostic() string {
+	if len(e.Diags) > 0 {
+		if len(e.Diags) > 1 {
+			return fmt.Sprintf("%s (and %d more errors)", e.Diags[0], len(e.Diags)-1)
+		}
+		return e.Diags[0]
+	}
+	return e.Error()
+}
+
+// AnalysisError reports that a well-formed program could not be analysed
+// to completion: the fixed point diverged past its bounds, the context
+// limit was hit, or the run was cancelled. Err carries the cause and is
+// exposed to errors.Is/As (so errors.Is(err, context.Canceled) works
+// through the wrapper).
+type AnalysisError struct {
+	File string // best-effort; empty when the engine does not know it
+	Err  error
+}
+
+func (e *AnalysisError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("analyze %s: %v", e.File, e.Err)
+	}
+	return fmt.Sprintf("analyze: %v", e.Err)
+}
+
+func (e *AnalysisError) Unwrap() error { return e.Err }
+
+// ICEError is an internal invariant violation ("internal compiler error"):
+// a condition the analyzer believes unreachable. Pos carries the program
+// point when the raising site knows one; Stack is the goroutine stack
+// attached by the Recover shim.
+type ICEError struct {
+	Pos   string // "file:line:col" when known, else empty
+	Msg   string
+	Value any    // recovered panic value for panics not raised via ICE
+	Stack []byte // attached by Recover at the API boundary
+}
+
+func (e *ICEError) Error() string {
+	msg := e.Msg
+	if msg == "" {
+		msg = fmt.Sprint(e.Value)
+	}
+	if e.Pos != "" {
+		return fmt.Sprintf("internal error (ICE) at %s: %s", e.Pos, msg)
+	}
+	return fmt.Sprintf("internal error (ICE): %s", msg)
+}
+
+// ICE builds an ICEError panic payload for an invariant site. pos may be
+// empty when the site has no program point (pass the position first so the
+// call reads like errorf).
+func ICE(pos, format string, args ...any) *ICEError {
+	return &ICEError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// FromPanic converts a recovered panic value into an *ICEError, attaching
+// the goroutine stack when absent. Panics that are already *ICEError keep
+// their position and message. Deferred closures that must call recover()
+// themselves (recover only works directly inside the deferred function)
+// use it; Recover wraps it for the common boundary-shim case.
+func FromPanic(v any) *ICEError {
+	ice, ok := v.(*ICEError)
+	if !ok {
+		ice = &ICEError{Value: v}
+	}
+	if ice.Stack == nil {
+		ice.Stack = debug.Stack()
+	}
+	return ice
+}
+
+// Recover is the single panic-to-error shim of the public API: deferred at
+// each boundary function, it converts an in-flight panic into an *ICEError
+// stored in *errp, attaching the goroutine stack. Panics that are already
+// *ICEError keep their position and message. It never overwrites an error
+// the function set itself unless a panic is actually in flight.
+func Recover(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	*errp = FromPanic(r)
+}

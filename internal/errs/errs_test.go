@@ -1,0 +1,84 @@
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseErrorDiagnostic(t *testing.T) {
+	e := &ParseError{
+		File:  "x.clk",
+		Stage: "parse",
+		Diags: []string{"x.clk:3:1: expected ;", "x.clk:4:2: expected }"},
+		Err:   errors.New("x.clk:3:1: expected ; (and 1 more errors)"),
+	}
+	if got := e.Diagnostic(); got != "x.clk:3:1: expected ; (and 1 more errors)" {
+		t.Errorf("Diagnostic() = %q", got)
+	}
+	if !strings.Contains(e.Error(), "parse x.clk") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	single := &ParseError{File: "x.clk", Stage: "parse", Diags: []string{"x.clk:1:1: bad"}}
+	if got := single.Diagnostic(); got != "x.clk:1:1: bad" {
+		t.Errorf("Diagnostic() = %q", got)
+	}
+}
+
+func TestAnalysisErrorUnwrap(t *testing.T) {
+	cause := errors.New("context limit exceeded")
+	e := &AnalysisError{File: "x.clk", Err: cause}
+	if !errors.Is(e, cause) {
+		t.Error("AnalysisError must unwrap to its cause")
+	}
+	if !strings.Contains(e.Error(), "analyze x.clk") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestICECarriesPosition(t *testing.T) {
+	e := ICE("x.clk:7:3", "unknown statement %T", struct{}{})
+	if !strings.Contains(e.Error(), "x.clk:7:3") || !strings.Contains(e.Error(), "ICE") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestRecoverConvertsPanics(t *testing.T) {
+	run := func(f func()) (err error) {
+		defer Recover(&err)
+		f()
+		return nil
+	}
+
+	if err := run(func() {}); err != nil {
+		t.Errorf("no panic: err = %v", err)
+	}
+
+	err := run(func() { panic("boom") })
+	var ice *ICEError
+	if !errors.As(err, &ice) {
+		t.Fatalf("expected *ICEError, got %T", err)
+	}
+	if ice.Value != "boom" || len(ice.Stack) == 0 {
+		t.Errorf("ICE = %+v", ice)
+	}
+
+	err = run(func() { panic(ICE("f.clk:1:1", "bad invariant")) })
+	if !errors.As(err, &ice) {
+		t.Fatalf("expected *ICEError, got %T", err)
+	}
+	if ice.Pos != "f.clk:1:1" || ice.Msg != "bad invariant" || len(ice.Stack) == 0 {
+		t.Errorf("ICE = %+v", ice)
+	}
+}
+
+func TestRecoverKeepsFunctionError(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(&err)
+		return fmt.Errorf("ordinary failure")
+	}
+	if err := f(); err == nil || err.Error() != "ordinary failure" {
+		t.Errorf("err = %v", err)
+	}
+}

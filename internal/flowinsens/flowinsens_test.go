@@ -1,19 +1,20 @@
-package flowinsens
+package flowinsens_test
 
 import (
 	"testing"
 
 	"mtpa"
+	"mtpa/internal/flowinsens"
 	"mtpa/internal/locset"
 )
 
-func analyzeSrc(t *testing.T, src string) (*mtpa.Program, *Result) {
+func analyzeSrc(t *testing.T, src string) (*mtpa.Program, *flowinsens.Result) {
 	t.Helper()
 	prog, err := mtpa.Compile("fi.clk", src)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	return prog, Analyze(prog.IR)
+	return prog, flowinsens.Analyze(prog.IR)
 }
 
 func locOf(t *testing.T, prog *mtpa.Program, name string) locset.ID {

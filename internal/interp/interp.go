@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"mtpa/internal/ast"
+	"mtpa/internal/errs"
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
 	"mtpa/internal/types"
@@ -131,8 +132,13 @@ func New(prog *ir.Program, out io.Writer, seed int64) *Machine {
 	}
 }
 
-// Run executes main and returns its exit value.
-func (m *Machine) Run() (int, error) {
+// Run executes main and returns its exit value. It never panics: MiniCilk
+// runtime errors come back as ordinary errors, and an internal invariant
+// violation anywhere in the interpreter — on the scheduler goroutine or a
+// thread goroutine — is converted to an *errs.ICEError with the goroutine
+// stack attached.
+func (m *Machine) Run() (code int, err error) {
+	defer errs.Recover(&err)
 	if m.prog.Main == nil {
 		return 0, fmt.Errorf("interp: no main function")
 	}
@@ -157,8 +163,11 @@ func (m *Machine) Run() (int, error) {
 		case exitSignal:
 			m.exitCode = r.code
 		default:
+			// A panic that is neither a MiniCilk runtime error nor a
+			// control-flow signal is an interpreter bug; onFail runs inside
+			// the panicking goroutine's recover, so the stack is its.
 			if m.err == nil {
-				m.err = fmt.Errorf("interp: internal panic: %v", r)
+				m.err = errs.FromPanic(r)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"mtpa/internal/ast"
+	"mtpa/internal/errs"
 	"mtpa/internal/locset"
 	"mtpa/internal/sem"
 	"mtpa/internal/token"
@@ -167,7 +168,7 @@ func (lo *lowerer) lowerExpr(e ast.Expr) {
 		lo.lowerExpr(e.Cond)
 		lo.diamond(func() { lo.lowerExpr(e.Then) }, func() { lo.lowerExpr(e.Else) })
 	default:
-		panic(fmt.Sprintf("ir: unknown expression %T", e))
+		panic(errs.ICE(e.Pos().String(), "ir: unknown expression %T", e))
 	}
 }
 

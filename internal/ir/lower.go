@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"mtpa/internal/ast"
+	"mtpa/internal/errs"
 	"mtpa/internal/locset"
 	"mtpa/internal/sem"
 	"mtpa/internal/token"
@@ -650,7 +651,7 @@ func (lo *lowerer) lowerStmt(s ast.Stmt) {
 	case *ast.SyncStmt:
 		// A sync with no preceding spawns in this list: no-op.
 	default:
-		panic(fmt.Sprintf("ir: unknown statement %T", s))
+		panic(errs.ICE(s.Pos().String(), "ir: unknown statement %T", s))
 	}
 }
 

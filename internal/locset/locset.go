@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"mtpa/internal/ast"
+	"mtpa/internal/errs"
 	"mtpa/internal/types"
 )
 
@@ -161,7 +162,7 @@ func NewTable() *Table {
 	unkBlock := t.newBlock(KindUnk, "unk")
 	id := t.Intern(unkBlock, 0, 0, true)
 	if id != UnkID {
-		panic("locset: unk must be ID 0")
+		panic(errs.ICE("", "locset: unk must be ID 0, got %d", id))
 	}
 	return t
 }
@@ -292,7 +293,7 @@ func (t *Table) SymBlock(sym *ast.Symbol) *Block {
 		kind = KindParam
 		name = sym.Owner.Name + "." + sym.Name
 	default:
-		panic("locset: SymBlock on function symbol")
+		panic(errs.ICE("", "locset: SymBlock on function symbol %s", sym.Name))
 	}
 	b := t.newBlock(kind, name)
 	b.Type = sym.Type

@@ -268,3 +268,30 @@ func (c CacheStats) HitRate() float64 {
 	}
 	return float64(c.MemoHits) / float64(c.MemoHits+c.MemoMisses)
 }
+
+// BudgetStats summarises the robustness counters of one analysis run:
+// total worklist chain transfers (tracked only when a context or budget is
+// attached to the run) and the procedure contexts that exceeded a resource
+// budget and degraded to the flow-insensitive result. Like the memo split,
+// the step count can vary with the speculation schedule, so these numbers
+// are reported, not golden-pinned.
+type BudgetStats struct {
+	Name        string
+	SolverSteps int64
+	Degraded    int
+	Reasons     []string // "proc: reason" per degraded context
+}
+
+// BudgetStatsOf extracts the budget/degradation counters from an analysis
+// result.
+func BudgetStatsOf(name string, res *core.Result) BudgetStats {
+	b := BudgetStats{
+		Name:        name,
+		SolverSteps: res.Metrics.SolverSteps,
+		Degraded:    res.Metrics.DegradedContexts,
+	}
+	for _, d := range res.Degraded {
+		b.Reasons = append(b.Reasons, d.Proc+": "+d.Reason)
+	}
+	return b
+}

@@ -175,3 +175,19 @@ func RenderTimes(rows []TimeRow) string {
 	}
 	return sb.String()
 }
+
+// RenderBudgetStats renders the budget/degradation counters (not a table
+// of the paper; it reports the robustness machinery of the implementation).
+func RenderBudgetStats(rows []BudgetStats) string {
+	var sb strings.Builder
+	sb.WriteString("Budget and degradation statistics\n")
+	fmt.Fprintf(&sb, "%-10s %12s %10s  %s\n", "Program", "SolverSteps", "Degraded", "Reasons")
+	for _, r := range rows {
+		reasons := strings.Join(r.Reasons, "; ")
+		if reasons == "" {
+			reasons = "-"
+		}
+		fmt.Fprintf(&sb, "%-10s %12d %10d  %s\n", r.Name, r.SolverSteps, r.Degraded, reasons)
+	}
+	return sb.String()
+}

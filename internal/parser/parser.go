@@ -51,15 +51,29 @@ type Parser struct {
 
 // Parse parses the given MiniCilk source and returns the program. If any
 // syntax errors occur, the (possibly partial) program is returned together
-// with a non-nil ErrorList.
-func Parse(file, src string) (*ast.Program, error) {
+// with a non-nil ErrorList. Parse never panics on any input: the internal
+// bailout recovery points cover every error path, and a stray escape would
+// be a parser bug, converted to an error by a defensive top-level recover.
+func Parse(file, src string) (prog *ast.Program, err error) {
 	lx := lexer.New(file, src)
 	toks := lx.All()
 	p := &Parser{toks: toks, structs: map[string]*types.Type{}, file: file}
 	for _, le := range lx.Errors() {
 		p.errors = append(p.errors, &Error{Pos: le.Pos, Msg: le.Msg})
 	}
-	prog := p.parseProgram()
+	defer func() {
+		if r := recover(); r != nil {
+			// A bailout escaping parseProgram (or any other panic) means a
+			// recovery point is missing — report it rather than crash the
+			// caller, keeping whatever diagnostics were collected.
+			if _, isBailout := r.(bailout); !isBailout {
+				panic(r) // not ours: ICE payloads unwind to the API boundary
+			}
+			p.errors = append(p.errors, &Error{Pos: p.tok().Pos, Msg: "parser bailed out"})
+			prog, err = nil, p.errors
+		}
+	}()
+	prog = p.parseProgram()
 	if len(p.errors) > 0 {
 		return prog, p.errors
 	}

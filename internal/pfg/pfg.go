@@ -39,6 +39,7 @@ package pfg
 import (
 	"fmt"
 
+	"mtpa/internal/errs"
 	"mtpa/internal/ir"
 )
 
@@ -371,5 +372,5 @@ func (p *Program) buildChain(g *Graph, b *ir.Body, n *ir.Node, thread bool) *Ver
 		}
 		return begin
 	}
-	panic(fmt.Sprintf("pfg: unknown node kind %d", n.Kind))
+	panic(errs.ICE("", "pfg: unknown node kind %d", n.Kind))
 }

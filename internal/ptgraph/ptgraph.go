@@ -17,6 +17,7 @@ import (
 	"slices"
 	"strings"
 
+	"mtpa/internal/errs"
 	"mtpa/internal/locset"
 	"mtpa/internal/ptgraph/mapref"
 )
@@ -274,7 +275,7 @@ func (g *Graph) Clone() *Graph {
 // race-free; the returned copy is independently mutable as usual.
 func (g *Graph) CloneShared() *Graph {
 	if !g.shared && g.succ != nil {
-		panic("ptgraph: CloneShared on an unshared graph")
+		panic(errs.ICE("", "ptgraph: CloneShared on an unshared graph"))
 	}
 	c := &Graph{succ: g.succ, count: g.count, hash: g.hash, shared: true}
 	if g.shadow != nil {

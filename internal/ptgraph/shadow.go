@@ -1,17 +1,19 @@
 // The differential shadow seam. With shadow mode enabled, every Graph
 // created by New carries a mapref.Graph — the original mutable, map-based
 // representation — and every mutating operation is mirrored into it and
-// cross-checked. Any divergence between the hash-consed copy-on-write
-// representation and the reference panics immediately, with the offending
-// source's successor sets in the message. The corpus differential test
-// enables shadow mode and replays the entire analysis of all 18 benchmark
-// programs, which verifies every points-to graph at every node, context and
-// par fixed-point round against the reference, node by node.
+// cross-checked. Divergences between the hash-consed copy-on-write
+// representation and the reference are *recorded*, not panicked: the
+// corpus differential test replays the entire analysis of all 18 benchmark
+// programs with shadow mode on and then reports every recorded divergence
+// (operation, source, edge delta) through its failure message, so a
+// representation bug is debuggable from CI logs instead of aborting the
+// replay at the first mismatch.
 
 package ptgraph
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"mtpa/internal/locset"
@@ -23,7 +25,7 @@ var shadowMode atomic.Bool
 // SetShadowMode switches differential shadow verification on or off for
 // graphs created afterwards. It is a test seam: enabling it makes every
 // graph operation mirror into the original map-based representation and
-// panic on divergence. Not for production use.
+// record any divergence (see Divergences). Not for production use.
 func SetShadowMode(on bool) { shadowMode.Store(on) }
 
 // ShadowMode reports whether shadow verification is enabled.
@@ -31,23 +33,81 @@ func ShadowMode() bool { return shadowMode.Load() }
 
 func shadowEnabled() bool { return shadowMode.Load() }
 
+// Divergence is one recorded mismatch between the hash-consed graph and
+// the map-based reference representation.
+type Divergence struct {
+	Op     string    // the operation after which the mismatch was observed
+	Src    locset.ID // the offending source (negative when not per-source)
+	Detail string    // human-readable edge/count/hash delta
+}
+
+func (d Divergence) String() string {
+	if d.Src >= 0 {
+		return fmt.Sprintf("after %s: src %d: %s", d.Op, d.Src, d.Detail)
+	}
+	return fmt.Sprintf("after %s: %s", d.Op, d.Detail)
+}
+
+// maxDivergences bounds the recorded log: a systematic representation bug
+// diverges on nearly every operation, and the first hundred reports
+// already pinpoint it.
+const maxDivergences = 100
+
+var (
+	divMu      sync.Mutex
+	divLog     []Divergence
+	divDropped int
+)
+
+// recordDivergence appends one divergence to the bounded package log.
+// Shadow-mode graphs are also exercised from the concurrent speculative
+// par solves, hence the mutex.
+func recordDivergence(op string, src locset.ID, format string, args ...any) {
+	divMu.Lock()
+	defer divMu.Unlock()
+	if len(divLog) >= maxDivergences {
+		divDropped++
+		return
+	}
+	divLog = append(divLog, Divergence{Op: op, Src: src, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Divergences returns a copy of the divergences recorded since the last
+// ResetDivergences, and how many further ones were dropped after the log
+// filled up. Differential tests call it after a shadow-mode replay and
+// fail with the returned diffs.
+func Divergences() (recorded []Divergence, dropped int) {
+	divMu.Lock()
+	defer divMu.Unlock()
+	return append([]Divergence(nil), divLog...), divDropped
+}
+
+// ResetDivergences clears the divergence log.
+func ResetDivergences() {
+	divMu.Lock()
+	defer divMu.Unlock()
+	divLog, divDropped = nil, 0
+}
+
 // checkSrc verifies that src's successor set matches the reference.
 func (g *Graph) checkSrc(op string, src locset.ID) {
 	got := g.succ[src].IDs()
 	want := g.shadow.Succs(src).Sorted()
 	if len(got) != len(want) {
-		panic(fmt.Sprintf("ptgraph shadow divergence after %s: src %d has %v, reference has %v", op, src, got, want))
+		recordDivergence(op, src, "graph has %v, reference has %v", got, want)
+		return
 	}
 	for i := range got {
 		if got[i] != want[i] {
-			panic(fmt.Sprintf("ptgraph shadow divergence after %s: src %d has %v, reference has %v", op, src, got, want))
+			recordDivergence(op, src, "graph has %v, reference has %v", got, want)
+			return
 		}
 	}
 }
 
 func (g *Graph) checkCount(op string) {
 	if g.count != g.shadow.Len() {
-		panic(fmt.Sprintf("ptgraph shadow divergence after %s: %d edges, reference has %d", op, g.count, g.shadow.Len()))
+		recordDivergence(op, -1, "%d edges, reference has %d", g.count, g.shadow.Len())
 	}
 }
 
@@ -66,7 +126,7 @@ func (g *Graph) VerifyShadow() {
 func (g *Graph) shadowCheck(op string) {
 	g.checkCount(op)
 	if len(g.succ) != len(g.shadow.Sources()) {
-		panic(fmt.Sprintf("ptgraph shadow divergence after %s: %d sources, reference has %d", op, len(g.succ), len(g.shadow.Sources())))
+		recordDivergence(op, -1, "%d sources, reference has %d", len(g.succ), len(g.shadow.Sources()))
 	}
 	var h uint64
 	for src, dsts := range g.succ {
@@ -74,13 +134,13 @@ func (g *Graph) shadowCheck(op string) {
 		h ^= contrib(src, dsts)
 	}
 	if h != g.hash {
-		panic(fmt.Sprintf("ptgraph shadow divergence after %s: incremental hash %x, recomputed %x", op, g.hash, h))
+		recordDivergence(op, -1, "incremental hash %x, recomputed %x", g.hash, h)
 	}
 }
 
 func (g *Graph) shadowAdd(src, dst locset.ID) {
 	if !g.shadow.Add(src, dst) {
-		panic(fmt.Sprintf("ptgraph shadow divergence: Add(%d,%d) changed the graph but not the reference", src, dst))
+		recordDivergence("Add", src, "Add(%d,%d) changed the graph but not the reference", src, dst)
 	}
 	g.checkSrc("Add", src)
 	g.checkCount("Add")
@@ -105,7 +165,7 @@ func (g *Graph) shadowReplace(src locset.ID, dsts Set) {
 
 func (g *Graph) shadowKillSrc(src locset.ID) {
 	if !g.shadow.Kill(mapref.NewSet(src)) {
-		panic(fmt.Sprintf("ptgraph shadow divergence: KillSrc(%d) changed the graph but not the reference", src))
+		recordDivergence("KillSrc", src, "KillSrc(%d) changed the graph but not the reference", src)
 	}
 	g.checkSrc("KillSrc", src)
 	g.checkCount("KillSrc")

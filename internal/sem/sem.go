@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"mtpa/internal/ast"
+	"mtpa/internal/errs"
 	"mtpa/internal/token"
 	"mtpa/internal/types"
 )
@@ -336,7 +337,7 @@ func (c *checker) checkStmt(s ast.Stmt) {
 		}
 	case *ast.EmptyStmt:
 	default:
-		panic(fmt.Sprintf("sem: unknown statement %T", s))
+		panic(errs.ICE(s.Pos().String(), "sem: unknown statement %T", s))
 	}
 }
 
@@ -469,7 +470,7 @@ func (c *checker) checkExprNoDecay(e ast.Expr) *types.Type {
 			}
 			return setType(e, types.IntType)
 		}
-		panic("sem: bad unary op")
+		panic(errs.ICE(e.OpPos.String(), "sem: bad unary op %s", e.Op))
 	case *ast.BinaryExpr:
 		xt := c.checkExpr(e.X)
 		yt := c.checkExpr(e.Y)
@@ -587,7 +588,7 @@ func (c *checker) checkExprNoDecay(e ast.Expr) *types.Type {
 		}
 		return setType(e, types.PointerTo(e.SiteType))
 	}
-	panic(fmt.Sprintf("sem: unknown expression %T", e))
+	panic(errs.ICE(e.Pos().String(), "sem: unknown expression %T", e))
 }
 
 // maybeInferAllocType gives "p = malloc(n)" an element type from p when the

@@ -277,3 +277,97 @@ int main() { return f(a + b); }
 		}
 	}
 }
+
+// TestDiagnosticPositions is the table-driven error-path check the CLI
+// diagnostics rely on: each malformed program must produce a hard error
+// whose rendered form carries both the exact file:line:col position of the
+// offending token and the cause. The positions are what "mtpa bad.clk"
+// prints before exiting 1, so they are pinned here, not just the messages.
+func TestDiagnosticPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		pos  string // "file:line:col" of the diagnostic
+		frag string // substring of the message
+	}{
+		{
+			name: "undefined variable",
+			src:  "int main() { return zz; }",
+			pos:  "t.clk:1:21",
+			frag: "undefined: zz",
+		},
+		{
+			name: "int to pointer",
+			src:  "int *p;\nint main() {\n  p = 42;\n  return 0;\n}",
+			pos:  "t.clk:3:5",
+			frag: "int-to-pointer",
+		},
+		{
+			name: "deref non-pointer",
+			src:  "int main() {\n  int x;\n  return *x;\n}",
+			pos:  "t.clk:3:10",
+			frag: "dereference",
+		},
+		{
+			name: "unknown field",
+			src:  "struct s { int a; };\nint main() {\n  struct s v;\n  return v.b;\n}",
+			pos:  "t.clk:4:11",
+			frag: "no field",
+		},
+		{
+			name: "call arity",
+			src:  "int f(int a, int b) { return a + b; }\nint main() {\n  return f(1);\n}",
+			pos:  "t.clk:3:11",
+			frag: "arguments",
+		},
+		{
+			name: "undefined function",
+			src:  "int main() {\n  return zoop();\n}",
+			pos:  "t.clk:2:10",
+			frag: "undefined function",
+		},
+		{
+			name: "spawn of undefined function",
+			src:  "cilk int work(int n) { return n; }\nint main() {\n  int r;\n  r = spawn zork(3);\n  sync;\n  return r;\n}",
+			pos:  "t.clk:4:13",
+			frag: "undefined function",
+		},
+		{
+			name: "spawn result type mismatch",
+			src:  "cilk int work() { return 1; }\nint main() {\n  int *p;\n  p = spawn work();\n  sync;\n  return 0;\n}",
+			pos:  "t.clk:4:7",
+			frag: "int-to-pointer",
+		},
+		{
+			name: "break outside loop",
+			src:  "int main() {\n  break;\n  return 0;\n}",
+			pos:  "t.clk:2:3",
+			frag: "break",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, diags := check(t, c.src)
+			hard := diags.HardErrors()
+			if len(hard) == 0 {
+				t.Fatalf("no hard errors for %q", c.src)
+			}
+			found := false
+			for _, d := range hard {
+				if strings.Contains(d.Msg, c.frag) {
+					found = true
+					if got := d.Pos.String(); got != c.pos {
+						t.Errorf("diagnostic %q at %s, want %s", d.Msg, got, c.pos)
+					}
+					rendered := d.Error()
+					if !strings.HasPrefix(rendered, c.pos+": error:") {
+						t.Errorf("rendered diagnostic %q does not lead with %q", rendered, c.pos+": error:")
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no diagnostic containing %q; got %v", c.frag, hard)
+			}
+		})
+	}
+}

@@ -25,10 +25,12 @@
 package mtpa
 
 import (
-	"fmt"
+	"context"
+	"errors"
 
 	"mtpa/internal/ast"
 	"mtpa/internal/core"
+	"mtpa/internal/errs"
 	"mtpa/internal/ir"
 	"mtpa/internal/locset"
 	"mtpa/internal/parser"
@@ -51,14 +53,43 @@ const (
 // documentation.
 type Options = core.Options
 
+// Budget bounds the resources of one analysis run; exceeding it degrades
+// the offending procedure to the flow-insensitive result instead of
+// failing. See core.Budget.
+type Budget = core.Budget
+
+// Degradation records one budget-tripped procedure context. See
+// core.Degradation.
+type Degradation = core.Degradation
+
 // Result is a completed analysis. See core.Result.
 type Result = core.Result
+
+// The failure taxonomy of the public API. Compile and Analyze never
+// panic; every failure is one of these three (or a context error from
+// AnalyzeContext):
+//
+//   - *ParseError: the input program is malformed (syntax, semantic or
+//     lowering diagnostics with source positions);
+//   - *AnalysisError: the input compiled but the analysis could not finish
+//     (divergence, context explosion, cancellation — unwraps to the cause,
+//     so errors.Is(err, context.Canceled) works through it);
+//   - *ICEError: an internal invariant was violated — a bug in the
+//     analyzer, converted from a panic at this boundary with the goroutine
+//     stack attached.
+type (
+	ParseError    = errs.ParseError
+	AnalysisError = errs.AnalysisError
+	ICEError      = errs.ICEError
+)
 
 // Triple is the multithreaded points-to information ⟨C, I, E⟩.
 type Triple = core.Triple
 
 // Program is a compiled MiniCilk program ready for analysis.
 type Program struct {
+	// File is the filename the program was compiled from.
+	File string
 	// AST is the parsed translation unit.
 	AST *ast.Program
 	// Info is the semantic-analysis result.
@@ -70,11 +101,14 @@ type Program struct {
 	Warnings []string
 }
 
-// Compile parses, checks and lowers MiniCilk source text.
-func Compile(filename, src string) (*Program, error) {
-	astProg, err := parser.Parse(filename, src)
-	if err != nil {
-		return nil, fmt.Errorf("parse %s: %w", filename, err)
+// Compile parses, checks and lowers MiniCilk source text. Malformed input
+// is reported as a *ParseError carrying one "file:line:col: message" line
+// per diagnostic; Compile never panics (stray panics become *ICEError).
+func Compile(filename, src string) (prog *Program, err error) {
+	defer errs.Recover(&err)
+	astProg, perr := parser.Parse(filename, src)
+	if perr != nil {
+		return nil, &ParseError{File: filename, Stage: "parse", Diags: diagLines(perr), Err: perr}
 	}
 	info, diags := sem.Check(astProg)
 	var warnings []string
@@ -84,19 +118,57 @@ func Compile(filename, src string) (*Program, error) {
 		}
 	}
 	if hard := diags.HardErrors(); len(hard) > 0 {
-		return nil, fmt.Errorf("check %s: %w", filename, hard)
+		return nil, &ParseError{File: filename, Stage: "check", Diags: diagLines(hard), Err: hard}
 	}
-	irProg, err := ir.Lower(info)
-	if err != nil {
-		return nil, fmt.Errorf("lower %s: %w", filename, err)
+	irProg, lerr := ir.Lower(info)
+	if lerr != nil {
+		return nil, &ParseError{File: filename, Stage: "lower", Diags: diagLines(lerr), Err: lerr}
 	}
 	warnings = append(warnings, irProg.Warnings...)
-	return &Program{AST: astProg, Info: info, IR: irProg, Warnings: warnings}, nil
+	return &Program{File: filename, AST: astProg, Info: info, IR: irProg, Warnings: warnings}, nil
+}
+
+// diagLines renders a compile-stage error as one line per diagnostic.
+func diagLines(err error) []string {
+	switch l := err.(type) {
+	case parser.ErrorList:
+		out := make([]string, len(l))
+		for i, e := range l {
+			out[i] = e.Error()
+		}
+		return out
+	case sem.ErrorList:
+		out := make([]string, len(l))
+		for i, e := range l {
+			out[i] = e.Error()
+		}
+		return out
+	}
+	return []string{err.Error()}
 }
 
 // Analyze runs the pointer analysis over the compiled program.
 func (p *Program) Analyze(opts Options) (*Result, error) {
-	return core.Analyze(p.IR, opts)
+	return p.AnalyzeContext(context.Background(), opts)
+}
+
+// AnalyzeContext runs the pointer analysis with cooperative cancellation:
+// the worklist solver, the par fixed point and the interprocedural
+// recursion poll ctx and unwind promptly when it is cancelled. Failures
+// are typed: cancellation and engine failures come back as an
+// *AnalysisError unwrapping to the cause (so errors.Is(err,
+// context.Canceled) holds after a cancel), internal invariant violations
+// as an *ICEError. The method never panics.
+func (p *Program) AnalyzeContext(ctx context.Context, opts Options) (*Result, error) {
+	res, err := core.AnalyzeContext(ctx, p.IR, opts)
+	if err != nil {
+		var ice *ICEError
+		if errors.As(err, &ice) {
+			return nil, ice
+		}
+		return nil, &AnalysisError{File: p.File, Err: err}
+	}
+	return res, nil
 }
 
 // Table returns the program's location-set table.

@@ -1,7 +1,7 @@
 // Command mtpa analyses a MiniCilk program with the multithreaded pointer
 // analysis of Rugina and Rinard (PLDI 1999).
 //
-//	mtpa [flags] file.clk
+//	mtpa [flags] file.clk [file2.clk ...]
 //
 //	-mode mt|seq       analysis algorithm (multithreaded or the unsound
 //	                   sequential baseline)
@@ -18,6 +18,13 @@
 //	-max-steps n       per-procedure solver step budget; exceeding it
 //	                   degrades that procedure to the flow-insensitive
 //	                   result instead of failing the run
+//	-repeat n          analyse each input n times through one incremental
+//	                   session and report cache hit rates
+//
+// Multiple files (or -repeat above 1) run through one analysis session:
+// artifacts — parsed declarations, naming environments, per-context
+// summaries and whole-file results — are reused across updates, and a
+// reuse report is printed after the batch.
 //
 // Exit codes: 0 success, 1 malformed input or usage error, 2 analysis
 // failure or internal error, 3 timeout/cancellation.
@@ -58,6 +65,7 @@ type config struct {
 	corpus   string
 	timeout  time.Duration
 	maxSteps int
+	repeat   int
 	args     []string
 }
 
@@ -77,6 +85,7 @@ func main() {
 	flag.StringVar(&cfg.corpus, "corpus", "", "analyse an embedded benchmark program by name")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "cancel the analysis after this duration (0 = no limit)")
 	flag.IntVar(&cfg.maxSteps, "max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
+	flag.IntVar(&cfg.repeat, "repeat", 1, "analyse each input this many times through one incremental session")
 	flag.Parse()
 	cfg.args = flag.Args()
 
@@ -115,45 +124,33 @@ func exitCode(err error) int {
 	return 1
 }
 
+// input is one program to analyse.
+type input struct {
+	name, src string
+}
+
 func run(out, errOut io.Writer, cfg config) error {
-	var name, src string
+	var inputs []input
 	switch {
 	case cfg.corpus != "":
 		p, err := bench.Load(cfg.corpus)
 		if err != nil {
 			return err
 		}
-		name, src = cfg.corpus+".clk", p.Source
-	case len(cfg.args) == 1:
-		data, err := os.ReadFile(cfg.args[0])
-		if err != nil {
-			return err
+		inputs = append(inputs, input{cfg.corpus + ".clk", p.Source})
+	case len(cfg.args) >= 1:
+		for _, arg := range cfg.args {
+			data, err := os.ReadFile(arg)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, input{arg, string(data)})
 		}
-		name, src = cfg.args[0], string(data)
 	default:
-		return fmt.Errorf("usage: mtpa [flags] file.clk (or -corpus name)")
+		return fmt.Errorf("usage: mtpa [flags] file.clk [file2.clk ...] (or -corpus name)")
 	}
-
-	prog, err := mtpa.Compile(name, src)
-	if err != nil {
-		return err
-	}
-	for _, w := range prog.Warnings {
-		fmt.Fprintln(errOut, "warning:", w)
-	}
-
-	if cfg.format {
-		fmt.Fprint(out, ast.Print(prog.AST))
-		return nil
-	}
-	if cfg.dumpIR {
-		fmt.Fprint(out, prog.IR.Format())
-	}
-	if cfg.dumpPFG {
-		flow := pfg.BuildProgram(prog.IR)
-		for _, fn := range prog.IR.Funcs {
-			fmt.Fprintf(out, "func %s:\n%s", fn.Name, pfg.Format(flow.FuncGraph(fn)))
-		}
+	if cfg.repeat < 1 {
+		cfg.repeat = 1
 	}
 
 	opts := mtpa.Options{Mode: mtpa.Multithreaded}
@@ -167,10 +164,87 @@ func run(out, errOut io.Writer, cfg config) error {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	res, err := prog.AnalyzeContext(ctx, opts)
-	if err != nil {
-		return err
+
+	// The classic one-shot path: a single input analysed once.
+	if cfg.repeat == 1 && len(inputs) == 1 {
+		in := inputs[0]
+		prog, err := mtpa.Compile(in.name, in.src)
+		if err != nil {
+			return err
+		}
+		if done, err := renderPre(out, errOut, cfg, prog); done || err != nil {
+			return err
+		}
+		res, err := prog.AnalyzeContext(ctx, opts)
+		if err != nil {
+			return err
+		}
+		return renderPost(out, errOut, cfg, opts, in.name, in.src, prog, res)
 	}
+
+	// Batch mode: every input and every repeat flows through one session.
+	sess := mtpa.NewSession(opts)
+	for pass := 0; pass < cfg.repeat; pass++ {
+		for _, in := range inputs {
+			up, err := sess.UpdateContext(ctx, in.name, in.src)
+			if err != nil {
+				return err
+			}
+			if pass == 0 {
+				if done, err := renderPre(out, errOut, cfg, up.Program); done || err != nil {
+					if err != nil {
+						return err
+					}
+					continue
+				}
+				if err := renderPost(out, errOut, cfg, opts, in.name, in.src, up.Program, up.Result); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	st := sess.Stats()
+	sums := st.Store["sum"]
+	fmt.Fprintf(out, "== session: %d update(s) over %d input(s), %d pass(es) ==\n",
+		st.Updates, len(inputs), cfg.repeat)
+	fmt.Fprintf(out, "whole-file result cache: %d hit(s)\n", st.Store["res"].Hits)
+	fmt.Fprintf(out, "procedure AST cache:     %d hit(s), %d miss(es)\n",
+		st.Store["ast"].Hits, st.Store["ast"].Misses)
+	total := st.SeedHits + st.SeedMisses
+	rate := 0.0
+	if total > 0 {
+		rate = 100 * float64(st.SeedHits) / float64(total)
+	}
+	fmt.Fprintf(out, "context summary cache:   %d hit(s), %d miss(es) (%.1f%% warm), %d probe(s)\n",
+		st.SeedHits, st.SeedMisses, rate, sums.Hits+sums.Misses)
+	return nil
+}
+
+// renderPre prints compile-stage output (warnings, -format, the IR and
+// flow-graph dumps). done reports that -format consumed the run.
+func renderPre(out, errOut io.Writer, cfg config, prog *mtpa.Program) (done bool, err error) {
+	for _, w := range prog.Warnings {
+		fmt.Fprintln(errOut, "warning:", w)
+	}
+	if cfg.format {
+		fmt.Fprint(out, ast.Print(prog.AST))
+		return true, nil
+	}
+	if cfg.dumpIR {
+		fmt.Fprint(out, prog.IR.Format())
+	}
+	if cfg.dumpPFG {
+		flow := pfg.BuildProgram(prog.IR)
+		for _, fn := range prog.IR.Funcs {
+			fmt.Fprintf(out, "func %s:\n%s", fn.Name, pfg.Format(flow.FuncGraph(fn)))
+		}
+	}
+	return false, nil
+}
+
+// renderPost prints the analysis-stage reports selected by the flags.
+func renderPost(out, errOut io.Writer, cfg config, opts mtpa.Options, name, src string, prog *mtpa.Program, res *mtpa.Result) error {
 	for _, w := range res.Warnings {
 		fmt.Fprintln(errOut, "analysis warning:", w)
 	}

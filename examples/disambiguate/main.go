@@ -15,7 +15,6 @@ import (
 	"mtpa"
 	"mtpa/internal/bench"
 	"mtpa/internal/flowinsens"
-	"mtpa/internal/locset"
 )
 
 func main() {
@@ -33,6 +32,7 @@ func main() {
 	}
 	fi := flowinsens.Analyze(prog.IR)
 	tab := prog.Table()
+	accs := prog.Accesses()
 
 	// Merge the per-context samples per access, expanding ghosts.
 	merged := map[int]map[mtpa.LocSetID]bool{}
@@ -59,7 +59,7 @@ func main() {
 		uninit := false
 		var names []string
 		for id := range locs {
-			if id == locset.UnkID {
+			if id == mtpa.UnkID {
 				uninit = true
 				continue
 			}
@@ -75,14 +75,14 @@ func main() {
 		}
 		if *verbose {
 			kind := "load"
-			if acc.Instr.IsStoreInstr() {
+			if accs[accID].Store {
 				kind = "store"
 			}
 			mark := ""
 			if uninit {
 				mark = " +unk"
 			}
-			fmt.Printf("  %-18s %-5s -> %v%s\n", acc.Instr.Pos, kind, names, mark)
+			fmt.Printf("  %-18s %-5s -> %v%s\n", accs[accID].Pos, kind, names, mark)
 		}
 	}
 

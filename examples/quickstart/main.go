@@ -8,9 +8,6 @@ import (
 	"log"
 
 	"mtpa"
-	"mtpa/internal/core"
-	"mtpa/internal/ir"
-	"mtpa/internal/locset"
 )
 
 const figure1 = `
@@ -39,25 +36,18 @@ func main() {
 		log.Fatal(err)
 	}
 	tab := prog.Table()
-	hideTemps := func(id mtpa.LocSetID) bool {
-		k := tab.Get(id).Block.Kind
-		return k == locset.KindTemp || k == locset.KindRet
-	}
+	hideTemps := prog.TempFilter()
 
 	fmt.Println("Figure 1 program:")
 	fmt.Print(figure1)
 	fmt.Println()
 
 	// Locate the par construct and its neighbourhood in main's flow graph.
-	var par *ir.Node
-	for _, n := range prog.IR.Main.AllNodes {
-		if n.Kind == ir.NodePar {
-			par = n
-		}
-	}
-	if par == nil {
+	sites := prog.ParSites()
+	if len(sites) == 0 {
 		log.Fatal("no par construct found")
 	}
+	site := sites[0]
 
 	show := func(label string, t *mtpa.Triple) {
 		if t == nil {
@@ -69,20 +59,15 @@ func main() {
 		fmt.Printf("%-34s E = %s\n", "", t.E.FormatFiltered(tab, hideTemps))
 	}
 
-	// The point before the par construct is the end of its predecessor
-	// block; the point after is the start of its successor.
-	pre := par.Preds[0]
-	show("before par:", res.PointAt(core.PointKey{Node: pre, Idx: len(pre.Instrs), Ctx: 0}))
+	show("before par:", res.PointAt(site.Before))
 	fmt.Println()
 
-	for i, th := range par.Threads {
-		entry := th.Entry
-		show(fmt.Sprintf("at start of thread %d:", i+1), res.PointAt(core.PointKey{Node: entry, Idx: 0, Ctx: 0}))
+	for i, entry := range site.ThreadEntries {
+		show(fmt.Sprintf("at start of thread %d:", i+1), res.PointAt(entry))
 		fmt.Println()
 	}
 
-	post := par.Succs[0]
-	show("after par:", res.PointAt(core.PointKey{Node: post, Idx: 0, Ctx: 0}))
+	show("after par:", res.PointAt(site.After))
 	fmt.Println()
 
 	fmt.Println("Key facts reproduced from the paper:")
@@ -91,9 +76,10 @@ func main() {
 	fmt.Println("    thread 2 kills p->x and the parend intersection keeps the kill")
 
 	// The measured store *p = 1 inside thread 1.
+	accs := prog.Accesses()
 	for _, s := range res.Metrics.AccessSamples() {
-		acc := prog.IR.Accesses[s.AccID]
-		if acc.Instr.Op != ir.OpDataStore {
+		acc := accs[s.AccID]
+		if !acc.Store || !acc.Data {
 			continue
 		}
 		n, uninit := s.Count()
@@ -102,7 +88,7 @@ func main() {
 			names = append(names, tab.String(l))
 		}
 		fmt.Printf("\nthe store *p = ... at %s may write %d location set(s) %v (uninitialised: %v)\n",
-			acc.Instr.Pos, n, names, uninit)
+			acc.Pos, n, names, uninit)
 		break
 	}
 }

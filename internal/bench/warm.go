@@ -1,0 +1,219 @@
+// The warm-vs-cold session driver: measures, per corpus program, the cost
+// of re-analysing after a single-procedure edit through an incremental
+// session (warm) against the one-shot Compile+Analyze pipeline (cold).
+// Each iteration analyses a distinct never-seen-before variant of the
+// program, so the session's whole-file result cache cannot short-circuit
+// the measurement — the warm path exercises segmentation, per-procedure
+// AST reuse and context-summary seeding for real.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mtpa"
+	"mtpa/internal/lexer"
+	"mtpa/internal/parser"
+	"mtpa/internal/token"
+)
+
+// WarmMeasurement is the warm-vs-cold comparison for one corpus program.
+type WarmMeasurement struct {
+	Name         string  `json:"name"`
+	ColdNsOp     int64   `json:"cold_ns_op"`
+	WarmNsOp     int64   `json:"warm_ns_op"`
+	ColdAllocsOp uint64  `json:"cold_allocs_op"`
+	WarmAllocsOp uint64  `json:"warm_allocs_op"`
+	WarmHitRate  float64 `json:"warm_hit_rate"`
+	ColdOverWarm float64 `json:"cold_over_warm"`
+	// SeederDisabled marks programs the session analyses cold by policy
+	// (the memcpy transfer is table-state-sensitive), so only the compile
+	// stage is incremental.
+	SeederDisabled bool `json:"seeder_disabled,omitempty"`
+}
+
+// WarmReport is the whole-corpus warm-vs-cold measurement (BENCH_5.json).
+type WarmReport struct {
+	Scenario     string            `json:"scenario"`
+	Iterations   int               `json:"iterations_per_program"`
+	Programs     []WarmMeasurement `json:"programs"`
+	TotalColdNs  int64             `json:"total_cold_ns_op"`
+	TotalWarmNs  int64             `json:"total_warm_ns_op"`
+	ColdOverWarm float64           `json:"total_cold_over_warm"`
+	MeanHitRate  float64           `json:"mean_warm_hit_rate"`
+}
+
+// editVariants returns n distinct semantics-preserving edits of src: the
+// i-th variant inserts i+1 no-op statements (" 0;") right after the
+// opening brace of the program's last procedure, on the same line. Every
+// variant is a previously unseen source whose diff touches exactly one
+// procedure — and, deliberately, moves no other token: positions are
+// observable through the analysis output (heap allocation sites are
+// named by line and column), so an edit that shifts lines below it
+// rightly invalidates the shifted procedures' summaries. The in-place
+// edit models the common editing case where surrounding code stays put.
+func editVariants(filename, src string, n int) ([]string, error) {
+	lx := lexer.New(filename, src)
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		return nil, fmt.Errorf("%s: lex errors", filename)
+	}
+	segs, ok := parser.SegmentTokens(toks)
+	if !ok {
+		return nil, fmt.Errorf("%s: cannot segment", filename)
+	}
+	braceOff := -1
+	for _, seg := range segs {
+		if seg.Kind != parser.SegProc {
+			continue
+		}
+		for _, tk := range seg.Toks {
+			if tk.Kind == token.LBRACE {
+				braceOff = offsetOfPos(src, tk.Pos) + 1
+				break
+			}
+		}
+	}
+	if braceOff < 0 {
+		return nil, fmt.Errorf("%s: no procedure found", filename)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = src[:braceOff] + strings.Repeat(" 0;", i+1) + src[braceOff:]
+	}
+	return out, nil
+}
+
+// offsetOfPos converts a 1-based line/column position to a byte offset.
+func offsetOfPos(src string, pos token.Pos) int {
+	off := 0
+	for line := 1; line < pos.Line; line++ {
+		nl := strings.IndexByte(src[off:], '\n')
+		if nl < 0 {
+			return len(src)
+		}
+		off += nl + 1
+	}
+	return off + pos.Col - 1
+}
+
+// MeasureWarm runs the warm-vs-cold comparison over the whole corpus:
+// per program, iters distinct single-procedure edits are analysed cold
+// (one-shot pipeline) and warm (through one session pre-warmed with the
+// unedited program).
+func MeasureWarm(opts mtpa.Options, iters int) (*WarmReport, error) {
+	progs, err := Programs()
+	if err != nil {
+		return nil, err
+	}
+	report := &WarmReport{
+		Scenario:   "re-analysis after a single-procedure in-place edit (no-op statements inserted in the last procedure)",
+		Iterations: iters,
+	}
+	var hitRateSum float64
+	for _, p := range progs {
+		filename := p.Name + ".clk"
+		variants, err := editVariants(filename, p.Source, iters)
+		if err != nil {
+			return nil, err
+		}
+
+		coldNs, coldAllocs, err := measureCold(filename, variants, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		warmNs, warmAllocs, hits, misses, disabled, err := measureWarm(filename, p.Source, variants, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+
+		m := WarmMeasurement{
+			Name:           p.Name,
+			ColdNsOp:       coldNs,
+			WarmNsOp:       warmNs,
+			ColdAllocsOp:   coldAllocs,
+			WarmAllocsOp:   warmAllocs,
+			SeederDisabled: disabled,
+		}
+		if hits+misses > 0 {
+			m.WarmHitRate = float64(hits) / float64(hits+misses)
+		}
+		if warmNs > 0 {
+			m.ColdOverWarm = float64(coldNs) / float64(warmNs)
+		}
+		hitRateSum += m.WarmHitRate
+		report.Programs = append(report.Programs, m)
+		report.TotalColdNs += coldNs
+		report.TotalWarmNs += warmNs
+	}
+	if report.TotalWarmNs > 0 {
+		report.ColdOverWarm = float64(report.TotalColdNs) / float64(report.TotalWarmNs)
+	}
+	if len(report.Programs) > 0 {
+		report.MeanHitRate = hitRateSum / float64(len(report.Programs))
+	}
+	return report, nil
+}
+
+// measureCold analyses every variant through the one-shot pipeline.
+func measureCold(filename string, variants []string, opts mtpa.Options) (nsOp int64, allocsOp uint64, err error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, src := range variants {
+		prog, err := mtpa.Compile(filename, src)
+		if err != nil {
+			return 0, 0, err
+		}
+		if _, err := prog.Analyze(opts); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := int64(len(variants))
+	return elapsed.Nanoseconds() / n, (m1.Mallocs - m0.Mallocs) / uint64(n), nil
+}
+
+// measureWarm analyses every variant through one session pre-warmed with
+// the unedited source. Only the edited updates are timed.
+func measureWarm(filename, base string, variants []string, opts mtpa.Options) (nsOp int64, allocsOp uint64, hits, misses int, disabled bool, err error) {
+	sess := mtpa.NewSession(opts)
+	warmup, err := sess.Update(filename, base)
+	if err != nil {
+		return 0, 0, 0, 0, false, err
+	}
+	disabled = warmup.Stats.SeederDisabled
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for _, src := range variants {
+		up, err := sess.Update(filename, src)
+		if err != nil {
+			return 0, 0, 0, 0, disabled, err
+		}
+		hits += up.Stats.Seed.Hits
+		misses += up.Stats.Seed.Misses
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := int64(len(variants))
+	return elapsed.Nanoseconds() / n, (m1.Mallocs - m0.Mallocs) / uint64(n), hits, misses, disabled, nil
+}
+
+// WriteWarmJSON writes the report as indented JSON.
+func WriteWarmJSON(path string, report *WarmReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"mtpa"
+)
+
+// TestWarmFasterThanCold is the acceptance gate for the incremental
+// session: over the whole corpus, warm re-analysis after a
+// single-procedure edit must beat the one-shot pipeline by at least 3x
+// in aggregate, with a substantial summary-cache hit rate.
+func TestWarmFasterThanCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement is meaningless under -short")
+	}
+	report, err := MeasureWarm(mtpa.Options{Mode: mtpa.Multithreaded}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range report.Programs {
+		t.Logf("%-10s cold %10d ns/op  warm %10d ns/op  %5.1fx  hit rate %.2f",
+			m.Name, m.ColdNsOp, m.WarmNsOp, m.ColdOverWarm, m.WarmHitRate)
+	}
+	t.Logf("total: cold %d ns/op, warm %d ns/op, %.1fx, mean hit rate %.2f",
+		report.TotalColdNs, report.TotalWarmNs, report.ColdOverWarm, report.MeanHitRate)
+	if report.ColdOverWarm < 3 {
+		t.Errorf("aggregate cold/warm = %.2fx, want >= 3x", report.ColdOverWarm)
+	}
+	if report.MeanHitRate < 0.5 {
+		t.Errorf("mean warm hit rate = %.2f, want >= 0.5", report.MeanHitRate)
+	}
+	// Regenerate the committed measurement with:
+	//   MTPA_WRITE_BENCH5=BENCH_5.json go test ./internal/bench/ -run TestWarmFasterThanCold
+	if path := os.Getenv("MTPA_WRITE_BENCH5"); path != "" {
+		if err := WriteWarmJSON(path, report); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

@@ -186,6 +186,17 @@ type ctxEntry struct {
 	metricsDone bool
 	provisional bool // result was computed using an in-progress callee
 	degraded    bool // a budget excess degraded this context (recorded once)
+
+	// Summary-seeding state (seed.go), populated only when a Seeder is
+	// attached: the canonical context key, the resolved summary standing in
+	// for this context's solves, and the per-context warning and
+	// callee-context records the harvest exports.
+	canonKey   string
+	seeded     *seedState
+	warned     map[*ir.Instr]bool
+	warnRecs   []ctxWarn
+	callees    []*ctxEntry
+	calleeSeen map[*ctxEntry]bool
 }
 
 // Analysis is a single analysis run over one program.
@@ -235,6 +246,16 @@ type Analysis struct {
 	hasPrivates  bool
 	privBlocks   map[*locset.Block]bool
 	procAnalyses int
+
+	// Summary seeding (seed.go). seeder is nil on plain Analyze runs; cn is
+	// the lazily built canonical encoder; seedByKey indexes seeded and
+	// harvested contexts by canonical key for the metrics-pass demand walk.
+	seeder       Seeder
+	cn           *canonizer
+	seedByKey    map[string]*ctxEntry
+	seedHits     int
+	seedMisses   int
+	seedHitsByFn map[string]int
 }
 
 // roots returns the lazily built reachability root slice.
@@ -290,6 +311,12 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 // function never panics: internal invariant violations are converted to
 // *errs.ICEError by a recover shim.
 func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (res *Result, err error) {
+	return analyze(ctx, prog, opts, nil)
+}
+
+// analyze is the shared driver behind AnalyzeContext and
+// AnalyzeWithSeeder (seed.go); with a nil seeder the two are identical.
+func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder) (res *Result, err error) {
 	defer errs.Recover(&err)
 	if prog.Main == nil {
 		return nil, fmt.Errorf("core: program has no main function")
@@ -304,6 +331,7 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (res *R
 		warnedUnk:  map[*ir.Instr]bool{},
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
+		seeder:     seeder,
 	}
 	for _, b := range prog.Table.Blocks() {
 		if b.Kind == locset.KindPrivateGlobal {
@@ -539,6 +567,7 @@ func (x *exec) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*locs
 	}
 	m[h] = append(m[h], e)
 	a.ctxList = append(a.ctxList, e)
+	a.trySeed(e)
 	return e, nil
 }
 
@@ -564,6 +593,13 @@ func (x *exec) analyzeContext(e *ctxEntry) error {
 	}
 	if x.spec != nil {
 		x.abort()
+	}
+	if e.seeded != nil {
+		// The retained fixed-point result stands in for the solve; see
+		// applySeed (seed.go) for the rounds/metrics split.
+		if done, err := x.applySeed(e); done {
+			return err
+		}
 	}
 	e.inProgress = true
 	defer func() { e.inProgress = false }()

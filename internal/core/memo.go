@@ -96,6 +96,9 @@ func (x *exec) probeCallMemo(k memoKey, t *Triple) (*Triple, bool) {
 			continue
 		}
 		x.countMemo(true)
+		// A hit skips getContext, so the metrics-pass callee-context edge
+		// (harvested into session summaries) is recorded here instead.
+		x.recordCallee(k.ctx, e.callee)
 		return &Triple{C: e.outC.CloneShared(), I: t.I, E: e.outE.CloneShared()}, true
 	}
 	x.countMemo(false)

@@ -256,6 +256,12 @@ func (x *exec) replaySpec(buf *specBuf) {
 	for _, m := range buf.memos {
 		x.a.installMemo(m.key, m.entry)
 	}
+	for _, w := range buf.warns {
+		w.ctx.recordWarn(w.in, w.text)
+	}
+	for _, c := range buf.callees {
+		c.ctx.addCallee(c.callee)
+	}
 	x.a.memoHits += buf.memoHits
 	x.a.memoMisses += buf.memoMisses
 }

@@ -65,6 +65,8 @@ type specBuf struct {
 	facts      []factRec
 	pars       []parRec
 	memos      []memoRec
+	warns      []warnRec
+	callees    []calleeRec
 	memoHits   int
 	memoMisses int
 }
@@ -149,9 +151,21 @@ func (x *exec) ghost(idx int, summary bool) *locset.Block {
 }
 
 // warnOnce emits a per-instruction warning at most once per run. A
-// speculation that would emit a new warning aborts instead.
-func (x *exec) warnOnce(in *ir.Instr, format string, args ...any) {
+// speculation that would emit a globally new warning aborts instead.
+// When a seeder is attached, the warning is additionally recorded on the
+// triggering context (before the global deduplication, so every context
+// that observes the condition carries it in its harvested summary); under
+// speculation the per-context record is buffered and replayed on commit.
+func (x *exec) warnOnce(in *ir.Instr, ctx *ctxEntry, format string, args ...any) {
 	a := x.a
+	if a.seeder != nil && ctx != nil {
+		text := fmt.Sprintf(format, args...)
+		if x.spec != nil {
+			x.spec.buf.warns = append(x.spec.buf.warns, warnRec{ctx: ctx, in: in, text: text})
+		} else {
+			ctx.recordWarn(in, text)
+		}
+	}
 	if a.warnedUnk[in] {
 		return
 	}
@@ -233,7 +247,7 @@ func (x *exec) transferInstr(in *ir.Instr, t *Triple, ctx *ctxEntry) error {
 	case ir.OpStore:
 		lhs := derefPtr(ptgraph.NewSet(in.Dst), t.C)
 		if lhs.Has(locset.UnkID) {
-			x.warnOnce(in, "%s: store through potentially uninitialised pointer; assignment to unknown location ignored", in.Pos)
+			x.warnOnce(in, ctx, "%s: store through potentially uninitialised pointer; assignment to unknown location ignored", in.Pos)
 		}
 		vals := derefPtr(ptgraph.NewSet(in.Src), t.C)
 		x.assignThrough(t, lhs, vals)

@@ -322,6 +322,7 @@ func (t *Table) StringBlock(i int) *Block {
 	}
 	b := t.newBlock(KindString, fmt.Sprintf("strlit#%d", i))
 	b.Type = types.ArrayOf(types.CharType, 0)
+	b.Site = i
 	t.strBlocks[i] = b
 	return b
 }

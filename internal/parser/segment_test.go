@@ -1,0 +1,119 @@
+package parser
+
+import (
+	"testing"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/lexer"
+	"mtpa/internal/token"
+	"mtpa/internal/types"
+)
+
+func lexAll(t *testing.T, src string) []token.Token {
+	t.Helper()
+	lx := lexer.New("seg.clk", src)
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		t.Fatalf("lex errors: %v", lx.Errors())
+	}
+	return toks
+}
+
+func TestSegmentTokensClassification(t *testing.T) {
+	src := `struct node { int v; struct node *next; };
+struct node;
+int g;
+private int p;
+cilk int f(int n);
+int f2(int n) {
+  int local;
+  local = n;
+  return local;
+}
+int last;
+`
+	segs, ok := SegmentTokens(lexAll(t, src))
+	if !ok {
+		t.Fatal("SegmentTokens failed")
+	}
+	want := []SegmentKind{SegOther, SegOther, SegOther, SegOther, SegOther, SegProc, SegOther}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d", len(segs), len(want))
+	}
+	for i, k := range want {
+		if segs[i].Kind != k {
+			t.Errorf("segment %d: kind %v, want %v", i, segs[i].Kind, k)
+		}
+	}
+}
+
+func TestSegmentHashLineShiftInvariant(t *testing.T) {
+	a := "int f(int n) {\n  return n;\n}\n"
+	segsA, ok := SegmentTokens(lexAll(t, a))
+	if !ok || len(segsA) != 1 {
+		t.Fatalf("bad segmentation of a: %v %v", segsA, ok)
+	}
+	segsB, ok := SegmentTokens(lexAll(t, "\n\n\n"+a))
+	if !ok || len(segsB) != 1 {
+		t.Fatalf("bad segmentation of b: %v %v", segsB, ok)
+	}
+	if segsA[0].Hash != segsB[0].Hash {
+		t.Errorf("whole-segment line shift changed the content hash")
+	}
+	if segsA[0].Anchor == segsB[0].Anchor {
+		t.Errorf("anchor did not move with the segment")
+	}
+	// An intra-segment shift must change the hash (positions are part of
+	// analysis output).
+	segsC, ok := SegmentTokens(lexAll(t, "int f(int n) {\n\n  return n;\n}\n"))
+	if !ok || len(segsC) != 1 {
+		t.Fatalf("bad segmentation of c")
+	}
+	if segsA[0].Hash == segsC[0].Hash {
+		t.Errorf("intra-segment layout change kept the content hash")
+	}
+}
+
+func TestSegmentTokensRejectsUnsplittable(t *testing.T) {
+	cases := []string{
+		"int f() {\n  return 0;\n", // EOF inside a segment
+		"}\n",                      // unopened brace
+		"int g\n",                  // missing terminator
+	}
+	for _, src := range cases {
+		if _, ok := SegmentTokens(lexAll(t, src)); ok {
+			t.Errorf("SegmentTokens accepted %q; want fallback", src)
+		}
+	}
+}
+
+func TestParseDeclRoundTrip(t *testing.T) {
+	src := `struct pair { int a; int b; };
+struct pair gp;
+int f(struct pair *p) {
+  return p->a;
+}
+`
+	segs, ok := SegmentTokens(lexAll(t, src))
+	if !ok || len(segs) != 3 {
+		t.Fatalf("bad segmentation: %d segs, ok=%v", len(segs), ok)
+	}
+	structs := map[string]*types.Type{}
+	var prog ast.Program
+	for _, seg := range segs {
+		if err := ParseDecl("seg.clk", seg.Toks, structs, &prog); err != nil {
+			t.Fatalf("ParseDecl: %v", err)
+		}
+	}
+	if len(prog.Structs) != 1 || len(prog.Globals) != 1 || len(prog.Funcs) != 1 {
+		t.Fatalf("decl counts = %d/%d/%d, want 1/1/1",
+			len(prog.Structs), len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.Funcs[0].Name != "f" || prog.Funcs[0].Body == nil {
+		t.Errorf("proc decl mis-parsed: %+v", prog.Funcs[0])
+	}
+	// Syntax errors are reported, not recovered.
+	if err := ParseDecl("seg.clk", lexAll(t, "int broken(\n"), structs, &prog); err == nil {
+		t.Errorf("ParseDecl accepted malformed tokens")
+	}
+}

@@ -232,16 +232,37 @@ func (p *Program) NumVertices() int { return p.nextID }
 // parallel flow graph. Construction is deterministic: functions in
 // program order, nodes in body order, and vertex IDs in creation order.
 func BuildProgram(irProg *ir.Program) *Program {
-	p := &Program{
+	p := NewProgram(irProg)
+	for _, fn := range irProg.Funcs {
+		p.AddFunc(fn)
+	}
+	return p
+}
+
+// NewProgram returns an empty flow-graph container for staged, per-body
+// construction (the incremental session lowers one procedure at a time);
+// populate it with AddFunc. BuildProgram is the lower-everything
+// convenience wrapper.
+func NewProgram(irProg *ir.Program) *Program {
+	return &Program{
 		IR:         irProg,
 		ByFunc:     map[*ir.Func]*Graph{},
 		ByBody:     map[*ir.Body]*Graph{},
 		headByNode: map[*ir.Node]*Vertex{},
 	}
-	for _, fn := range irProg.Funcs {
-		p.ByFunc[fn] = p.buildBody(fn.Body, false)
+}
+
+// AddFunc lowers one function body (with its nested thread and loop
+// bodies) into the program, returning its graph. Lowering the same
+// function again returns the existing graph. Per-program determinism
+// holds as long as callers add functions in a fixed order.
+func (p *Program) AddFunc(fn *ir.Func) *Graph {
+	if g, ok := p.ByFunc[fn]; ok {
+		return g
 	}
-	return p
+	g := p.buildBody(fn.Body, false)
+	p.ByFunc[fn] = g
+	return g
 }
 
 // BuildBody lowers a single body (and its nested bodies) for tests and

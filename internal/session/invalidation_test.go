@@ -1,0 +1,157 @@
+// Invalidation edge cases: each class of edit must flush exactly the
+// summaries that depend on the edited declaration, observed through the
+// per-procedure seed-hit counters of the warm re-analysis.
+
+package session_test
+
+import (
+	"strings"
+	"testing"
+
+	"mtpa"
+)
+
+// invBase exercises every dependency edge the session tracks: globals of
+// each flavour (plain, private-flippable, array-typed), a call chain, and
+// an indirect call through a function pointer.
+const invBase = `int shared;
+int plain;
+int arr[4];
+
+int leaf(int x) {
+  return x + 1;
+}
+
+int twice(int x) {
+  return leaf(leaf(x));
+}
+
+int readg(int *p) {
+  *p = shared;
+  return shared;
+}
+
+int sumarr(int i) {
+  return arr[i];
+}
+
+int pick(int sel) {
+  int (*fp)(int);
+  fp = leaf;
+  if (sel > 0) {
+    fp = twice;
+  }
+  return fp(3);
+}
+
+int main() {
+  int v;
+  int r;
+  v = 0;
+  r = readg(&v) + twice(2) + sumarr(1) + pick(1);
+  return r + plain;
+}
+`
+
+const invExtra = `
+int extra(int q) {
+  return q;
+}
+`
+
+// mustReplace fails loudly when the edit fixture drifts from the base
+// program.
+func mustReplace(t *testing.T, src, old, new string) string {
+	t.Helper()
+	if !strings.Contains(src, old) {
+		t.Fatalf("fixture drift: %q not in source", old)
+	}
+	return strings.Replace(src, old, new, 1)
+}
+
+// runInvalidation analyses base, applies the edit, and asserts which
+// procedures' summaries survived.
+func runInvalidation(t *testing.T, base, edited string, wantHit, wantMiss []string) {
+	t.Helper()
+	sess := mtpa.NewSession(mtpa.Options{Mode: mtpa.Multithreaded})
+	if _, err := sess.Update("inv.clk", base); err != nil {
+		t.Fatalf("base update: %v", err)
+	}
+	up, err := sess.Update("inv.clk", edited)
+	if err != nil {
+		t.Fatalf("edited update: %v", err)
+	}
+	st := up.Stats
+	if st.ColdCompile || st.SeederDisabled || st.ResultCached {
+		t.Fatalf("expected incremental warm path: %+v", st)
+	}
+	for _, fn := range wantHit {
+		if st.Seed.HitsByFunc[fn] == 0 {
+			t.Errorf("summary of %s was flushed; want retained (hits=%v)", fn, st.Seed.HitsByFunc)
+		}
+	}
+	for _, fn := range wantMiss {
+		if st.Seed.HitsByFunc[fn] != 0 {
+			t.Errorf("summary of %s was reused; want flushed (hits=%v)", fn, st.Seed.HitsByFunc)
+		}
+	}
+	// And the warm result must still equal cold, as everywhere.
+	if got, want := up.Result.Fingerprint(), coldFingerprint(t, "inv.clk", edited, mtpa.Options{Mode: mtpa.Multithreaded}); got != want {
+		t.Errorf("warm fingerprint %s != cold %s", got, want)
+	}
+}
+
+// A global type edit flushes its referents (and main, which owns the
+// initialisers), while procedures not touching the global keep their
+// summaries. pick misses too: its indirect call makes it depend on every
+// procedure body, including the flushed sumarr.
+func TestInvalidateGlobalTypeEdit(t *testing.T) {
+	edited := mustReplace(t, invBase, "int arr[4];", "int arr[8];")
+	runInvalidation(t, invBase, edited,
+		[]string{"leaf", "twice", "readg"},
+		[]string{"sumarr", "main"})
+}
+
+// Adding a procedure leaves every direct-call summary valid; only the
+// indirect caller (whose conservative callee set grew) and main flush.
+func TestInvalidateAddProcedure(t *testing.T) {
+	runInvalidation(t, invBase, invBase+invExtra,
+		[]string{"leaf", "twice", "readg", "sumarr"},
+		[]string{"pick", "main"})
+}
+
+// Removing a procedure is the mirror image.
+func TestInvalidateRemoveProcedure(t *testing.T) {
+	runInvalidation(t, invBase+invExtra, invBase,
+		[]string{"leaf", "twice", "readg", "sumarr"},
+		[]string{"pick", "main"})
+}
+
+// Flipping a global's private annotation changes its canonical block key
+// (g: → p:), flushing its referents even though the analysisable text of
+// every procedure is unchanged.
+func TestInvalidatePrivateFlip(t *testing.T) {
+	edited := mustReplace(t, invBase, "int plain;", "private int plain;")
+	runInvalidation(t, invBase, edited,
+		[]string{"leaf", "twice", "readg", "sumarr"},
+		[]string{"main"})
+}
+
+// Changing which function a function pointer is assigned flushes the
+// assigning procedure and its callers; the pointed-to procedures' own
+// summaries survive.
+func TestInvalidateFnPtrTargetChange(t *testing.T) {
+	edited := mustReplace(t, invBase, "fp = leaf;", "fp = twice;")
+	runInvalidation(t, invBase, edited,
+		[]string{"leaf", "twice", "readg", "sumarr"},
+		[]string{"pick", "main"})
+}
+
+// Editing a procedure body flushes it, its transitive callers, and every
+// indirect caller — but leaves unrelated procedures warm.
+func TestInvalidateBodyEditFlushesCallers(t *testing.T) {
+	edited := mustReplace(t, invBase, "return x + 1;", "return x + 2;")
+	runInvalidation(t, invBase, edited,
+		[]string{"readg", "sumarr"},
+		[]string{"leaf", "twice", "pick", "main"})
+}

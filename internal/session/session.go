@@ -1,0 +1,536 @@
+// Package session implements incremental analysis sessions: a
+// pass-manager over the mtpa pipeline that stages compilation per
+// top-level declaration and analysis per procedure context, keying every
+// artifact by content hash and reusing whatever an edit provably could
+// not have changed.
+//
+// Update(filename, src) runs the pipeline with four content-addressed
+// reuse points, all backed by one bounded Store:
+//
+//	res| whole-file result   keyed by the source hash — a byte-identical
+//	     re-request returns the previous result outright;
+//	env| naming environment  keyed by the hash of every non-procedure
+//	     segment — struct table plus cached declaration ASTs;
+//	ast| procedure ASTs      keyed by ⟨environment, segment hash, anchor
+//	     line⟩ — only edited (or line-shifted) procedures re-parse;
+//	sum| context summaries   keyed by the canonical context key, valid
+//	     while the owning procedure's dependency hash (dep.go) holds —
+//	     the interprocedural fixed point re-solves only contexts whose
+//	     transitive callee closure changed.
+//
+// Semantic analysis, IR lowering and flow-graph construction run fresh
+// per update: they are whole-program passes whose outputs embed the
+// run's location-set table, and they account for a few percent of
+// pipeline time (the fixed point dominates). The correctness bar is
+// bit-identity: a warm Update must be indistinguishable from a cold
+// Compile+Analyze of the same source. Every reuse point is therefore
+// all-or-nothing — and any input the incremental front end cannot
+// handle with certainty (lexical errors, unsplittable token streams,
+// parse or check failures) falls back to the monolithic cold pipeline,
+// reproducing its diagnostics exactly.
+package session
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"mtpa/internal/ast"
+	"mtpa/internal/core"
+	"mtpa/internal/errs"
+	"mtpa/internal/ir"
+	"mtpa/internal/lexer"
+	"mtpa/internal/parser"
+	"mtpa/internal/sem"
+	"mtpa/internal/types"
+)
+
+// Compiled is the compile-stage output of one update (the fields of
+// mtpa.Program, which the public wrapper re-assembles).
+type Compiled struct {
+	File     string
+	AST      *ast.Program
+	Info     *sem.Info
+	IR       *ir.Program
+	Warnings []string
+}
+
+// UpdateStats reports what one Update reused and what it recomputed.
+type UpdateStats struct {
+	// ResultCached is true when the whole-file fast path hit: the source
+	// was byte-identical to a previous update and the stored result was
+	// returned without recompiling or re-analysing.
+	ResultCached bool
+	// ColdCompile is true when the update fell back to the monolithic
+	// pipeline (lexical error, unsplittable stream, or any parse/check
+	// failure — the fallback reproduces cold diagnostics exactly).
+	ColdCompile bool
+	// SeederDisabled is true when summary seeding was turned off for this
+	// update (cold fallback, a resource budget, the context-cache
+	// ablation, or the memcpy gate).
+	SeederDisabled bool
+
+	// Compile-stage segment reuse counters.
+	Segments    int
+	ProcsParsed int
+	ProcsReused int
+	EnvReused   bool
+
+	// Seed reports the summary-cache outcomes of the analysis run.
+	Seed core.SeedStats
+	// SummariesStored counts the context summaries harvested into the
+	// store after the run.
+	SummariesStored int
+}
+
+// Stats is the session-lifetime view.
+type Stats struct {
+	Updates    int
+	SeedHits   int
+	SeedMisses int
+	Store      map[string]KindStats
+}
+
+// Session is a long-lived incremental analysis pipeline. It is safe for
+// concurrent use; updates to different files proceed independently over
+// the shared artifact store.
+type Session struct {
+	opts    core.Options
+	optsKey string
+	store   *Store
+
+	mu         sync.Mutex
+	updates    int
+	seedHits   int
+	seedMisses int
+}
+
+// New returns a session running every update with the given options.
+// capacity bounds the artifact store (0 selects the default).
+func New(opts core.Options, capacity int) *Session {
+	return &Session{
+		opts:    opts,
+		optsKey: fmt.Sprintf("%+v", opts),
+		store:   NewStore(capacity),
+	}
+}
+
+// Options returns the session's analysis options.
+func (s *Session) Options() core.Options { return s.opts }
+
+// Stats returns cumulative session statistics.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Updates:    s.updates,
+		SeedHits:   s.seedHits,
+		SeedMisses: s.seedMisses,
+		Store:      s.store.Stats(),
+	}
+}
+
+// Update compiles and analyses one version of a file, reusing artifacts
+// from previous updates wherever content hashes allow.
+func (s *Session) Update(filename, src string) (*Compiled, *core.Result, UpdateStats, error) {
+	return s.UpdateContext(context.Background(), filename, src)
+}
+
+// cachedRun is the whole-file fast-path artifact.
+type cachedRun struct {
+	compiled *Compiled
+	result   *core.Result
+}
+
+// UpdateContext is Update with cooperative cancellation. Malformed input
+// returns an *errs.ParseError identical to the cold pipeline's; analysis
+// failures return an *errs.AnalysisError (or *errs.ICEError), as in
+// Program.AnalyzeContext.
+func (s *Session) UpdateContext(ctx context.Context, filename, src string) (*Compiled, *core.Result, UpdateStats, error) {
+	var stats UpdateStats
+	sum := sha256.Sum256([]byte(src))
+	fileHash := hex.EncodeToString(sum[:16])
+	resKey := "res|" + filename + "|" + s.optsKey + "|" + fileHash
+	if v, ok := s.store.Get(resKey); ok {
+		run := v.(*cachedRun)
+		stats.ResultCached = true
+		s.finish(&stats)
+		return run.compiled, run.result, stats, nil
+	}
+
+	comp, deps, err := s.compile(filename, src, &stats)
+	if err != nil {
+		s.finish(&stats)
+		return nil, nil, stats, err
+	}
+
+	var seeder core.Seeder
+	switch {
+	case deps == nil: // cold-compiled: no segment hashes to validate against
+		stats.SeederDisabled = true
+	case s.opts.Budget != (core.Budget{}):
+		// Degradation points depend on how much work each solve performs;
+		// seeding changes the work, so budgeted runs stay cold to keep
+		// warm ≡ cold exact.
+		stats.SeederDisabled = true
+	case s.opts.DisableContextCache:
+		stats.SeederDisabled = true
+	case usesMemcpy(comp.IR):
+		// The memcpy transfer sweeps the location-set table, making its
+		// output sensitive to which location sets other solves happened
+		// to materialise; a seeded run materialises fewer. Programs using
+		// memcpy are analysed cold.
+		stats.SeederDisabled = true
+	default:
+		seeder = &storeSeeder{
+			store:  s.store,
+			prefix: "sum|" + filename + "|" + s.optsKey + "|",
+			deps:   deps,
+		}
+	}
+
+	res, aerr := core.AnalyzeWithSeeder(ctx, comp.IR, s.opts, seeder)
+	if aerr != nil {
+		s.finish(&stats)
+		var ice *errs.ICEError
+		if errors.As(aerr, &ice) {
+			return nil, nil, stats, ice
+		}
+		return nil, nil, stats, &errs.AnalysisError{File: filename, Err: aerr}
+	}
+	stats.Seed = res.SeedStats()
+
+	for _, sm := range res.ExportSummaries() {
+		dh, ok := deps[sm.Fn]
+		if !ok {
+			continue
+		}
+		s.store.Put("sum|"+filename+"|"+s.optsKey+"|"+sm.Key, &storedSum{sum: sm, fn: sm.Fn, depHash: dh})
+		stats.SummariesStored++
+	}
+	s.store.Put(resKey, &cachedRun{compiled: comp, result: res})
+	s.finish(&stats)
+	return comp, res, stats, nil
+}
+
+func (s *Session) finish(stats *UpdateStats) {
+	s.mu.Lock()
+	s.updates++
+	s.seedHits += stats.Seed.Hits
+	s.seedMisses += stats.Seed.Misses
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Compile stage
+
+// envState is one naming environment: the struct table and the cached
+// declaration ASTs of every non-procedure segment, retained as a unit
+// (cached procedure ASTs reference the struct table by identity, so they
+// are keyed under the environment's hash).
+type envState struct {
+	structs map[string]*types.Type
+	others  map[string]*segDecls
+}
+
+// segDecls is the parse result of one segment.
+type segDecls struct {
+	structs []*ast.StructDecl
+	globals []*ast.VarDecl
+	funcs   []*ast.FuncDecl
+}
+
+func segCacheKey(seg parser.Segment) string {
+	return seg.Hash + "|" + strconv.Itoa(seg.Anchor)
+}
+
+// errColdFallback signals that the incremental front end cannot handle
+// this input and the monolithic pipeline must run instead.
+var errColdFallback = errors.New("session: incremental front end unavailable")
+
+// compile runs the incremental front end, falling back to the cold
+// pipeline when it cannot proceed bit-identically. On success deps holds
+// the per-procedure dependency hashes (nil after a cold fallback).
+func (s *Session) compile(filename, src string, stats *UpdateStats) (*Compiled, map[string]string, error) {
+	comp, deps, err := s.compileSegmented(filename, src, stats)
+	if err == nil {
+		return comp, deps, nil
+	}
+	if !errors.Is(err, errColdFallback) {
+		return nil, nil, err
+	}
+	stats.ColdCompile = true
+	comp, err = compileCold(filename, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return comp, nil, nil
+}
+
+// compileCold replicates mtpa.Compile exactly (same stages, same error
+// wrapping), so fallback diagnostics are indistinguishable from the
+// one-shot API's.
+func compileCold(filename, src string) (prog *Compiled, err error) {
+	defer errs.Recover(&err)
+	astProg, perr := parser.Parse(filename, src)
+	if perr != nil {
+		return nil, &errs.ParseError{File: filename, Stage: "parse", Diags: diagLines(perr), Err: perr}
+	}
+	info, diags := sem.Check(astProg)
+	var warnings []string
+	for _, d := range diags {
+		if d.Warning {
+			warnings = append(warnings, d.Error())
+		}
+	}
+	if hard := diags.HardErrors(); len(hard) > 0 {
+		return nil, &errs.ParseError{File: filename, Stage: "check", Diags: diagLines(hard), Err: hard}
+	}
+	irProg, lerr := ir.Lower(info)
+	if lerr != nil {
+		return nil, &errs.ParseError{File: filename, Stage: "lower", Diags: diagLines(lerr), Err: lerr}
+	}
+	warnings = append(warnings, irProg.Warnings...)
+	return &Compiled{File: filename, AST: astProg, Info: info, IR: irProg, Warnings: warnings}, nil
+}
+
+// diagLines mirrors mtpa.diagLines.
+func diagLines(err error) []string {
+	switch l := err.(type) {
+	case parser.ErrorList:
+		out := make([]string, len(l))
+		for i, e := range l {
+			out[i] = e.Error()
+		}
+		return out
+	case sem.ErrorList:
+		out := make([]string, len(l))
+		for i, e := range l {
+			out[i] = e.Error()
+		}
+		return out
+	}
+	return []string{err.Error()}
+}
+
+// compileSegmented is the per-declaration front end: segment the token
+// stream, reuse the naming environment and unchanged procedure ASTs,
+// parse only what changed, then run sem, lowering and flow-graph
+// construction fresh over the stitched program. Any error it cannot
+// guarantee to report identically to the cold pipeline returns
+// errColdFallback.
+func (s *Session) compileSegmented(filename, src string, stats *UpdateStats) (c *Compiled, deps map[string]string, err error) {
+	defer errs.Recover(&err)
+	lx := lexer.New(filename, src)
+	toks := lx.All()
+	if len(lx.Errors()) > 0 {
+		return nil, nil, errColdFallback
+	}
+	segs, ok := parser.SegmentTokens(toks)
+	if !ok {
+		return nil, nil, errColdFallback
+	}
+	stats.Segments = len(segs)
+
+	// Resolve the naming environment: every non-procedure segment, hashed
+	// with anchors (their positions appear in diagnostics and lowered
+	// initialisers).
+	envH := sha256.New()
+	for _, seg := range segs {
+		if seg.Kind != parser.SegProc {
+			fmt.Fprintf(envH, "%s|%d\n", seg.Hash, seg.Anchor)
+		}
+	}
+	envHash := hex.EncodeToString(envH.Sum(nil)[:16])
+	envKey := "env|" + filename + "|" + envHash
+
+	var env *envState
+	if v, ok := s.store.Get(envKey); ok {
+		env = v.(*envState)
+		stats.EnvReused = true
+	} else {
+		env = &envState{structs: map[string]*types.Type{}, others: map[string]*segDecls{}}
+		for _, seg := range segs {
+			if seg.Kind == parser.SegProc {
+				continue
+			}
+			decls, perr := parseSegment(filename, seg, env.structs)
+			if perr != nil {
+				return nil, nil, errColdFallback
+			}
+			env.others[segCacheKey(seg)] = decls
+		}
+		s.store.Put(envKey, env)
+	}
+
+	// Parse changed procedure segments; reuse cached ASTs for the rest.
+	// Cached declarations carry absolute positions, so the key includes
+	// the anchor line — a procedure that merely moved re-parses.
+	astProg := &ast.Program{File: filename}
+	procSegs := map[string]segKey{}
+	globalSegs := map[string]string{}
+	allGlobalsH := sha256.New()
+	// The dependency-hash environment component covers struct definitions,
+	// prototypes and forward declarations only — global declarations are
+	// tracked per-name (globalSegs) so a global edit flushes just its
+	// referents, not every summary. Distinct from envHash above, which
+	// keys the compile-stage environment and must cover everything.
+	depEnvH := sha256.New()
+	for _, seg := range segs {
+		var decls *segDecls
+		if seg.Kind == parser.SegProc {
+			astKey := "ast|" + filename + "|" + envHash + "|" + segCacheKey(seg)
+			if v, ok := s.store.Get(astKey); ok {
+				decls = v.(*segDecls)
+				stats.ProcsReused++
+			} else {
+				var perr error
+				decls, perr = parseSegment(filename, seg, env.structs)
+				if perr != nil {
+					return nil, nil, errColdFallback
+				}
+				if len(decls.funcs) != 1 || decls.funcs[0].Body == nil ||
+					len(decls.structs) != 0 || len(decls.globals) != 0 {
+					return nil, nil, errColdFallback
+				}
+				s.store.Put(astKey, decls)
+				stats.ProcsParsed++
+			}
+			procSegs[decls.funcs[0].Name] = segKey{hash: seg.Hash, anchor: seg.Anchor}
+		} else {
+			decls = env.others[segCacheKey(seg)]
+			if decls == nil {
+				return nil, nil, errColdFallback
+			}
+			for _, g := range decls.globals {
+				globalSegs[g.Name] = seg.Hash
+			}
+			if len(decls.globals) > 0 {
+				fmt.Fprintf(allGlobalsH, "%s|%d\n", seg.Hash, seg.Anchor)
+			}
+			if len(decls.globals) == 0 || len(decls.structs) > 0 || len(decls.funcs) > 0 {
+				fmt.Fprintf(depEnvH, "%s|%d\n", seg.Hash, seg.Anchor)
+			}
+		}
+		astProg.Structs = append(astProg.Structs, decls.structs...)
+		astProg.Globals = append(astProg.Globals, decls.globals...)
+		astProg.Funcs = append(astProg.Funcs, decls.funcs...)
+	}
+
+	// The back half of the pipeline runs whole-program fresh. Check and
+	// lowering failures fall back cold: the stitched AST is equivalent,
+	// but routing errors through one code path guarantees diagnostic
+	// parity on every failing input.
+	info, diags := sem.Check(astProg)
+	var warnings []string
+	for _, d := range diags {
+		if d.Warning {
+			warnings = append(warnings, d.Error())
+		}
+	}
+	if len(diags.HardErrors()) > 0 {
+		return nil, nil, errColdFallback
+	}
+	irProg, lerr := ir.Lower(info)
+	if lerr != nil {
+		return nil, nil, errColdFallback
+	}
+	warnings = append(warnings, irProg.Warnings...)
+
+	deps = computeDeps(&depInput{
+		irProg:         irProg,
+		procSegs:       procSegs,
+		globalSegs:     globalSegs,
+		envHash:        hex.EncodeToString(depEnvH.Sum(nil)[:16]),
+		allGlobalsHash: hex.EncodeToString(allGlobalsH.Sum(nil)[:16]),
+	})
+	return &Compiled{File: filename, AST: astProg, Info: info, IR: irProg, Warnings: warnings}, deps, nil
+}
+
+// parseSegment parses one segment's tokens against the shared struct
+// table.
+func parseSegment(filename string, seg parser.Segment, structs map[string]*types.Type) (*segDecls, error) {
+	var tmp ast.Program
+	if err := parser.ParseDecl(filename, seg.Toks, structs, &tmp); err != nil {
+		return nil, err
+	}
+	return &segDecls{structs: tmp.Structs, globals: tmp.Globals, funcs: tmp.Funcs}, nil
+}
+
+// usesMemcpy reports whether any lowered instruction calls the memcpy
+// builtin (see the seeding gate in UpdateContext).
+func usesMemcpy(irProg *ir.Program) bool {
+	for _, fn := range irProg.Funcs {
+		for _, n := range fn.AllNodes {
+			for _, in := range n.Instrs {
+				if in.Call != nil && in.Call.Builtin == sem.BuiltinMemcpy {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// The summary seeder
+
+// storedSum is one retained context summary with its validity stamp.
+type storedSum struct {
+	sum     *core.Summary
+	fn      string
+	depHash string
+}
+
+// storeSeeder adapts the artifact store to core.Seeder for one update:
+// a stored summary is served only while its procedure's dependency hash
+// matches the current program's.
+type storeSeeder struct {
+	store  *Store
+	prefix string
+	deps   map[string]string
+}
+
+func (s *storeSeeder) Lookup(fn, key string) *core.Summary {
+	v, ok := s.store.Get(s.prefix + key)
+	if !ok {
+		return nil
+	}
+	e := v.(*storedSum)
+	if e.fn != fn || e.depHash == "" || e.depHash != s.deps[fn] {
+		return nil
+	}
+	return e.sum
+}
+
+func (s *storeSeeder) LookupKey(key string) *core.Summary {
+	v, ok := s.store.Get(s.prefix + key)
+	if !ok {
+		return nil
+	}
+	e := v.(*storedSum)
+	if e.depHash == "" || e.depHash != s.deps[e.fn] {
+		return nil
+	}
+	return e.sum
+}
+
+// ---------------------------------------------------------------------------
+
+// SummaryCount reports how many context summaries the store currently
+// holds (test helper).
+func (s *Session) SummaryCount() int {
+	n := 0
+	s.store.mu.Lock()
+	for k := range s.store.items {
+		if keyKind(k) == "sum" {
+			n++
+		}
+	}
+	s.store.mu.Unlock()
+	return n
+}

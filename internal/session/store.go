@@ -1,0 +1,129 @@
+// The session artifact store: one bounded, concurrency-safe map holding
+// every content-addressed artifact of the incremental pipeline —
+// whole-file results, naming environments, per-segment declaration ASTs
+// and per-context analysis summaries — under prefixed string keys
+// ("res|…", "env|…", "ast|…", "sum|…"). Eviction is
+// least-recently-touched by generation stamp; every artifact is a pure
+// cache entry, so evicting any of them costs recomputation, never
+// correctness.
+
+package session
+
+import "sync"
+
+// defaultCapacity bounds the artifact store when the caller does not.
+const defaultCapacity = 8192
+
+// Store is a bounded, mutex-guarded artifact cache.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	gen   int64
+	items map[string]*storeEntry
+	stats map[string]*KindStats
+}
+
+type storeEntry struct {
+	val any
+	gen int64
+}
+
+// KindStats counts the probe outcomes for one artifact kind (the key
+// prefix up to the first '|').
+type KindStats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+}
+
+// NewStore returns a store bounded to capacity entries (0 selects the
+// default).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = defaultCapacity
+	}
+	return &Store{
+		cap:   capacity,
+		items: map[string]*storeEntry{},
+		stats: map[string]*KindStats{},
+	}
+}
+
+func keyKind(key string) string {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '|' {
+			return key[:i]
+		}
+	}
+	return key
+}
+
+func (s *Store) kindStats(key string) *KindStats {
+	k := keyKind(key)
+	st, ok := s.stats[k]
+	if !ok {
+		st = &KindStats{}
+		s.stats[k] = st
+	}
+	return st
+}
+
+// Get returns the artifact stored under key, refreshing its eviction
+// stamp, and counts the probe.
+func (s *Store) Get(key string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.kindStats(key)
+	e, ok := s.items[key]
+	if !ok {
+		st.Misses++
+		return nil, false
+	}
+	st.Hits++
+	s.gen++
+	e.gen = s.gen
+	return e.val, true
+}
+
+// Put stores an artifact, evicting the least-recently-touched entry when
+// the store is full.
+func (s *Store) Put(key string, val any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gen++
+	if e, ok := s.items[key]; ok {
+		e.val = val
+		e.gen = s.gen
+		return
+	}
+	if len(s.items) >= s.cap {
+		var victim string
+		var oldest int64
+		for k, e := range s.items {
+			if victim == "" || e.gen < oldest {
+				victim, oldest = k, e.gen
+			}
+		}
+		s.kindStats(victim).Evictions++
+		delete(s.items, victim)
+	}
+	s.items[key] = &storeEntry{val: val, gen: s.gen}
+}
+
+// Len returns the number of stored artifacts.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Stats returns a snapshot of the per-kind probe counters.
+func (s *Store) Stats() map[string]KindStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]KindStats, len(s.stats))
+	for k, st := range s.stats {
+		out[k] = *st
+	}
+	return out
+}

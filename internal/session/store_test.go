@@ -1,0 +1,70 @@
+package session
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStoreBoundedEviction(t *testing.T) {
+	s := NewStore(4)
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("ast|k%d", i), i)
+	}
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	// The most recently stored entries survive.
+	for i := 6; i < 10; i++ {
+		if _, ok := s.Get(fmt.Sprintf("ast|k%d", i)); !ok {
+			t.Errorf("recently stored k%d evicted", i)
+		}
+	}
+	st := s.Stats()["ast"]
+	if st.Evictions != 6 {
+		t.Errorf("Evictions = %d, want 6", st.Evictions)
+	}
+}
+
+func TestStoreGetRefreshesEvictionStamp(t *testing.T) {
+	s := NewStore(2)
+	s.Put("sum|a", 1)
+	s.Put("sum|b", 2)
+	if _, ok := s.Get("sum|a"); !ok {
+		t.Fatal("a missing")
+	}
+	s.Put("sum|c", 3) // evicts b, the least recently touched
+	if _, ok := s.Get("sum|a"); !ok {
+		t.Error("a evicted despite recent touch")
+	}
+	if _, ok := s.Get("sum|b"); ok {
+		t.Error("b survived; want evicted")
+	}
+}
+
+func TestStoreKindStats(t *testing.T) {
+	s := NewStore(8)
+	s.Put("env|x", 1)
+	s.Get("env|x")
+	s.Get("env|y")
+	s.Get("res|z")
+	st := s.Stats()
+	if got := st["env"]; got.Hits != 1 || got.Misses != 1 {
+		t.Errorf("env stats = %+v, want 1 hit 1 miss", got)
+	}
+	if got := st["res"]; got.Misses != 1 {
+		t.Errorf("res stats = %+v, want 1 miss", got)
+	}
+}
+
+func TestStoreUpdateInPlace(t *testing.T) {
+	s := NewStore(2)
+	s.Put("ast|k", 1)
+	s.Put("ast|k", 2)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	v, ok := s.Get("ast|k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get = %v %v, want 2 true", v, ok)
+	}
+}

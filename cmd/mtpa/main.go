@@ -18,16 +18,25 @@
 //	-max-steps n       per-procedure solver step budget; exceeding it
 //	                   degrades that procedure to the flow-insensitive
 //	                   result instead of failing the run
+//	-workers n         fixpoint worker count: how many procedure-context
+//	                   tasks the interprocedural engine may pre-solve
+//	                   concurrently (0 = GOMAXPROCS, 1 = sequential);
+//	                   results are bit-identical at every count
 //	-repeat n          analyse each input n times through one incremental
 //	                   session and report cache hit rates
 //
 // Multiple files (or -repeat above 1) run through one analysis session:
 // artifacts — parsed declarations, naming environments, per-context
 // summaries and whole-file results — are reused across updates, and a
-// reuse report is printed after the batch.
+// reuse report is printed after the batch; -workers applies to every
+// analysis the session runs.
 //
 // Exit codes: 0 success, 1 malformed input or usage error, 2 analysis
-// failure or internal error, 3 timeout/cancellation.
+// failure or internal error, 3 timeout/cancellation. -workers does not
+// change the classification: a -timeout expiring while the worker pool
+// is running still exits 3 — the pool is joined (no goroutine leaks),
+// the context error propagates, and partial speculative work is
+// discarded, never reported as a result.
 package main
 
 import (
@@ -65,6 +74,7 @@ type config struct {
 	corpus   string
 	timeout  time.Duration
 	maxSteps int
+	workers  int
 	repeat   int
 	args     []string
 }
@@ -85,6 +95,7 @@ func main() {
 	flag.StringVar(&cfg.corpus, "corpus", "", "analyse an embedded benchmark program by name")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "cancel the analysis after this duration (0 = no limit)")
 	flag.IntVar(&cfg.maxSteps, "max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
+	flag.IntVar(&cfg.workers, "workers", 0, "fixpoint worker count for concurrent context pre-solving (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
 	flag.IntVar(&cfg.repeat, "repeat", 1, "analyse each input this many times through one incremental session")
 	flag.Parse()
 	cfg.args = flag.Args()
@@ -158,6 +169,7 @@ func run(out, errOut io.Writer, cfg config) error {
 		opts.Mode = mtpa.Sequential
 	}
 	opts.Budget.MaxSolverSteps = cfg.maxSteps
+	opts.FixpointWorkers = cfg.workers
 	ctx := context.Background()
 	if cfg.timeout > 0 {
 		var cancel context.CancelFunc

@@ -17,7 +17,10 @@
 // programs, and the exit code is nonzero. -timeout bounds the whole
 // corpus analysis (exit code 3 on expiry); -max-steps sets the
 // per-procedure solver budget, degrading offenders to the
-// flow-insensitive result (see -table budget).
+// flow-insensitive result (see -table budget). -workers sets the
+// fixpoint worker count per analysis (0 = GOMAXPROCS, 1 = sequential);
+// every table is identical at every count, and a -timeout expiring
+// while workers are running still exits 3 after the pool drains.
 package main
 
 import (
@@ -49,6 +52,7 @@ func main() {
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
 	timeout := flag.Duration("timeout", 0, "cancel the corpus analysis after this duration (0 = no limit)")
 	maxSteps := flag.Int("max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
+	workers := flag.Int("workers", 0, "fixpoint worker count for concurrent context pre-solving (0 = GOMAXPROCS, 1 = sequential); tables are identical at every count")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the table generation to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after table generation to this file")
 	flag.Parse()
@@ -70,7 +74,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	runErr := run(ctx, os.Stdout, os.Stderr, *table, *timingRuns, *maxSteps)
+	runErr := run(ctx, os.Stdout, os.Stderr, *table, *timingRuns, *maxSteps, *workers)
 	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, "mttables:", err)
 		os.Exit(1)
@@ -189,9 +193,10 @@ func analyseCorpus(ctx context.Context, errOut io.Writer, opts mtpa.Options) ([]
 	return out, nil
 }
 
-func run(ctx context.Context, out, errOut io.Writer, table string, timingRuns, maxSteps int) error {
+func run(ctx context.Context, out, errOut io.Writer, table string, timingRuns, maxSteps, workers int) error {
 	var opts mtpa.Options
 	opts.Budget.MaxSolverSteps = maxSteps
+	opts.FixpointWorkers = workers
 	all, corpusErr := analyseCorpus(ctx, errOut, opts)
 	if len(all) == 0 {
 		return corpusErr

@@ -41,11 +41,15 @@ func TestTableGoldens(t *testing.T) {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
 	for _, table := range []string{"1", "3"} {
-		var out, errOut bytes.Buffer
-		if err := run(context.Background(), &out, &errOut, table, 1, 0); err != nil {
-			t.Fatalf("table %s: %v", table, err)
+		// Render at 1 and 4 fixpoint workers: both must match the same
+		// golden byte-for-byte (the parallel engine's core invariant).
+		for _, workers := range []int{1, 4} {
+			var out, errOut bytes.Buffer
+			if err := run(context.Background(), &out, &errOut, table, 1, 0, workers); err != nil {
+				t.Fatalf("table %s (workers=%d): %v", table, workers, err)
+			}
+			checkGolden(t, "table"+table+".golden", out.Bytes())
 		}
-		checkGolden(t, "table"+table+".golden", out.Bytes())
 	}
 }
 
@@ -58,7 +62,7 @@ func TestCacheTableSmoke(t *testing.T) {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
 	var out, errOut bytes.Buffer
-	if err := run(context.Background(), &out, &errOut, "cache", 1, 0); err != nil {
+	if err := run(context.Background(), &out, &errOut, "cache", 1, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
@@ -81,7 +85,7 @@ func TestTableFormattingStable(t *testing.T) {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
 	var out, errOut bytes.Buffer
-	if err := run(context.Background(), &out, &errOut, "3", 1, 0); err != nil {
+	if err := run(context.Background(), &out, &errOut, "3", 1, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
@@ -126,7 +130,7 @@ func TestBudgetTableSmoke(t *testing.T) {
 		t.Skip("full-corpus table rendering is slow in -short mode")
 	}
 	var out, errOut bytes.Buffer
-	if err := run(context.Background(), &out, &errOut, "budget", 1, 0); err != nil {
+	if err := run(context.Background(), &out, &errOut, "budget", 1, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
@@ -148,7 +152,7 @@ func TestTimeoutAbortsCorpus(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
 	defer cancel()
 	var out, errOut bytes.Buffer
-	err := run(ctx, &out, &errOut, "3", 1, 0)
+	err := run(ctx, &out, &errOut, "3", 1, 0, 4)
 	if err == nil {
 		t.Fatal("expected a timeout error")
 	}

@@ -1,0 +1,154 @@
+// Determinism and robustness tests for the parallel interprocedural
+// engine (core/phase.go): fingerprints must be bit-identical across
+// FixpointWorkers counts, memo on/off and ParWorkers on/off; a
+// cancelled run must leave no pool workers behind; and the pool must be
+// race-clean while hammering one Analysis.
+
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"mtpa"
+)
+
+// fixpointSignature runs one analysis and collapses everything the
+// scheduler must not perturb into a comparable string: the fingerprint
+// (graphs, warnings, access and par samples, degradations) plus the
+// schedule-sensitive-looking driver counters that the commit protocol
+// nevertheless pins exactly — rounds, context count, procedure analyses.
+func fixpointSignature(t *testing.T, p *Program, opts mtpa.Options) string {
+	t.Helper()
+	prog, err := mtpa.Compile(p.Name+".clk", p.Source)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", p.Name, err)
+	}
+	res, err := prog.Analyze(opts)
+	if err != nil {
+		t.Fatalf("%s: analyze (%+v): %v", p.Name, opts, err)
+	}
+	return fmt.Sprintf("%s|rounds=%d|ctxs=%d|solves=%d",
+		res.Fingerprint(), res.Rounds, res.Metrics.NumContexts, res.ProcAnalyses)
+}
+
+// TestFixpointWorkersBitIdentical sweeps FixpointWorkers ∈ {1,2,4,8} ×
+// call-memo on/off × ParWorkers sequential/concurrent over the full
+// golden corpus in both modes (the 36 golden rows) and asserts every
+// combination reproduces the FixpointWorkers=1 result exactly. Under
+// -race the matrix is trimmed (the full sweep is ~500 corpus analyses).
+func TestFixpointWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus sweep in -short mode")
+	}
+	workerCounts := []int{2, 4, 8}
+	memoOff := []bool{false, true}
+	parWorkers := []int{1, 0} // 1 = sequential par sweep, 0 = GOMAXPROCS
+	if raceEnabled {
+		workerCounts = []int{2, 8}
+		parWorkers = []int{1}
+	}
+	progs, err := Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, mode := range []mtpa.Mode{mtpa.Multithreaded, mtpa.Sequential} {
+				for _, noMemo := range memoOff {
+					for _, pw := range parWorkers {
+						base := fixpointSignature(t, &p, mtpa.Options{
+							Mode: mode, FixpointWorkers: 1, ParWorkers: pw, DisableCallMemo: noMemo,
+						})
+						for _, w := range workerCounts {
+							got := fixpointSignature(t, &p, mtpa.Options{
+								Mode: mode, FixpointWorkers: w, ParWorkers: pw, DisableCallMemo: noMemo,
+							})
+							if got != base {
+								t.Errorf("mode=%v memo-off=%v parWorkers=%d: FixpointWorkers=%d diverges from 1:\n  1: %s\n  %d: %s",
+									mode, noMemo, pw, w, base, w, got)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFixpointCancellationNoLeakedWorkers cancels analyses mid-run with
+// the pool active and asserts the goroutine count returns to its
+// pre-run level: the phase joins its workers before propagating the
+// context error, so nothing may outlive AnalyzeContext.
+func TestFixpointCancellationNoLeakedWorkers(t *testing.T) {
+	progs, err := Programs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for round := 0; round < 4; round++ {
+		for i := range progs {
+			p := &progs[i]
+			prog, err := mtpa.Compile(p.Name+".clk", p.Source)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", p.Name, err)
+			}
+			// Cancel at staggered points so some runs die inside the
+			// phase, some inside the sweep, some not at all.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(round*3)*time.Millisecond)
+			_, aerr := prog.AnalyzeContext(ctx, mtpa.Options{Mode: mtpa.Multithreaded, FixpointWorkers: 8})
+			cancel()
+			if aerr != nil && !errors.Is(aerr, context.DeadlineExceeded) && !errors.Is(aerr, context.Canceled) {
+				t.Fatalf("%s: unexpected non-context error: %v", p.Name, aerr)
+			}
+		}
+	}
+	// The pool joins synchronously, so only runtime bookkeeping should
+	// lag; allow it a few scheduler beats to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled runs", before, after)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFixpointPoolRaceHammer drives one Analysis at a time from a wide
+// pool over the most context-heavy corpus programs, with and without
+// the call memo. Its assertions are weak on purpose — the test exists
+// to put the phase's shared-state reads under the race detector (the
+// CI -race job runs the suite with MTPA_FIXPOINT_WORKERS=4 as well).
+func TestFixpointPoolRaceHammer(t *testing.T) {
+	rounds := 6
+	if raceEnabled {
+		rounds = 2
+	}
+	for _, name := range []string{"pousse", "block", "ck"} {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := mtpa.Compile(name+".clk", p.Source)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		for i := 0; i < rounds; i++ {
+			opts := mtpa.Options{Mode: mtpa.Multithreaded, FixpointWorkers: 8, DisableCallMemo: i%2 == 1}
+			if _, err := prog.Analyze(opts); err != nil {
+				t.Fatalf("%s: analyze: %v", name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// The fixpoint-scaling driver: measures bench.AnalyzeAll and the
+// heaviest single corpus program across Options.FixpointWorkers counts
+// (BENCH_7.json). The outer corpus driver runs with one worker so the
+// measurement isolates the per-analysis scheduler of core/phase.go, not
+// inter-program parallelism.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mtpa"
+)
+
+// ScalingPoint is one worker count's aggregate measurement.
+type ScalingPoint struct {
+	FixpointWorkers int     `json:"fixpoint_workers"`
+	NsOp            int64   `json:"ns_op"`
+	AllocsOp        uint64  `json:"allocs_op"`
+	Speedup         float64 `json:"speedup_vs_1"`
+}
+
+// ScalingReport is the whole scaling sweep (BENCH_7.json). The corpus
+// sweep analyses all 18 programs serially per iteration; the single
+// sweep analyses only the named heaviest program, the shape where task
+// parallelism inside one analysis matters most.
+type ScalingReport struct {
+	Scenario   string         `json:"scenario"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Iterations int            `json:"iterations"`
+	Corpus     []ScalingPoint `json:"corpus"`
+	SingleName string         `json:"single_program"`
+	Single     []ScalingPoint `json:"single"`
+}
+
+// singleHeavy is the corpus program with the most analysis contexts —
+// the single-program scaling subject.
+const singleHeavy = "pousse"
+
+// MeasureScaling runs the scaling sweep. Worker counts are measured in
+// the given order; the first entry is the baseline the speedups are
+// computed against (conventionally 1).
+func MeasureScaling(opts mtpa.Options, workerCounts []int, iterations int) (*ScalingReport, error) {
+	if len(workerCounts) == 0 || iterations < 1 {
+		return nil, fmt.Errorf("bench: empty scaling sweep")
+	}
+	report := &ScalingReport{
+		Scenario:   "AnalyzeAll and single-program analysis across FixpointWorkers",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Iterations: iterations,
+		SingleName: singleHeavy,
+	}
+	heavy, err := Load(singleHeavy)
+	if err != nil {
+		return nil, err
+	}
+	heavyProg, err := mtpa.Compile(heavy.Name+".clk", heavy.Source)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workerCounts {
+		o := opts
+		o.FixpointWorkers = w
+
+		ns, allocs, err := measureLoop(iterations, func() error {
+			_, err := AnalyzeAll(o, 1)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		report.Corpus = append(report.Corpus, scalingPoint(report.Corpus, w, ns, allocs))
+
+		ns, allocs, err = measureLoop(iterations, func() error {
+			_, err := heavyProg.Analyze(o)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		report.Single = append(report.Single, scalingPoint(report.Single, w, ns, allocs))
+	}
+	return report, nil
+}
+
+// scalingPoint assembles one measurement, computing the speedup against
+// the sweep's first (baseline) point.
+func scalingPoint(prev []ScalingPoint, workers int, ns int64, allocs uint64) ScalingPoint {
+	p := ScalingPoint{FixpointWorkers: workers, NsOp: ns, AllocsOp: allocs, Speedup: 1}
+	if len(prev) > 0 && ns > 0 {
+		p.Speedup = float64(prev[0].NsOp) / float64(ns)
+	}
+	return p
+}
+
+// measureLoop times iterations of f, reporting mean ns and allocations
+// per iteration.
+func measureLoop(iterations int, f func() error) (nsOp int64, allocsOp uint64, err error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iterations; i++ {
+		if err := f(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := int64(iterations)
+	return elapsed.Nanoseconds() / n, (m1.Mallocs - m0.Mallocs) / uint64(n), nil
+}
+
+// WriteScalingJSON writes the report as indented JSON.
+func WriteScalingJSON(path string, report *ScalingReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

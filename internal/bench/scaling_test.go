@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"os"
+	"runtime"
+	"testing"
+
+	"mtpa"
+)
+
+// TestFixpointScalingSweep measures the FixpointWorkers sweep and acts
+// as the regression tripwire for the two ends of it: at 1 worker the
+// phase must be disabled (no overhead beyond noise), and on a multicore
+// box 4 workers must not be slower than 1 (the speedup target itself —
+// >1.5x aggregate at 4 workers — is recorded in BENCH_7.json and
+// EXPERIMENTS.md from a quiet multicore machine; a shared CI runner is
+// too noisy to gate on it).
+func TestFixpointScalingSweep(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("timing measurement is meaningless under -short or -race")
+	}
+	iters := 2
+	report, err := MeasureScaling(mtpa.Options{Mode: mtpa.Multithreaded}, []int{1, 2, 4, 8}, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range report.Corpus {
+		s := report.Single[i]
+		t.Logf("workers=%d  corpus %12d ns/op %10d allocs/op %5.2fx   %s %12d ns/op %5.2fx",
+			p.FixpointWorkers, p.NsOp, p.AllocsOp, p.Speedup, report.SingleName, s.NsOp, s.Speedup)
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		// Parallelism must never hurt: a generous 25% guard band keeps
+		// this from flaking on shared runners while still catching a
+		// pathological phase (e.g. wholesale invalid speculation).
+		base := report.Corpus[0].NsOp
+		for _, p := range report.Corpus[1:] {
+			if p.FixpointWorkers == 4 && float64(p.NsOp) > 1.25*float64(base) {
+				t.Errorf("FixpointWorkers=4 corpus run %.2fx slower than 1 worker (%d vs %d ns/op)",
+					float64(p.NsOp)/float64(base), p.NsOp, base)
+			}
+		}
+	}
+	// Regenerate the committed measurement with:
+	//   MTPA_WRITE_BENCH7=BENCH_7.json go test ./internal/bench/ -run TestFixpointScalingSweep
+	if path := os.Getenv("MTPA_WRITE_BENCH7"); path != "" {
+		full, err := MeasureScaling(mtpa.Options{Mode: mtpa.Multithreaded}, []int{1, 2, 4, 8}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteScalingJSON(path, full); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +76,18 @@ type Options struct {
 	// only pays off when thread solves actually overlap. The result is
 	// bit-identical either way.
 	ParWorkers int
+
+	// FixpointWorkers bounds how many ⟨procedure, context⟩ tasks of the
+	// interprocedural fixed point may be pre-solved concurrently (see
+	// phase.go): before each round's canonical sequential sweep, every
+	// known context is solved speculatively against the frozen round-start
+	// state on a work-stealing pool, and the sweep commits a speculation
+	// only after validating the exact dependency versions it consumed.
+	// 0 = GOMAXPROCS (overridable with the MTPA_FIXPOINT_WORKERS
+	// environment variable); 1 (or a negative value) disables the phase
+	// and is byte-for-byte today's sequential engine. The result is
+	// bit-identical at every worker count.
+	FixpointWorkers int
 
 	// MaxRounds bounds the outer recursion fixed point (0 = default 1000).
 	MaxRounds int
@@ -142,6 +156,31 @@ func (o *Options) parWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// envFixpointWorkers caches the MTPA_FIXPOINT_WORKERS override, read
+// once per process (0 when unset or unparsable). It exists so CI can
+// force a worker count across a whole test binary without touching every
+// Options literal.
+var envFixpointWorkers = func() int {
+	n, err := strconv.Atoi(os.Getenv("MTPA_FIXPOINT_WORKERS"))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}()
+
+func (o *Options) fixpointWorkers() int {
+	if o.FixpointWorkers > 0 {
+		return o.FixpointWorkers
+	}
+	if o.FixpointWorkers < 0 {
+		return 1
+	}
+	if envFixpointWorkers > 0 {
+		return envFixpointWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 func (o *Options) maxContexts() int {
 	if o.MaxContexts > 0 {
 		return o.MaxContexts
@@ -187,6 +226,18 @@ type ctxEntry struct {
 	provisional bool // result was computed using an in-progress callee
 	degraded    bool // a budget excess degraded this context (recorded once)
 
+	// memo is this context's shard of the call-site transfer memo
+	// (memo.go): every memoKey names the calling context, so each entry
+	// belongs to exactly one shard and the memo dies with its context.
+	// During the speculation phase the shards are read-only (populations
+	// are buffered), so concurrent tasks never contend on a shared map.
+	memo map[callKey][]*memoEntry
+
+	// pending is a completed task speculation awaiting the canonical
+	// sweep's commit-or-discard decision (phase.go). Only the sequential
+	// sweep reads or writes it.
+	pending *pendingTask
+
 	// Summary-seeding state (seed.go), populated only when a Seeder is
 	// attached: the canonical context key, the resolved summary standing in
 	// for this context's solves, and the per-context warning and
@@ -209,9 +260,11 @@ type Analysis struct {
 	entries map[*ir.Func]map[uint64][]*ctxEntry
 	ctxList []*ctxEntry
 
-	// callMemo is the call-site transfer memo (memo.go); memoHits and
-	// memoMisses count its probes across all rounds and the metrics pass.
-	callMemo   map[memoKey][]*memoEntry
+	// memoHits and memoMisses count the call-site memo probes across all
+	// rounds and the metrics pass; the memo entries themselves live
+	// sharded on their calling context (ctxEntry.memo). Both counters are
+	// only ever bumped by the sequential sweep (speculations buffer them),
+	// so they need no synchronization.
 	memoHits   int
 	memoMisses int
 
@@ -327,7 +380,6 @@ func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder)
 		flow:       pfg.BuildProgram(prog),
 		opts:       opts,
 		entries:    map[*ir.Func]map[uint64][]*ctxEntry{},
-		callMemo:   map[memoKey][]*memoEntry{},
 		warnedUnk:  map[*ir.Instr]bool{},
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
@@ -356,6 +408,9 @@ func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder)
 		}
 		a.round = rounds
 		a.changed = false
+		if err := a.speculateContexts(); err != nil {
+			return nil, err
+		}
 		if _, err := a.analyzeRoot(); err != nil {
 			return nil, err
 		}
@@ -369,6 +424,9 @@ func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder)
 	// measurements are then derived from the recorded facts.
 	a.metricsOn = true
 	a.round = rounds + 1
+	if err := a.speculateContexts(); err != nil {
+		return nil, err
+	}
 	out, err := a.analyzeRoot()
 	if err != nil {
 		return nil, err
@@ -578,6 +636,14 @@ func (x *exec) getContext(fn *ir.Func, Cp, Ip *ptgraph.Graph, ghostSrc map[*locs
 // the speculation runs) but aborts if the context would need real work.
 func (x *exec) analyzeContext(e *ctxEntry) error {
 	a := x.a
+	if s := x.spec; s != nil && s.phase {
+		// Task speculation (phase.go): consume the context's current
+		// result as-is and record a version dependency; the canonical
+		// sweep's commit re-demands the context and discards the
+		// speculation if its result moved.
+		s.logDep(e)
+		return nil
+	}
 	if e.inProgress {
 		return nil
 	}
@@ -599,6 +665,19 @@ func (x *exec) analyzeContext(e *ctxEntry) error {
 		// applySeed (seed.go) for the rounds/metrics split.
 		if done, err := x.applySeed(e); done {
 			return err
+		}
+	}
+	if p := e.pending; p != nil {
+		// A task speculation pre-solved this context against the
+		// round-start state (phase.go). Commit it if its dependency
+		// versions validate — then this demand is O(deps) instead of a
+		// solve — and fall through to the ordinary solve otherwise.
+		e.pending = nil
+		if p.round == a.round && p.metrics == a.metricsOn {
+			ok, err := x.commitPending(e, p)
+			if err != nil || ok {
+				return err
+			}
 		}
 	}
 	e.inProgress = true

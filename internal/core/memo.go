@@ -16,13 +16,23 @@
 // contexts, rounds and warnings are unaffected — the golden corpus is
 // bit-identical with the memo on or off.
 //
+// The memo is sharded onto the calling context (ctxEntry.memo): every
+// key names its caller, so each entry belongs to exactly one shard,
+// shard maps stay small, and a context's entries are garbage the moment
+// the context is. The speculation phase (phase.go) reads the shards of
+// many contexts concurrently; that is safe because only the sequential
+// sweep ever installs entries — speculative populations are buffered.
+//
 // Speculation discipline (see solve.go): a speculative executor only
-// probes the table; on a miss it falls through to the ordinary probing
+// probes the shards; on a miss it falls through to the ordinary probing
 // slow path, and populations plus hit/miss counter bumps are buffered
 // in the speculation's specBuf and applied by replaySpec only if the
-// speculation commits. Stored graphs are Clone snapshots (shared,
-// copy-on-write); hits hand out CloneShared copies, which never write
-// the cached graph and are therefore safe under concurrent probes.
+// speculation commits. A speculative solve additionally indexes its own
+// buffered populations (specState.memoIdx) so in-solve revisits hit the
+// memo just as the sequential solve they predict would. Stored graphs
+// are Clone snapshots (shared, copy-on-write); hits hand out
+// CloneShared copies, which never write the cached graph and are
+// therefore safe under concurrent probes.
 
 package core
 
@@ -40,6 +50,17 @@ type memoKey struct {
 	call *ir.Call
 	fn   *ir.Func
 	ctx  *ctxEntry
+}
+
+// callKey is memoKey without the calling context: the entries are
+// sharded onto their calling context (ctxEntry.memo), so the context is
+// the shard, not part of the in-shard key. Sharding keeps the memo maps
+// small, lets a context's entries die with it, and — because the
+// speculation phase (phase.go) only ever reads the shards — removes the
+// one shared mutable map the old global memo would have been.
+type callKey struct {
+	call *ir.Call
+	fn   *ir.Func
 }
 
 // memoEntry is one cached call-site transfer.
@@ -80,19 +101,51 @@ func (a *Analysis) memoCalleeFresh(e *ctxEntry) bool {
 	return e.doneRound == a.round
 }
 
+// calleeFresh is memoCalleeFresh through the executor: a task
+// speculation (phase.go) consumes frozen results, so for it every
+// callee is fresh by assumption — the consumption is recorded as a
+// version dependency and validated at commit, exactly like a direct
+// analyzeContext consumption.
+func (x *exec) calleeFresh(e *ctxEntry) bool {
+	if s := x.spec; s != nil && s.phase {
+		s.logDep(e)
+		return true
+	}
+	return x.a.memoCalleeFresh(e)
+}
+
 // probeCallMemo looks the call up in the memo. On a hit it returns the
 // output triple (created edges still need the caller's ∪ t.E); the
-// returned graphs are independently mutable snapshots.
+// returned graphs are independently mutable snapshots. A speculative
+// executor first consults its own buffered populations (a revisit
+// within one speculative solve must hit just as the sequential solve it
+// predicts would), then the calling context's shard — read-only, which
+// is what makes concurrent probes of the shards safe.
 func (x *exec) probeCallMemo(k memoKey, t *Triple) (*Triple, bool) {
 	a := x.a
-	if !a.memoEnabled() {
+	if !a.memoEnabled() || k.ctx == nil {
 		return nil, false
 	}
-	for _, e := range a.callMemo[k] {
+	if s := x.spec; s != nil && s.memoIdx != nil {
+		if tr, ok := x.scanMemoBucket(s.memoIdx[k], k, t); ok {
+			return tr, true
+		}
+	}
+	if tr, ok := x.scanMemoBucket(k.ctx.memo[callKey{call: k.call, fn: k.fn}], k, t); ok {
+		return tr, true
+	}
+	x.countMemo(false)
+	return nil, false
+}
+
+// scanMemoBucket applies the hit conditions to one bucket.
+func (x *exec) scanMemoBucket(bucket []*memoEntry, k memoKey, t *Triple) (*Triple, bool) {
+	a := x.a
+	for _, e := range bucket {
 		if e.round != a.round || !e.inC.Equal(t.C) || !e.inI.Equal(t.I) {
 			continue
 		}
-		if e.callee.result.version != e.calleeVer || !a.memoCalleeFresh(e.callee) {
+		if e.callee.result.version != e.calleeVer || !x.calleeFresh(e.callee) {
 			continue
 		}
 		x.countMemo(true)
@@ -101,7 +154,6 @@ func (x *exec) probeCallMemo(k memoKey, t *Triple) (*Triple, bool) {
 		x.recordCallee(k.ctx, e.callee)
 		return &Triple{C: e.outC.CloneShared(), I: t.I, E: e.outE.CloneShared()}, true
 	}
-	x.countMemo(false)
 	return nil, false
 }
 
@@ -114,7 +166,7 @@ func (x *exec) probeCallMemo(k memoKey, t *Triple) (*Triple, bool) {
 // harmless — the version check rejects it at probe time).
 func (x *exec) storeCallMemo(k memoKey, t *Triple, callee *ctxEntry, m *mapping, outC, outE *ptgraph.Graph) {
 	a := x.a
-	if !a.memoEnabled() {
+	if !a.memoEnabled() || k.ctx == nil {
 		return
 	}
 	e := &memoEntry{
@@ -123,27 +175,38 @@ func (x *exec) storeCallMemo(k memoKey, t *Triple, callee *ctxEntry, m *mapping,
 		callee: callee, calleeVer: callee.result.version,
 		outC: outC, outE: outE, m: m,
 	}
-	if x.spec != nil {
-		x.spec.buf.memos = append(x.spec.buf.memos, memoRec{key: k, entry: e})
+	if s := x.spec; s != nil {
+		s.buf.memos = append(s.buf.memos, memoRec{key: k, entry: e})
+		if s.memoIdx == nil {
+			s.memoIdx = map[memoKey][]*memoEntry{}
+		}
+		s.memoIdx[k] = append(s.memoIdx[k], e)
 		return
 	}
 	a.installMemo(k, e)
 }
 
-// installMemo inserts an entry into its bucket, replacing a stale
-// (previous-round) or same-input entry rather than growing the bucket.
+// installMemo inserts an entry into its shard's bucket, replacing a
+// stale (previous-round) or same-input entry rather than growing the
+// bucket. Only the sequential sweep installs (speculations buffer), so
+// the shards never see a concurrent write.
 func (a *Analysis) installMemo(k memoKey, e *memoEntry) {
-	if a.callMemo == nil {
-		a.callMemo = map[memoKey][]*memoEntry{}
+	owner := k.ctx
+	if owner == nil {
+		return
 	}
-	bucket := a.callMemo[k]
+	if owner.memo == nil {
+		owner.memo = map[callKey][]*memoEntry{}
+	}
+	ck := callKey{call: k.call, fn: k.fn}
+	bucket := owner.memo[ck]
 	for i, old := range bucket {
 		if old.round != e.round || (old.inC.Equal(e.inC) && old.inI.Equal(e.inI)) {
 			bucket[i] = e
 			return
 		}
 	}
-	a.callMemo[k] = append(bucket, e)
+	owner.memo[ck] = append(bucket, e)
 }
 
 // countMemo bumps the hit/miss counters (buffered under speculation so

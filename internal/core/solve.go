@@ -56,6 +56,36 @@ type exec struct {
 // specState buffers the side effects of a speculative solve.
 type specState struct {
 	buf specBuf
+
+	// phase marks a task speculation of the parallel pre-solve phase
+	// (phase.go). Where a par-thread speculation aborts on a callee that
+	// needs real work, a task speculation consumes the callee's frozen
+	// round-start result and records it in deps; the commit validates
+	// the recorded versions against the authoritative this-round state.
+	phase   bool
+	deps    []depRec
+	depSeen map[*ctxEntry]bool
+
+	// memoIdx is the speculation's local view of its buffered call-memo
+	// populations (buf.memos), so revisits within one speculative solve
+	// hit the memo exactly as the sequential solve they predict would.
+	memoIdx map[memoKey][]*memoEntry
+}
+
+// logDep records the first consumption of a context's current result by
+// a task speculation. Later consumptions are no-ops: the result is
+// frozen while the phase runs, so they would record the same version,
+// and first-consumption order is the order the commit must re-demand
+// dependencies in.
+func (s *specState) logDep(e *ctxEntry) {
+	if s.depSeen[e] {
+		return
+	}
+	if s.depSeen == nil {
+		s.depSeen = map[*ctxEntry]bool{}
+	}
+	s.depSeen[e] = true
+	s.deps = append(s.deps, depRec{ctx: e, ver: e.result.version})
 }
 
 // specBuf holds metric records, call-memo populations and memo counter

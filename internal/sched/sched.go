@@ -1,0 +1,153 @@
+// Package sched provides a small work-stealing scheduler for a fixed
+// batch of independent tasks.
+//
+// The model is deliberately minimal: Run is handed n tasks known up
+// front, none of which may spawn further tasks. Each worker owns a deque
+// seeded with a contiguous slice of the task range; it pops work from
+// the back of its own deque (LIFO, cache-friendly for the owner) and,
+// when that runs dry, steals the front half of a victim's deque (FIFO,
+// taking the oldest — and for a seeded batch the largest-granularity —
+// work). Because no task creates work, a worker that scans every deque
+// and finds them all empty can retire: whatever is still running holds
+// no future work. Run returns only after every task has completed, so a
+// caller that mutates no shared state inside the task functions needs no
+// synchronization beyond the call itself — the interprocedural engine's
+// speculation phase (internal/core/phase.go) relies on exactly that
+// join-before-commit property.
+//
+// Workers are spawned per call and are gone when Run returns; the
+// scheduler holds no global state, so cancellation policy belongs to the
+// task functions themselves (the engine's tasks poll their context and
+// return early, which drains the batch quickly without leaking
+// goroutines).
+package sched
+
+import "sync"
+
+// deque is one worker's task queue. A mutex suffices: tasks in this
+// codebase are whole procedure-context solves (microseconds to
+// milliseconds), so queue operations are nowhere near contended enough
+// to justify a lock-free Chase–Lev implementation.
+type deque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+// pop removes the newest task (owner end).
+func (d *deque) pop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return 0, false
+	}
+	t := d.tasks[n-1]
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+// stealHalf moves the older half (rounded up) of d's tasks to the
+// thief's deque and returns one of them to run immediately. It reports
+// whether anything was stolen.
+func (d *deque) stealHalf(thief *deque) (int, bool) {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	take := (n + 1) / 2
+	stolen := make([]int, take)
+	copy(stolen, d.tasks[:take])
+	d.tasks = append(d.tasks[:0], d.tasks[take:]...)
+	d.mu.Unlock()
+
+	t := stolen[0]
+	if len(stolen) > 1 {
+		thief.mu.Lock()
+		thief.tasks = append(thief.tasks, stolen[1:]...)
+		thief.mu.Unlock()
+	}
+	return t, true
+}
+
+// Run executes the tasks 0..n-1, each exactly once, on up to workers
+// goroutines, and blocks until all of them have completed. fn receives
+// the executing worker's index and the task number. A panic in fn is
+// re-raised on the calling goroutine after the remaining workers have
+// drained (first panic wins; the others are dropped).
+//
+// workers < 1 is treated as 1; with one worker the tasks run in order on
+// a single goroutine, which keeps the degenerate configuration cheap and
+// exactly sequential.
+func Run(workers, n int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for t := 0; t < n; t++ {
+			fn(0, t)
+		}
+		return
+	}
+
+	deques := make([]*deque, workers)
+	for w := range deques {
+		deques[w] = &deque{}
+	}
+	// Seed contiguous chunks so initial locality follows task order and
+	// the owner's LIFO pop walks its chunk back-to-front.
+	for t := 0; t < n; t++ {
+		w := t * workers / n
+		deques[w].tasks = append(deques[w].tasks, t)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = p
+					}
+					panicMu.Unlock()
+				}
+			}()
+			own := deques[self]
+			for {
+				if t, ok := own.pop(); ok {
+					fn(self, t)
+					continue
+				}
+				stole := false
+				for i := 1; i < workers; i++ {
+					victim := deques[(self+i)%workers]
+					if t, ok := victim.stealHalf(own); ok {
+						fn(self, t)
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					// Every deque was empty on a full scan; since tasks
+					// spawn no tasks, no work can appear later.
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}

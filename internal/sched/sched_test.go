@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEveryTaskExactlyOnce sweeps worker/task shapes, including more
+// workers than tasks, one worker, and empty batches.
+func TestEveryTaskExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 4, 8, 17} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			counts := make([]int32, n)
+			Run(workers, n, func(_, task int) {
+				atomic.AddInt32(&counts[task], 1)
+			})
+			for task, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, task, c)
+				}
+			}
+		}
+	}
+}
+
+// TestSingleWorkerInOrder pins the degenerate configuration: one worker
+// runs the batch sequentially in task order on the calling goroutine.
+func TestSingleWorkerInOrder(t *testing.T) {
+	var order []int
+	Run(1, 10, func(w, task int) {
+		if w != 0 {
+			t.Fatalf("single-worker run reported worker %d", w)
+		}
+		order = append(order, task) // no synchronization: must be one goroutine
+	})
+	for i, task := range order {
+		if task != i {
+			t.Fatalf("single-worker order %v not sequential", order)
+		}
+	}
+}
+
+// TestStealingBalancesSkew seeds worker 0's chunk with slow tasks and
+// checks that other workers steal some of them: without stealing the
+// run would be as slow as the sum of the slow tasks.
+func TestStealingBalancesSkew(t *testing.T) {
+	const workers, n = 4, 64
+	var mu sync.Mutex
+	executedBy := make([]int, n)
+	Run(workers, n, func(w, task int) {
+		// The first chunk (initially worker 0's) is the slow one.
+		if task < n/workers {
+			time.Sleep(2 * time.Millisecond)
+		}
+		mu.Lock()
+		executedBy[task] = w
+		mu.Unlock()
+	})
+	stolen := 0
+	for task := 0; task < n/workers; task++ {
+		if executedBy[task] != 0 {
+			stolen++
+		}
+	}
+	if stolen == 0 {
+		t.Fatalf("no slow task was stolen from worker 0's chunk (executedBy=%v)", executedBy[:n/workers])
+	}
+}
+
+// TestPanicPropagates checks a task panic reaches the caller after the
+// pool has drained.
+func TestPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("expected panic \"boom\", got %v", r)
+		}
+	}()
+	Run(4, 32, func(_, task int) {
+		if task == 7 {
+			panic("boom")
+		}
+	})
+}
+
+// TestConcurrentRuns hammers the scheduler from several goroutines at
+// once (meaningful under -race: Run must hold no shared global state).
+func TestConcurrentRuns(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			Run(4, 100, func(_, task int) {
+				sum.Add(int64(task))
+			})
+			if got := sum.Load(); got != 99*100/2 {
+				t.Errorf("sum = %d, want %d", got, 99*100/2)
+			}
+		}()
+	}
+	wg.Wait()
+}

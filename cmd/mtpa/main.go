@@ -14,6 +14,10 @@
 //	-run               execute the program under the interpreter
 //	-seed n            scheduler seed for -run
 //	-corpus name       analyse an embedded benchmark instead of a file
+//	-tiered            answer in two tiers: print the flow-insensitive
+//	                   tier-0 answer as soon as it is available, then the
+//	                   flow-sensitive refinement when the fixpoint lands
+//	                   (both timings are reported)
 //	-timeout d         cancel the analysis after duration d (exit code 3)
 //	-max-steps n       per-procedure solver step budget; exceeding it
 //	                   degrades that procedure to the flow-insensitive
@@ -72,6 +76,7 @@ type config struct {
 	runProg  bool
 	seed     int64
 	corpus   string
+	tiered   bool
 	timeout  time.Duration
 	maxSteps int
 	workers  int
@@ -93,6 +98,7 @@ func main() {
 	flag.BoolVar(&cfg.runProg, "run", false, "execute the program under the interpreter")
 	flag.Int64Var(&cfg.seed, "seed", 1, "scheduler seed for -run")
 	flag.StringVar(&cfg.corpus, "corpus", "", "analyse an embedded benchmark program by name")
+	flag.BoolVar(&cfg.tiered, "tiered", false, "answer in two tiers: flow-insensitive immediately, flow-sensitive when the fixpoint lands")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "cancel the analysis after this duration (0 = no limit)")
 	flag.IntVar(&cfg.maxSteps, "max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
 	flag.IntVar(&cfg.workers, "workers", 0, "fixpoint worker count for concurrent context pre-solving (0 = GOMAXPROCS, 1 = sequential); results are identical at every count")
@@ -144,9 +150,13 @@ func run(out, errOut io.Writer, cfg config) error {
 	var inputs []input
 	switch {
 	case cfg.corpus != "":
+		// Paper corpus first, then the sequential partition (seqfib,
+		// deadpar, ...), so every embedded benchmark is reachable by name.
 		p, err := bench.Load(cfg.corpus)
 		if err != nil {
-			return err
+			if p, err = bench.SeqLoad(cfg.corpus); err != nil {
+				return fmt.Errorf("bench: unknown program %q", cfg.corpus)
+			}
 		}
 		inputs = append(inputs, input{cfg.corpus + ".clk", p.Source})
 	case len(cfg.args) >= 1:
@@ -187,7 +197,12 @@ func run(out, errOut io.Writer, cfg config) error {
 		if done, err := renderPre(out, errOut, cfg, prog); done || err != nil {
 			return err
 		}
-		res, err := prog.AnalyzeContext(ctx, opts)
+		var res *mtpa.Result
+		if cfg.tiered {
+			res, err = runTiered(ctx, out, opts, prog)
+		} else {
+			res, err = prog.AnalyzeContext(ctx, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -198,9 +213,24 @@ func run(out, errOut io.Writer, cfg config) error {
 	sess := mtpa.NewSession(opts)
 	for pass := 0; pass < cfg.repeat; pass++ {
 		for _, in := range inputs {
-			up, err := sess.UpdateContext(ctx, in.name, in.src)
-			if err != nil {
-				return err
+			var up *mtpa.UpdateResult
+			if cfg.tiered {
+				u, uerr := sess.UpdateTiered(ctx, in.name, in.src)
+				if uerr != nil {
+					return uerr
+				}
+				res, rerr := u.Refined()
+				if rerr != nil {
+					return rerr
+				}
+				stats, _ := u.Stats()
+				up = &mtpa.UpdateResult{Program: u.Program, Result: res, Stats: stats}
+			} else {
+				u, uerr := sess.UpdateContext(ctx, in.name, in.src)
+				if uerr != nil {
+					return uerr
+				}
+				up = u
 			}
 			if pass == 0 {
 				if done, err := renderPre(out, errOut, cfg, up.Program); done || err != nil {
@@ -231,6 +261,28 @@ func run(out, errOut io.Writer, cfg config) error {
 	fmt.Fprintf(out, "context summary cache:   %d hit(s), %d miss(es) (%.1f%% warm), %d probe(s)\n",
 		st.SeedHits, st.SeedMisses, rate, sums.Hits+sums.Misses)
 	return nil
+}
+
+// runTiered answers through the tiered query API, reporting the tier-0
+// (flow-insensitive) answer and its latency the moment it is available
+// and the refinement latency once the fixpoint lands. The returned
+// refinement feeds the ordinary reports.
+func runTiered(ctx context.Context, out io.Writer, opts mtpa.Options, prog *mtpa.Program) (*mtpa.Result, error) {
+	start := time.Now()
+	tr := prog.AnalyzeTiered(ctx, opts)
+	fmt.Fprintf(out, "== tier 0: flow-insensitive answer in %v (%d edges, %d iterations) ==\n",
+		time.Since(start).Round(time.Microsecond), tr.Fast.Graph.Len(), tr.Fast.Iterations)
+	res, err := tr.Refined()
+	if err != nil {
+		return nil, err
+	}
+	engine := "full engine"
+	if res.FastPath {
+		engine = "sequential fast path"
+	}
+	fmt.Fprintf(out, "== tier 1: flow-sensitive refinement in %v (%s) ==\n",
+		time.Since(start).Round(time.Microsecond), engine)
+	return res, nil
 }
 
 // renderPre prints compile-stage output (warnings, -format, the IR and
@@ -300,6 +352,14 @@ func renderPost(out, errOut io.Writer, cfg config, opts mtpa.Options, name, src 
 		st := metrics.Characteristics(name, "", src, prog.IR)
 		fmt.Fprintln(out, metrics.RenderTable1([]metrics.ProgramStats{st}))
 		fmt.Fprintln(out, metrics.RenderTable3([]metrics.Convergence{metrics.ConvergenceOf(name, res)}))
+		eligible, engine := "no", "full engine"
+		if prog.FastPathEligible() {
+			eligible = "yes"
+		}
+		if res.FastPath {
+			engine = "sequential fast path"
+		}
+		fmt.Fprintf(out, "fast path: eligible=%s, refined on the %s\n", eligible, engine)
 	}
 
 	if cfg.race {

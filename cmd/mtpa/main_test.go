@@ -88,6 +88,48 @@ func TestCorpusSummaryGolden(t *testing.T) {
 	checkGolden(t, "fib_mt.golden", out.Bytes())
 }
 
+// TestTieredFlag smoke-tests -tiered on both partitions: the tier-0
+// line appears before the summary, the tier-1 line names the engine
+// (fast path on a sequential program, full engine on a parallel one),
+// and the refined summary equals the untier run's.
+func TestTieredFlag(t *testing.T) {
+	for _, tc := range []struct {
+		corpus string
+		engine string
+	}{
+		{"fib", "full engine"},
+		{"seqfib", "sequential fast path"}, // sequential-partition corpus name
+	} {
+		var out, errOut bytes.Buffer
+		cfg := config{mode: "mt", summary: true, tiered: true, seed: 1, corpus: tc.corpus}
+		if err := run(&out, &errOut, cfg); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "== tier 0: flow-insensitive answer in ") {
+			t.Errorf("no tier-0 line:\n%s", s)
+		}
+		if !strings.Contains(s, "== tier 1: flow-sensitive refinement in ") ||
+			!strings.Contains(s, "("+tc.engine+") ==") {
+			t.Errorf("tier-1 line missing or wrong engine (want %s):\n%s", tc.engine, s)
+		}
+		if !strings.Contains(s, "points-to graph at main's exit") {
+			t.Errorf("refined summary missing:\n%s", s)
+		}
+	}
+
+	// Batch mode (-repeat 2): the tiered path flows through the session;
+	// the second pass is a whole-file cache hit.
+	var out, errOut bytes.Buffer
+	cfg := config{mode: "mt", summary: true, tiered: true, seed: 1, corpus: "fib", repeat: 2}
+	if err := run(&out, &errOut, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "whole-file result cache: 1 hit(s)") {
+		t.Errorf("tiered batch did not hit the whole-file cache:\n%s", out.String())
+	}
+}
+
 func TestParseErrorDiagnostic(t *testing.T) {
 	var out, errOut bytes.Buffer
 	err := runCLI(t, &out, &errOut, "mt", true, false, false, false, "", "testdata/parse_error.clk")

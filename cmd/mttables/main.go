@@ -10,7 +10,13 @@
 //	mttables -table fig10  analysis times                 (Figure 10)
 //	mttables -table cache  context-cache and call-memo statistics
 //	mttables -table budget solver-step and degradation counters
+//	mttables -table tier   fast-path eligibility and tiered-precision data
 //	mttables -table all    everything
+//
+// -table tier covers both corpus partitions: the 18 paper programs
+// (all of which reach a spawn, so the engine's sequential fast path
+// never fires) and the sequential partition, where the fast path must
+// fire and the tier-0/refined edge counts bound the precision gap.
 //
 // A per-program analysis failure does not abort the run: the failing
 // program is reported on stderr, the tables render the remaining
@@ -44,11 +50,11 @@ import (
 var validTables = map[string]bool{
 	"1": true, "2": true, "3": true, "4": true,
 	"fig8": true, "fig9": true, "fig10": true,
-	"cache": true, "budget": true, "all": true,
+	"cache": true, "budget": true, "tier": true, "all": true,
 }
 
 func main() {
-	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, all")
+	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, tier, all")
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
 	timeout := flag.Duration("timeout", 0, "cancel the corpus analysis after this duration (0 = no limit)")
 	maxSteps := flag.Int("max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
@@ -89,7 +95,7 @@ func main() {
 // validTables (golden-pinned: an unknown name used to silently render
 // nothing and exit 0).
 func unknownTableDiag(table string) string {
-	return fmt.Sprintf("unknown table %q (valid: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, all)", table)
+	return fmt.Sprintf("unknown table %q (valid: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, tier, all)", table)
 }
 
 // exitCode mirrors the mtpa CLI's classification: 3 for timeouts and
@@ -278,6 +284,28 @@ func run(ctx context.Context, out, errOut io.Writer, table string, timingRuns, m
 		fmt.Fprintln(out, metrics.RenderBudgetStats(rows))
 	}
 
+	if want("tier") {
+		rows := make([]metrics.TierRow, 0, len(all))
+		for _, a := range all {
+			rows = append(rows, tierRowOf(a.Name, "parallel", a.Compiled, a.MT))
+		}
+		seqAll, err := bench.AnalyzeSeqAll(mtpa.Options{Mode: mtpa.Multithreaded, FixpointWorkers: workers}, 0)
+		if err != nil {
+			return err
+		}
+		for _, r := range seqAll {
+			if r.Err != nil {
+				fmt.Fprintln(errOut, "mttables:", r.Err)
+				if corpusErr == nil {
+					corpusErr = r.Err
+				}
+				continue
+			}
+			rows = append(rows, tierRowOf(r.Name, "sequential", r.Prog, r.Res))
+		}
+		fmt.Fprintln(out, metrics.RenderTierTable(rows))
+	}
+
 	if want("fig10") {
 		var rows []metrics.TimeRow
 		for _, a := range all {
@@ -290,6 +318,20 @@ func run(ctx context.Context, out, errOut io.Writer, table string, timingRuns, m
 		fmt.Fprintln(out, metrics.RenderTimes(rows))
 	}
 	return corpusErr
+}
+
+// tierRowOf assembles one tiered-precision row: eligibility from the
+// par-reachability pass, the engine the refinement actually ran on, and
+// the tier-0 (flow-insensitive) versus refined edge counts.
+func tierRowOf(name, partition string, prog *mtpa.Program, res *mtpa.Result) metrics.TierRow {
+	return metrics.TierRow{
+		Name:         name,
+		Partition:    partition,
+		Eligible:     prog.FastPathEligible(),
+		FastPath:     res.FastPath,
+		Tier0Edges:   prog.FlowInsensitive().Graph.Len(),
+		RefinedEdges: res.MainOut.C.Len(),
+	}
 }
 
 func timeAnalysis(p *mtpa.Program, mode mtpa.Mode, runs int) float64 {

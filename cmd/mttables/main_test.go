@@ -107,10 +107,28 @@ func TestTableFormattingStable(t *testing.T) {
 	}
 }
 
+// TestTierTableGolden locks the tiered-precision table: partition and
+// fast-path eligibility per program (the 18 paper programs all reach a
+// spawn; the sequential partition must run on the fast engine), plus
+// the tier-0 versus refined edge counts. Everything in it is a
+// deterministic function of the corpus sources.
+func TestTierTableGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus table rendering is slow in -short mode")
+	}
+	for _, workers := range []int{1, 4} {
+		var out, errOut bytes.Buffer
+		if err := run(context.Background(), &out, &errOut, "tier", 1, 0, workers); err != nil {
+			t.Fatalf("table tier (workers=%d): %v", workers, err)
+		}
+		checkGolden(t, "tier.golden", out.Bytes())
+	}
+}
+
 // TestValidTables pins the closed set of -table names: an unknown name
 // must be rejected in main (it used to silently render nothing and exit 0).
 func TestValidTables(t *testing.T) {
-	for _, name := range []string{"1", "2", "3", "4", "fig8", "fig9", "fig10", "cache", "budget", "all"} {
+	for _, name := range []string{"1", "2", "3", "4", "fig8", "fig9", "fig10", "cache", "budget", "tier", "all"} {
 		if !validTables[name] {
 			t.Errorf("table %q missing from validTables", name)
 		}

@@ -60,3 +60,64 @@ func FuzzAnalyzeNoPanic(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSeqFastPathIdentity is the fuzzed version of the sequential
+// partition's bit-identity obligation: for every generated program the
+// par-reachability pass proves sequential, the interference-free fast
+// engine and the full engine must produce identical fingerprints and
+// warnings. Inputs that reach a par or spawn are skipped (the fast path
+// never fires there; TestParallelPartitionUnaffected covers them). The
+// corpus is shared with FuzzAnalyzeNoPanic so crashers found by one
+// target replay against the other.
+func FuzzSeqFastPathIdentity(f *testing.F) {
+	for _, name := range []string{"fib", "queens", "knary"} {
+		p, err := bench.Load(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Source)
+	}
+	for _, name := range []string{"seqfib", "seqcilksort", "fptrsum", "deadpar"} {
+		p, err := bench.SeqLoad(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Source)
+	}
+	f.Add("int g; int main(int argc) { int *p; p = &g; *p = 1; return g; }")
+	f.Add("int f(int *q) { return *q; } int main(int argc) { int x; int (*fp)(int *); fp = &f; return fp(&x); }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		prog, err := mtpa.Compile("fuzz.clk", src)
+		if err != nil {
+			return // malformed inputs belong to FuzzAnalyzeNoPanic
+		}
+		if !prog.FastPathEligible() {
+			return // a par or spawn is reachable; the fast path never fires
+		}
+		for _, mode := range []mtpa.Mode{mtpa.Multithreaded, mtpa.Sequential} {
+			// Rounds/contexts caps fail deterministically on both engines;
+			// no wall-time budget, whose degradations are timing-dependent.
+			opts := mtpa.Options{Mode: mode, MaxRounds: 50, MaxContexts: 2000}
+			fast, ferr := prog.Analyze(opts)
+			opts.DisableSeqFastPath = true
+			full, serr := prog.Analyze(opts)
+			if (ferr == nil) != (serr == nil) {
+				t.Fatalf("%v: engines disagree on failure: fast=%v full=%v", mode, ferr, serr)
+			}
+			if ferr != nil {
+				continue
+			}
+			if !fast.FastPath {
+				t.Fatalf("%v: fast path did not fire on an eligible program", mode)
+			}
+			if fast.Fingerprint() != full.Fingerprint() {
+				t.Fatalf("%v: fingerprint diverged\nfast: %s\nfull: %s",
+					mode, fast.Fingerprint(), full.Fingerprint())
+			}
+		}
+	})
+}

@@ -18,6 +18,9 @@ import (
 //go:embed corpus/*.clk
 var corpusFS embed.FS
 
+//go:embed corpus_seq/*.clk
+var seqCorpusFS embed.FS
+
 // Program is one corpus entry.
 type Program struct {
 	Name        string
@@ -105,6 +108,86 @@ func Load(name string) (Program, error) {
 // Compile compiles one corpus program.
 func Compile(name string) (*mtpa.Program, error) {
 	p, err := Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return mtpa.Compile(name+".clk", p.Source)
+}
+
+// seqDescriptions covers the sequential partition: de-parallelised
+// variants of paper benchmarks plus two eligibility stress programs.
+var seqDescriptions = map[string]string{
+	"deadpar":     "Parallelism in Dead Code Only",
+	"fptrsum":     "Indirect Calls over Sequential Targets",
+	"seqblock":    "Sequential Blocked Matrix Multiply",
+	"seqcilksort": "Sequential Mergesort",
+	"seqfib":      "Sequential Fibonacci",
+	"seqpousse":   "Sequential Pousse Game Program",
+	"seqqueens":   "Sequential N Queens",
+}
+
+// seqOrder is the table order of the sequential partition.
+var seqOrder = []string{
+	"seqfib", "seqqueens", "seqblock", "seqcilksort", "seqpousse",
+	"deadpar", "fptrsum",
+}
+
+// SeqPrograms returns the sequential partition of the corpus: programs
+// whose executions the par-reachability pass proves free of par and
+// spawn, so the engine's interference-free fast path must both fire and
+// reproduce the full engine's results bit-for-bit (the tiered-identity
+// sweep). The partition is embedded separately from the 18 paper
+// programs so the paper-table pins (18 programs, 36 golden rows) stay
+// untouched.
+func SeqPrograms() ([]Program, error) {
+	entries, err := seqCorpusFS.ReadDir("corpus_seq")
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Program{}
+	for _, e := range entries {
+		name := e.Name()
+		name = name[:len(name)-len(".clk")]
+		data, err := seqCorpusFS.ReadFile("corpus_seq/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		byName[name] = Program{
+			Name:        name,
+			Description: seqDescriptions[name],
+			Source:      string(data),
+		}
+	}
+	var out []Program
+	for _, name := range seqOrder {
+		if p, ok := byName[name]; ok {
+			out = append(out, p)
+			delete(byName, name)
+		}
+	}
+	var rest []string
+	for name := range byName {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+// SeqLoad returns one sequential-partition program by name.
+func SeqLoad(name string) (Program, error) {
+	data, err := seqCorpusFS.ReadFile("corpus_seq/" + name + ".clk")
+	if err != nil {
+		return Program{}, fmt.Errorf("bench: unknown sequential program %q", name)
+	}
+	return Program{Name: name, Description: seqDescriptions[name], Source: string(data)}, nil
+}
+
+// SeqCompile compiles one sequential-partition program.
+func SeqCompile(name string) (*mtpa.Program, error) {
+	p, err := SeqLoad(name)
 	if err != nil {
 		return nil, err
 	}

@@ -51,6 +51,21 @@ func AnalyzeAllContext(ctx context.Context, opts mtpa.Options, workers int) ([]C
 	if err != nil {
 		return nil, err
 	}
+	return analyzeAll(ctx, progs, opts, workers), nil
+}
+
+// AnalyzeSeqAll runs the same fan over the sequential partition
+// (SeqPrograms) instead of the 18 paper programs.
+func AnalyzeSeqAll(opts mtpa.Options, workers int) ([]CorpusResult, error) {
+	progs, err := SeqPrograms()
+	if err != nil {
+		return nil, err
+	}
+	return analyzeAll(context.Background(), progs, opts, workers), nil
+}
+
+// analyzeAll fans the analysis of progs across workers goroutines.
+func analyzeAll(ctx context.Context, progs []Program, opts mtpa.Options, workers int) []CorpusResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -71,7 +86,7 @@ func AnalyzeAllContext(ctx context.Context, opts mtpa.Options, workers int) ([]C
 	}
 	close(jobs)
 	wg.Wait()
-	return out, nil
+	return out
 }
 
 // analyzeOne compiles and analyses one corpus program. It never panics:

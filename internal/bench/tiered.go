@@ -1,0 +1,155 @@
+// The tiered-precision measurement driver (BENCH_8.json): two
+// comparisons, one per corpus partition.
+//
+// On the sequential partition the engine's interference-free fast path
+// fires, so the interesting ratio is fast-on versus fast-off wall time
+// of the full flow-sensitive analysis — the fast path's whole value is
+// being cheaper at bit-identical output.
+//
+// On the parallel partition the fast path never fires; there the tiered
+// query API earns its keep by answering early, so the interesting ratio
+// is time-to-first-answer (the flow-insensitive tier-0 pass) versus the
+// flow-sensitive refinement a caller would otherwise block on.
+
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"mtpa"
+	"mtpa/internal/flowinsens"
+)
+
+// FastPathMeasurement compares the full flow-sensitive analysis with the
+// sequential fast path on and off, for one sequential-partition program.
+type FastPathMeasurement struct {
+	Name         string  `json:"name"`
+	FastNsOp     int64   `json:"fast_ns_op"`
+	FullNsOp     int64   `json:"full_ns_op"`
+	FullOverFast float64 `json:"full_over_fast"`
+}
+
+// TierMeasurement compares the tier-0 time-to-first-answer with the
+// flow-sensitive refinement, for one parallel-partition program.
+type TierMeasurement struct {
+	Name             string  `json:"name"`
+	Tier0NsOp        int64   `json:"tier0_ns_op"`
+	RefinedNsOp      int64   `json:"refined_ns_op"`
+	RefinedOverTier0 float64 `json:"refined_over_tier0"`
+}
+
+// TieredReport is the whole measurement (BENCH_8.json).
+type TieredReport struct {
+	Scenario   string `json:"scenario"`
+	Iterations int    `json:"iterations_per_program"`
+
+	SeqPartition    []FastPathMeasurement `json:"seq_partition"`
+	SeqTotalFastNs  int64                 `json:"seq_total_fast_ns_op"`
+	SeqTotalFullNs  int64                 `json:"seq_total_full_ns_op"`
+	SeqFullOverFast float64               `json:"seq_total_full_over_fast"`
+
+	ParPartition        []TierMeasurement `json:"par_partition"`
+	ParTotalTier0Ns     int64             `json:"par_total_tier0_ns_op"`
+	ParTotalRefinedNs   int64             `json:"par_total_refined_ns_op"`
+	ParRefinedOverTier0 float64           `json:"par_total_refined_over_tier0"`
+}
+
+// MeasureTiered runs both comparisons, iters timed analysis runs per
+// program and configuration (compilation is excluded: both sides share
+// one compiled program).
+func MeasureTiered(opts mtpa.Options, iters int) (*TieredReport, error) {
+	report := &TieredReport{
+		Scenario: "sequential partition: flow-sensitive analysis with the fast path on vs off; " +
+			"parallel partition: flow-insensitive time-to-first-answer vs flow-sensitive refinement",
+		Iterations: iters,
+	}
+
+	seq, err := SeqPrograms()
+	if err != nil {
+		return nil, err
+	}
+	fullOpts := opts
+	fullOpts.DisableSeqFastPath = true
+	for _, p := range seq {
+		prog, err := mtpa.Compile(p.Name+".clk", p.Source)
+		if err != nil {
+			return nil, err
+		}
+		fastNs, err := timeAnalyze(prog, opts, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		fullNs, err := timeAnalyze(prog, fullOpts, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		m := FastPathMeasurement{Name: p.Name, FastNsOp: fastNs, FullNsOp: fullNs}
+		if fastNs > 0 {
+			m.FullOverFast = float64(fullNs) / float64(fastNs)
+		}
+		report.SeqPartition = append(report.SeqPartition, m)
+		report.SeqTotalFastNs += fastNs
+		report.SeqTotalFullNs += fullNs
+	}
+	if report.SeqTotalFastNs > 0 {
+		report.SeqFullOverFast = float64(report.SeqTotalFullNs) / float64(report.SeqTotalFastNs)
+	}
+
+	par, err := Programs()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range par {
+		prog, err := mtpa.Compile(p.Name+".clk", p.Source)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			// The per-Program cache would make every iteration after the
+			// first free; measure the real pass, as a first tiered query
+			// on a fresh Program pays it.
+			flowinsens.Analyze(prog.IR)
+		}
+		tier0Ns := time.Since(start).Nanoseconds() / int64(iters)
+		refinedNs, err := timeAnalyze(prog, opts, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		m := TierMeasurement{Name: p.Name, Tier0NsOp: tier0Ns, RefinedNsOp: refinedNs}
+		if tier0Ns > 0 {
+			m.RefinedOverTier0 = float64(refinedNs) / float64(tier0Ns)
+		}
+		report.ParPartition = append(report.ParPartition, m)
+		report.ParTotalTier0Ns += tier0Ns
+		report.ParTotalRefinedNs += refinedNs
+	}
+	if report.ParTotalTier0Ns > 0 {
+		report.ParRefinedOverTier0 = float64(report.ParTotalRefinedNs) / float64(report.ParTotalTier0Ns)
+	}
+	return report, nil
+}
+
+// timeAnalyze runs iters analyses of one compiled program and returns the
+// mean nanoseconds per run.
+func timeAnalyze(prog *mtpa.Program, opts mtpa.Options, iters int) (int64, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := prog.Analyze(opts); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(iters), nil
+}
+
+// WriteTieredJSON writes the report as indented JSON.
+func WriteTieredJSON(path string, report *TieredReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"mtpa"
+)
+
+// TestTieredSpeedup is the acceptance gate for the tiered-precision PR:
+// the sequential fast path must cut flow-sensitive analysis time on the
+// sequential partition by at least 1.3x overall, and on the parallel
+// partition the tier-0 flow-insensitive answer must arrive at least 5x
+// faster than the flow-sensitive refinement. Set
+// MTPA_WRITE_BENCH8=BENCH_8.json to also write the report.
+func TestTieredSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement is slow in -short mode")
+	}
+	report, err := MeasureTiered(mtpa.Options{Mode: mtpa.Multithreaded}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range report.SeqPartition {
+		t.Logf("seq %-12s fast %10d ns/op  full %10d ns/op  full/fast %.2fx",
+			m.Name, m.FastNsOp, m.FullNsOp, m.FullOverFast)
+	}
+	t.Logf("seq total: fast %d ns/op, full %d ns/op, full/fast %.2fx",
+		report.SeqTotalFastNs, report.SeqTotalFullNs, report.SeqFullOverFast)
+	for _, m := range report.ParPartition {
+		t.Logf("par %-12s tier0 %10d ns/op  refined %10d ns/op  refined/tier0 %.1fx",
+			m.Name, m.Tier0NsOp, m.RefinedNsOp, m.RefinedOverTier0)
+	}
+	t.Logf("par total: tier0 %d ns/op, refined %d ns/op, refined/tier0 %.1fx",
+		report.ParTotalTier0Ns, report.ParTotalRefinedNs, report.ParRefinedOverTier0)
+
+	if report.SeqFullOverFast < 1.3 {
+		t.Errorf("sequential fast path speedup %.2fx, want at least 1.3x", report.SeqFullOverFast)
+	}
+	if report.ParRefinedOverTier0 < 5 {
+		t.Errorf("tier-0 time-to-first-answer advantage %.1fx, want at least 5x", report.ParRefinedOverTier0)
+	}
+
+	if path := os.Getenv("MTPA_WRITE_BENCH8"); path != "" {
+		if err := WriteTieredJSON(path, report); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

@@ -69,6 +69,20 @@ type Options struct {
 	// (ablation; results are bit-identical either way). The memo is also
 	// off whenever DisableContextCache is set.
 	DisableCallMemo bool
+	// DisableSeqFastPath turns off the sequential fast path (ablation;
+	// overridable process-wide with MTPA_SEQ_FASTPATH=0). When a
+	// reachability pass over the IR call graph proves that no par or
+	// parfor construct can execute (ir.Program.ParReachable, conservative
+	// over function pointers), the engine runs an interference-free mode:
+	// every fact's I component is one shared empty graph and every solve's
+	// E component is one shared accumulator, so fact merges union only C
+	// and facts never re-queue on created-edge growth. Fingerprints,
+	// warnings and samples are bit-identical with the fast path on or off
+	// (the trajectory differences are confined to run-shape counters such
+	// as SolverSteps and the memo hit/miss split). The fast path is also
+	// off under RecordPoints, which needs a distinct E at every program
+	// point.
+	DisableSeqFastPath bool
 
 	// ParWorkers bounds how many per-thread solves of one par fixed-point
 	// iteration may run concurrently (0 = GOMAXPROCS). With fewer than two
@@ -181,6 +195,18 @@ func (o *Options) fixpointWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// envSeqFastPathOff caches the MTPA_SEQ_FASTPATH override, read once per
+// process: "0" disables the sequential fast path for the whole test
+// binary (the ablation CI jobs use it), anything else leaves the
+// per-Options default in force.
+var envSeqFastPathOff = os.Getenv("MTPA_SEQ_FASTPATH") == "0"
+
+// seqFastPathWanted reports whether this run may use the sequential fast
+// path, before the per-program eligibility proof.
+func (o *Options) seqFastPathWanted() bool {
+	return !o.DisableSeqFastPath && !envSeqFastPathOff && !o.RecordPoints
+}
+
 func (o *Options) maxContexts() int {
 	if o.MaxContexts > 0 {
 		return o.MaxContexts
@@ -280,6 +306,14 @@ type Analysis struct {
 	metricsOn bool
 	metrics   *Metrics
 
+	// seqFast marks the interference-free fast-path mode: the program has
+	// no reachable par/parfor (ir.Program.ParReachable), so every fact's I
+	// is the shared emptyI and every solve threads one E accumulator
+	// through its facts instead of cloning and merging per-fact E graphs
+	// (see bodyProblem in solve.go). emptyI is never mutated.
+	seqFast bool
+	emptyI  *ptgraph.Graph
+
 	// Cancellation and budgets. polling is true when a context or budget
 	// is attached; only then do solves install a dataflow poll (the
 	// default path stays bit-identical and overhead-free). totalSteps
@@ -293,6 +327,10 @@ type Analysis struct {
 	degraded   []Degradation
 	fiOnce     sync.Once
 	fiGraph    *ptgraph.Graph
+	// fiPre, when non-nil, is a flow-insensitive graph precomputed by the
+	// caller (the tiered query API computes it for the tier-0 answer and
+	// shares it here), so Budget degradation never recomputes it.
+	fiPre *ptgraph.Graph
 
 	warnings     []string
 	warnedUnk    map[*ir.Instr]bool
@@ -346,6 +384,12 @@ type Result struct {
 	// still sound but less precise, and golden comparisons do not apply.
 	Degraded []Degradation
 
+	// FastPath reports that the run used the interference-free sequential
+	// fast path (no par/parfor reachable from main; see
+	// Options.DisableSeqFastPath). The results are bit-identical either
+	// way; the flag only describes how they were computed.
+	FastPath bool
+
 	analysis *Analysis
 }
 
@@ -364,12 +408,23 @@ func Analyze(prog *ir.Program, opts Options) (*Result, error) {
 // function never panics: internal invariant violations are converted to
 // *errs.ICEError by a recover shim.
 func AnalyzeContext(ctx context.Context, prog *ir.Program, opts Options) (res *Result, err error) {
-	return analyze(ctx, prog, opts, nil)
+	return analyze(ctx, prog, opts, nil, nil)
 }
 
-// analyze is the shared driver behind AnalyzeContext and
-// AnalyzeWithSeeder (seed.go); with a nil seeder the two are identical.
-func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder) (res *Result, err error) {
+// AnalyzeContextFI is AnalyzeContext with a caller-precomputed
+// flow-insensitive graph. The tiered query API serves fi as its tier-0
+// answer and passes it here so a Budget degradation during the refinement
+// reuses it instead of recomputing flowinsens from scratch; the graph
+// must be flowinsens.Analyze(prog).Graph (it is trusted, not checked) and
+// must not be mutated afterwards.
+func AnalyzeContextFI(ctx context.Context, prog *ir.Program, opts Options, fi *ptgraph.Graph) (res *Result, err error) {
+	return analyze(ctx, prog, opts, nil, fi)
+}
+
+// analyze is the shared driver behind AnalyzeContext, AnalyzeContextFI
+// and AnalyzeWithSeeder (seed.go); with a nil seeder and nil fi they are
+// all identical.
+func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder, fi *ptgraph.Graph) (res *Result, err error) {
 	defer errs.Recover(&err)
 	if prog.Main == nil {
 		return nil, fmt.Errorf("core: program has no main function")
@@ -384,6 +439,11 @@ func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder)
 		metrics:    newMetrics(),
 		privBlocks: map[*locset.Block]bool{},
 		seeder:     seeder,
+		fiPre:      fi,
+	}
+	if opts.seqFastPathWanted() && !prog.ParReachable() {
+		a.seqFast = true
+		a.emptyI = ptgraph.New()
 	}
 	for _, b := range prog.Table.Blocks() {
 		if b.Kind == locset.KindPrivateGlobal {
@@ -450,6 +510,7 @@ func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder)
 		MainOut:      out,
 		ProcAnalyses: a.procAnalyses,
 		Degraded:     a.degraded,
+		FastPath:     a.seqFast,
 		analysis:     a,
 	}, nil
 }
@@ -506,9 +567,15 @@ func (a *Analysis) degrade(e *ctxEntry, be *budgetError) {
 }
 
 // flowinsensGraph lazily computes the flow-insensitive fallback graph,
-// once per run.
+// once per run — or adopts the caller-precomputed graph of
+// AnalyzeContextFI, so a tiered query's tier-0 answer and its
+// refinement's Budget degradations share one flowinsens computation.
 func (a *Analysis) flowinsensGraph() *ptgraph.Graph {
 	a.fiOnce.Do(func() {
+		if a.fiPre != nil {
+			a.fiGraph = a.fiPre
+			return
+		}
 		a.fiGraph = flowinsens.Analyze(a.prog).Graph
 	})
 	return a.fiGraph
@@ -699,6 +766,12 @@ func (x *exec) analyzeContext(e *ctxEntry) error {
 	}
 
 	in := &Triple{C: e.Cp.Clone(), I: e.Ip.Clone(), E: ptgraph.New()}
+	if a.seqFast {
+		// Fast path: every context input I is empty; share the canonical
+		// empty graph so facts never clone or union an I. The fresh E
+		// graph becomes this solve's shared accumulator (solve.go).
+		in.I = a.emptyI
+	}
 	out, err := x.solveBody(a.flow.FuncGraph(e.fn), in, e)
 	if err != nil {
 		var be *budgetError

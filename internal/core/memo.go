@@ -169,8 +169,16 @@ func (x *exec) storeCallMemo(k memoKey, t *Triple, callee *ctxEntry, m *mapping,
 	if !a.memoEnabled() || k.ctx == nil {
 		return
 	}
+	inI := t.I
+	if !a.seqFast {
+		// Snapshot the I input. On the fast path t.I is the analysis-wide
+		// empty graph: immutable by construction, so it is stored as-is —
+		// Clone would write its copy-on-write mark, racing with concurrent
+		// speculative stores of the same shared graph.
+		inI = inI.Clone()
+	}
 	e := &memoEntry{
-		inC: t.C.Clone(), inI: t.I.Clone(),
+		inC: t.C.Clone(), inI: inI,
 		round:  a.round,
 		callee: callee, calleeVer: callee.result.version,
 		outC: outC, outE: outE, m: m,

@@ -195,8 +195,15 @@ func (r *factRecorder) RecordIn(v *pfg.Vertex, in *Triple) {
 		return
 	}
 	// Access derivation reads C and I only (E never influences a deref
-	// set), so the created-edge graph need not be snapshotted.
-	r.x.putFact(FactKey{Ctx: r.ctx.id, V: v}, &Triple{C: in.C.Clone(), I: in.I.Clone()})
+	// set), so the created-edge graph need not be snapshotted. On the
+	// fast path I is the analysis-wide empty graph — immutable, shared
+	// as-is (cloning it would write its copy-on-write mark, racing with
+	// concurrent speculative recorders).
+	iSnap := in.I
+	if !r.x.a.seqFast {
+		iSnap = iSnap.Clone()
+	}
+	r.x.putFact(FactKey{Ctx: r.ctx.id, V: v}, &Triple{C: in.C.Clone(), I: iSnap})
 }
 
 func (r *factRecorder) RecordOut(tail *pfg.Vertex, out *Triple) {

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mtpa/internal/errs"
 	"mtpa/internal/locset"
 	"mtpa/internal/pfg"
 	"mtpa/internal/ptgraph"
@@ -48,6 +49,12 @@ var specSem = make(chan struct{}, max(2, runtime.GOMAXPROCS(0)))
 // until the created-edge sets stabilise.
 func (x *exec) transferPar(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Triple, error) {
 	a := x.a
+	if a.seqFast {
+		// Tripwire: the fast path is only entered when ir.ParReachable
+		// proved no par construct executes; reaching one means the
+		// reachability pass is unsound, not that the program is wrong.
+		return nil, errs.ICE("", "par construct reached under the sequential fast path")
+	}
 	if a.opts.Mode == Sequential {
 		return x.transferParSequential(region, t, ctx)
 	}
@@ -305,6 +312,9 @@ func (x *exec) transferParSequential(region *pfg.ParRegion, t *Triple, ctx *ctxE
 // (each consumes the E₀ of the previous one), so no speculation applies.
 func (x *exec) transferParFor(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Triple, error) {
 	a := x.a
+	if a.seqFast {
+		return nil, errs.ICE("", "parfor construct reached under the sequential fast path")
+	}
 	body := region.Threads[0]
 	if a.opts.Mode == Sequential {
 		return x.transferLoopSequential(body, t, ctx)

@@ -99,10 +99,16 @@ func (a *Analysis) speculateContexts() error {
 
 	// Inputs are prepared sequentially: Clone marks its receiver
 	// copy-on-write, and the context input graphs are shared with the
-	// cache probes other tasks run concurrently.
+	// cache probes other tasks run concurrently. On the fast path every
+	// Ip is empty and the shared empty graph stands in for it; the fresh
+	// E graph is the task's solve accumulator (solve.go).
 	ins := make([]*Triple, len(tasks))
 	for i, e := range tasks {
-		ins[i] = &Triple{C: e.Cp.Clone(), I: e.Ip.Clone(), E: ptgraph.New()}
+		in := &Triple{C: e.Cp.Clone(), I: e.Ip.Clone(), E: ptgraph.New()}
+		if a.seqFast {
+			in.I = a.emptyI
+		}
+		ins[i] = in
 	}
 
 	pendings := make([]*pendingTask, len(tasks))

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"mtpa/internal/ir"
+	"mtpa/internal/ptgraph"
 )
 
 // Summary is the retained fixed-point knowledge of one procedure context,
@@ -134,7 +135,17 @@ type calleeRec struct {
 // fixed-point result without being solved. With a nil seeder it is
 // exactly AnalyzeContext.
 func AnalyzeWithSeeder(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder) (*Result, error) {
-	return analyze(ctx, prog, opts, seeder)
+	return analyze(ctx, prog, opts, seeder, nil)
+}
+
+// AnalyzeWithSeederFI is AnalyzeWithSeeder with a caller-precomputed
+// flow-insensitive graph (see AnalyzeContextFI): the tiered session path
+// serves the graph as its tier-0 answer and shares it with the seeded
+// refinement's Budget degradations. (Seeding and budgets are mutually
+// exclusive by session policy, so in practice fi is a no-op there — the
+// parameter keeps the sharing invariant uniform across entry points.)
+func AnalyzeWithSeederFI(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder, fi *ptgraph.Graph) (*Result, error) {
+	return analyze(ctx, prog, opts, seeder, fi)
 }
 
 // SeedStats reports the summary-seeding outcomes of the run (zero value

@@ -212,14 +212,53 @@ func (x *exec) warnOnce(in *ir.Instr, ctx *ctxEntry, format string, args ...any)
 // bodyProblem instantiates the generic solver with the ⟨C,I,E⟩ lattice:
 // join is the triple merge (pathwise union of C with unk-completion, plain
 // union of I and E), and the transfer function dispatches on vertex kind.
+//
+// On the sequential fast path (Analysis.seqFast) the lattice degenerates:
+// I is empty at every point (no par/parfor can execute, so no thread ever
+// interferes), and E — which no transfer function reads and which only
+// the procedure exit consumes — is threaded through every fact as one
+// shared accumulator graph (acc, the solve's entry E). The transfer
+// functions are unchanged: their E writes land in the accumulator, which
+// grows monotonically, and because every pfg vertex lies on a path to the
+// exit (lowering never prunes a loop- or branch-exit edge) and OUT facts
+// merge monotonically into their successors, the accumulator at the
+// solver's fixed point equals exactly the E the full engine threads to
+// the exit. Clone then copies only C, Merge unions only C — and a fact
+// revisit whose C did not grow no longer re-queues its successors just
+// because E did, which is pure savings: E growth has no reader before the
+// exit.
 type bodyProblem struct {
 	x   *exec
 	ctx *ctxEntry
+
+	// seq selects the fast-path lattice; acc is the solve's shared E
+	// accumulator (the entry fact's E graph).
+	seq bool
+	acc *ptgraph.Graph
 }
 
-func (p bodyProblem) Bottom() *Triple             { return NewTriple() }
-func (p bodyProblem) Clone(t *Triple) *Triple     { return t.Clone() }
-func (p bodyProblem) Merge(dst, src *Triple) bool { return dst.Merge(src) }
+func (p bodyProblem) Bottom() *Triple {
+	if p.seq {
+		return &Triple{C: ptgraph.New(), I: p.x.a.emptyI, E: p.acc}
+	}
+	return NewTriple()
+}
+
+func (p bodyProblem) Clone(t *Triple) *Triple {
+	if p.seq {
+		return &Triple{C: t.C.Clone(), I: t.I, E: p.acc}
+	}
+	return t.Clone()
+}
+
+func (p bodyProblem) Merge(dst, src *Triple) bool {
+	if p.seq {
+		// I is empty on both sides and E is the shared accumulator on
+		// both sides; only C carries per-path information.
+		return unionPathC(dst.C, src.C)
+	}
+	return dst.Merge(src)
+}
 
 func (p bodyProblem) Transfer(v *pfg.Vertex, in *Triple) (*Triple, error) {
 	switch v.Kind {
@@ -246,9 +285,14 @@ func (p bodyProblem) Transfer(v *pfg.Vertex, in *Triple) (*Triple, error) {
 // metrics pass a fact recorder snapshots the per-vertex triples the
 // measurements are derived from.
 func (x *exec) solveBody(g *pfg.Graph, in *Triple, ctx *ctxEntry) (*Triple, error) {
+	prob := bodyProblem{x: x, ctx: ctx}
+	if x.a.seqFast {
+		prob.seq = true
+		prob.acc = in.E
+	}
 	s := &dataflow.Solver[*Triple]{
 		Graph:    g,
-		Prob:     bodyProblem{x: x, ctx: ctx},
+		Prob:     prob,
 		Schedule: dataflow.FIFO,
 	}
 	if x.a.metricsOn && ctx != nil {

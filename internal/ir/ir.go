@@ -13,6 +13,7 @@ package ir
 
 import (
 	"fmt"
+	"sync"
 
 	"mtpa/internal/ast"
 	"mtpa/internal/locset"
@@ -262,6 +263,11 @@ type Program struct {
 
 	// Warnings from lowering (e.g. unstructured spawn fallbacks).
 	Warnings []string
+
+	// Cached ParReachable answer (reach.go); the IR is immutable after
+	// lowering, so the closure is computed at most once.
+	parReachOnce sync.Once
+	parReachable bool
 }
 
 // Access identifies one measured memory access.

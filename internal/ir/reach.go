@@ -1,0 +1,83 @@
+// Parallel-construct reachability: the eligibility proof for the engine's
+// sequential fast path. A program whose entry can never reach a par or
+// parfor construct — through any chain of calls, including calls through
+// function pointers — has no interference to model: every ⟨C,I,E⟩ triple
+// the analysis would compute carries an empty I, and the E component is
+// only ever read at procedure exits. The engine exploits that (see
+// internal/core) once this pass proves it.
+//
+// The proof is a call-graph reachability closure, conservative over
+// function pointers: a direct call adds its resolved callee; the first
+// reachable indirect call adds every address-taken function at once (any
+// function with a KindFunc block in the location-set table — the block
+// exists exactly when the program mentions the function as a value, which
+// over-approximates the set an indirect call can reach). Spawns need no
+// separate handling: structured spawn groups lower to par region nodes
+// (visible in Func.AllNodes, which includes nested thread bodies), and an
+// unstructured spawn falls back to a plain sequential call during
+// lowering, leaving nothing parallel in the IR.
+
+package ir
+
+import "mtpa/internal/locset"
+
+// ParReachable reports whether a par or parfor construct is reachable
+// from main through the call graph, treating every address-taken function
+// as a possible target of every indirect call. The result is computed
+// once and cached; it is safe for concurrent use.
+func (p *Program) ParReachable() bool {
+	p.parReachOnce.Do(func() { p.parReachable = p.computeParReachable() })
+	return p.parReachable
+}
+
+func (p *Program) computeParReachable() bool {
+	if p.Main == nil {
+		return true // no entry point: claim nothing, stay conservative
+	}
+	// Address-taken functions: possible targets of any indirect call.
+	var addressTaken []*Func
+	for _, b := range p.Table.Blocks() {
+		if b.Kind == locset.KindFunc {
+			if fn := p.ByDecl[b.Fn]; fn != nil {
+				addressTaken = append(addressTaken, fn)
+			}
+		}
+	}
+	seen := map[*Func]bool{p.Main: true}
+	work := []*Func{p.Main}
+	add := func(fn *Func) {
+		if fn != nil && !seen[fn] {
+			seen[fn] = true
+			work = append(work, fn)
+		}
+	}
+	indirectSeen := false
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		// AllNodes includes the nodes of nested par/parfor thread bodies,
+		// so one scan covers the whole function.
+		for _, n := range fn.AllNodes {
+			if n.Kind == NodePar || n.Kind == NodeParFor {
+				return true
+			}
+			for _, in := range n.Instrs {
+				if in.Op != OpCall {
+					continue
+				}
+				switch {
+				case in.Call.Callee != nil:
+					add(p.ByDecl[in.Call.Callee])
+				case in.Call.FnLoc != NoLoc:
+					if !indirectSeen {
+						indirectSeen = true
+						for _, t := range addressTaken {
+							add(t)
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package ir
+
+import "testing"
+
+func TestParReachable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{
+			name: "straight-line sequential",
+			src:  `int main(int argc) { int x; int *p; p = &x; return 0; }`,
+			want: false,
+		},
+		{
+			name: "sequential through direct calls",
+			src: `int work(int n) { if (n > 0) { return work(n-1); } return 0; }
+			      int main(int argc) { return work(3); }`,
+			want: false,
+		},
+		{
+			name: "par in main",
+			src:  `int g; int main(int argc) { par { { g = 1; } { g = 2; } } return g; }`,
+			want: true,
+		},
+		{
+			name: "parfor in callee",
+			src: `int go_(int n) { int i; parfor (i = 0; i < n; i++) { n = i; } return n; }
+			      int main(int argc) { return go_(4); }`,
+			want: true,
+		},
+		{
+			name: "spawn in transitively called function",
+			src: `cilk int leaf(int n) { return n; }
+			      cilk int mid(int n) { int a; int b; a = spawn leaf(n); b = spawn leaf(n); sync; return a + b; }
+			      int main(int argc) { return mid(2); }`,
+			want: true,
+		},
+		{
+			name: "par only in dead (uncalled) function",
+			src: `int g;
+			      int unused(int n) { par { { g = 1; } { g = 2; } } return g; }
+			      int main(int argc) { return 0; }`,
+			want: false,
+		},
+		{
+			name: "indirect call conservatively reaches address-taken spawner",
+			src: `int g;
+			      int seq(int n) { return n; }
+			      int parf(int n) { par { { g = 1; } { g = 2; } } return g; }
+			      int main(int argc) {
+			        int (*fp)(int);
+			        fp = &seq;
+			        if (argc > 1) { fp = &parf; }
+			        fp = &seq;
+			        return fp(1);
+			      }`,
+			want: true, // fp is retargeted to seq, but parf's address is taken
+		},
+		{
+			name: "indirect call over sequential targets only",
+			src: `int a(int n) { return n; }
+			      int b(int n) { return n + 1; }
+			      int main(int argc) {
+			        int (*fp)(int);
+			        fp = &a;
+			        if (argc > 1) { fp = &b; }
+			        return fp(1);
+			      }`,
+			want: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := lower(t, tc.src)
+			if got := prog.ParReachable(); got != tc.want {
+				t.Errorf("ParReachable() = %v, want %v", got, tc.want)
+			}
+			// Cached answer must be stable.
+			if got := prog.ParReachable(); got != tc.want {
+				t.Errorf("second ParReachable() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -176,6 +176,42 @@ func RenderTimes(rows []TimeRow) string {
 	return sb.String()
 }
 
+// TierRow is one program's tiered-precision summary: which corpus
+// partition it belongs to, whether the par-reachability pass proves it
+// fast-path eligible, which engine mode the refinement ran on, and the
+// edge counts of the two tiers (the flow-insensitive tier-0 answer and
+// the flow-sensitive refinement at main's exit).
+type TierRow struct {
+	Name         string
+	Partition    string // "parallel" or "sequential"
+	Eligible     bool
+	FastPath     bool
+	Tier0Edges   int
+	RefinedEdges int
+}
+
+// RenderTierTable renders the tiered-precision table (not a table of the
+// paper; it reports the fast-path and tiered-query machinery of the
+// implementation).
+func RenderTierTable(rows []TierRow) string {
+	var sb strings.Builder
+	sb.WriteString("Tiered precision: fast-path eligibility and engine per program\n")
+	fmt.Fprintf(&sb, "%-12s %10s %9s %7s %11s %13s\n",
+		"Program", "Partition", "Eligible", "Engine", "Tier0Edges", "RefinedEdges")
+	for _, r := range rows {
+		eligible, engine := "no", "full"
+		if r.Eligible {
+			eligible = "yes"
+		}
+		if r.FastPath {
+			engine = "fast"
+		}
+		fmt.Fprintf(&sb, "%-12s %10s %9s %7s %11d %13d\n",
+			r.Name, r.Partition, eligible, engine, r.Tier0Edges, r.RefinedEdges)
+	}
+	return sb.String()
+}
+
 // RenderBudgetStats renders the budget/degradation counters (not a table
 // of the paper; it reports the robustness machinery of the implementation).
 func RenderBudgetStats(rows []BudgetStats) string {

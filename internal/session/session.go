@@ -42,9 +42,11 @@ import (
 	"mtpa/internal/ast"
 	"mtpa/internal/core"
 	"mtpa/internal/errs"
+	"mtpa/internal/flowinsens"
 	"mtpa/internal/ir"
 	"mtpa/internal/lexer"
 	"mtpa/internal/parser"
+	"mtpa/internal/ptgraph"
 	"mtpa/internal/sem"
 	"mtpa/internal/types"
 )
@@ -151,70 +153,142 @@ type cachedRun struct {
 // failures return an *errs.AnalysisError (or *errs.ICEError), as in
 // Program.AnalyzeContext.
 func (s *Session) UpdateContext(ctx context.Context, filename, src string) (*Compiled, *core.Result, UpdateStats, error) {
-	var stats UpdateStats
-	sum := sha256.Sum256([]byte(src))
-	fileHash := hex.EncodeToString(sum[:16])
-	resKey := "res|" + filename + "|" + s.optsKey + "|" + fileHash
-	if v, ok := s.store.Get(resKey); ok {
-		run := v.(*cachedRun)
-		stats.ResultCached = true
-		s.finish(&stats)
-		return run.compiled, run.result, stats, nil
-	}
-
-	comp, deps, err := s.compile(filename, src, &stats)
+	st, err := s.StageUpdate(filename, src)
 	if err != nil {
-		s.finish(&stats)
+		return nil, nil, st.stats, err
+	}
+	res, stats, err := s.RunStaged(ctx, st, nil)
+	if err != nil {
 		return nil, nil, stats, err
 	}
+	return st.comp, res, stats, nil
+}
 
-	var seeder core.Seeder
+// Staged is the synchronous front half of one update: the compiled
+// program with the reuse decisions made, ready for its analysis run.
+// The tiered query path stages synchronously (tier-0 answers come from
+// the staged IR) and runs the fixpoint half asynchronously; a staged
+// update is used by exactly one RunStaged call.
+type Staged struct {
+	comp   *Compiled
+	cached *cachedRun // non-nil: whole-file hit, RunStaged is O(1)
+	stats  UpdateStats
+	seeder core.Seeder
+	deps   map[string]string
+	resKey string
+
+	fiOnce  sync.Once
+	fiGraph *ptgraph.Graph
+	fiIters int
+}
+
+// Compiled returns the staged compile-stage output.
+func (st *Staged) Compiled() *Compiled { return st.comp }
+
+// Refined returns the cached flow-sensitive result when the whole-file
+// fast path hit (the refinement already exists), nil otherwise.
+func (st *Staged) Refined() *core.Result {
+	if st.cached == nil {
+		return nil
+	}
+	return st.cached.result
+}
+
+// FlowInsens returns the staged program's flow-insensitive points-to
+// graph and iteration count, computing them on first use. Passing the
+// graph to RunStaged shares it with the run's Budget degradation
+// fallback, so a tiered update computes flowinsens exactly once.
+func (st *Staged) FlowInsens() (*ptgraph.Graph, int) {
+	st.fiOnce.Do(func() {
+		fi := flowinsens.Analyze(st.comp.IR)
+		st.fiGraph, st.fiIters = fi.Graph, fi.Iterations
+	})
+	return st.fiGraph, st.fiIters
+}
+
+// StageUpdate runs the synchronous half of an update: the whole-file
+// cache probe, the (incremental) compile, and the seeder gating. The
+// returned Staged is always non-nil, so callers can read stage stats
+// even on a compile error.
+func (s *Session) StageUpdate(filename, src string) (*Staged, error) {
+	st := &Staged{}
+	sum := sha256.Sum256([]byte(src))
+	fileHash := hex.EncodeToString(sum[:16])
+	st.resKey = "res|" + filename + "|" + s.optsKey + "|" + fileHash
+	if v, ok := s.store.Get(st.resKey); ok {
+		st.cached = v.(*cachedRun)
+		st.comp = st.cached.compiled
+		st.stats.ResultCached = true
+		return st, nil
+	}
+
+	comp, deps, err := s.compile(filename, src, &st.stats)
+	if err != nil {
+		s.finish(&st.stats)
+		return st, err
+	}
+	st.comp, st.deps = comp, deps
+
 	switch {
 	case deps == nil: // cold-compiled: no segment hashes to validate against
-		stats.SeederDisabled = true
+		st.stats.SeederDisabled = true
 	case s.opts.Budget != (core.Budget{}):
 		// Degradation points depend on how much work each solve performs;
 		// seeding changes the work, so budgeted runs stay cold to keep
 		// warm ≡ cold exact.
-		stats.SeederDisabled = true
+		st.stats.SeederDisabled = true
 	case s.opts.DisableContextCache:
-		stats.SeederDisabled = true
+		st.stats.SeederDisabled = true
 	case usesMemcpy(comp.IR):
 		// The memcpy transfer sweeps the location-set table, making its
 		// output sensitive to which location sets other solves happened
 		// to materialise; a seeded run materialises fewer. Programs using
 		// memcpy are analysed cold.
-		stats.SeederDisabled = true
+		st.stats.SeederDisabled = true
 	default:
-		seeder = &storeSeeder{
+		st.seeder = &storeSeeder{
 			store:  s.store,
 			prefix: "sum|" + filename + "|" + s.optsKey + "|",
 			deps:   deps,
 		}
 	}
+	return st, nil
+}
 
-	res, aerr := core.AnalyzeWithSeeder(ctx, comp.IR, s.opts, seeder)
+// RunStaged runs the analysis half of a staged update: a whole-file hit
+// returns the cached result outright; otherwise the interprocedural
+// fixpoint runs (seeded per the stage decisions) and its artifacts are
+// stored. fi, when non-nil, is a precomputed flow-insensitive graph the
+// engine adopts for Budget degradation (see Staged.FlowInsens).
+func (s *Session) RunStaged(ctx context.Context, st *Staged, fi *ptgraph.Graph) (*core.Result, UpdateStats, error) {
+	stats := st.stats
+	if st.cached != nil {
+		s.finish(&stats)
+		return st.cached.result, stats, nil
+	}
+
+	res, aerr := core.AnalyzeWithSeederFI(ctx, st.comp.IR, s.opts, st.seeder, fi)
 	if aerr != nil {
 		s.finish(&stats)
 		var ice *errs.ICEError
 		if errors.As(aerr, &ice) {
-			return nil, nil, stats, ice
+			return nil, stats, ice
 		}
-		return nil, nil, stats, &errs.AnalysisError{File: filename, Err: aerr}
+		return nil, stats, &errs.AnalysisError{File: st.comp.File, Err: aerr}
 	}
 	stats.Seed = res.SeedStats()
 
 	for _, sm := range res.ExportSummaries() {
-		dh, ok := deps[sm.Fn]
+		dh, ok := st.deps[sm.Fn]
 		if !ok {
 			continue
 		}
-		s.store.Put("sum|"+filename+"|"+s.optsKey+"|"+sm.Key, &storedSum{sum: sm, fn: sm.Fn, depHash: dh})
+		s.store.Put("sum|"+st.comp.File+"|"+s.optsKey+"|"+sm.Key, &storedSum{sum: sm, fn: sm.Fn, depHash: dh})
 		stats.SummariesStored++
 	}
-	s.store.Put(resKey, &cachedRun{compiled: comp, result: res})
+	s.store.Put(st.resKey, &cachedRun{compiled: st.comp, result: res})
 	s.finish(&stats)
-	return comp, res, stats, nil
+	return res, stats, nil
 }
 
 func (s *Session) finish(stats *UpdateStats) {

@@ -26,7 +26,7 @@ package mtpa
 
 import (
 	"context"
-	"errors"
+	"sync"
 
 	"mtpa/internal/ast"
 	"mtpa/internal/core"
@@ -99,6 +99,12 @@ type Program struct {
 	IR *ir.Program
 	// Warnings collects non-fatal diagnostics from checking and lowering.
 	Warnings []string
+
+	// The per-Program flow-insensitive cache behind FlowInsensitive and
+	// AnalyzeTiered (tiered.go): computed at most once, then shared by
+	// every tier-0 answer and every refinement's degradation fallback.
+	fiOnce   sync.Once
+	fiAnswer FastAnswer
 }
 
 // Compile parses, checks and lowers MiniCilk source text. Malformed input
@@ -162,11 +168,7 @@ func (p *Program) Analyze(opts Options) (*Result, error) {
 func (p *Program) AnalyzeContext(ctx context.Context, opts Options) (*Result, error) {
 	res, err := core.AnalyzeContext(ctx, p.IR, opts)
 	if err != nil {
-		var ice *ICEError
-		if errors.As(err, &ice) {
-			return nil, ice
-		}
-		return nil, &AnalysisError{File: p.File, Err: err}
+		return nil, p.wrapAnalysisErr(err)
 	}
 	return res, nil
 }

@@ -84,3 +84,69 @@ func (s *Session) UpdateContext(ctx context.Context, filename, src string) (*Upd
 func (s *Session) Stats() SessionStats {
 	return s.inner.Stats()
 }
+
+// TieredUpdate is a two-tier session update in flight: the compiled
+// program and the flow-insensitive tier-0 answer are available
+// immediately (TieredResult.Fast); the flow-sensitive refinement —
+// served from the whole-file cache when the source is byte-identical
+// to a previous update, recomputed with summary seeding otherwise —
+// arrives through the embedded TieredResult's Done / Refined / Poll /
+// Notify.
+type TieredUpdate struct {
+	*TieredResult
+	// Program is the compiled program, as from Compile.
+	Program *Program
+
+	stats UpdateStats
+}
+
+// Stats returns the update's reuse statistics once the refinement has
+// landed; ok is false while it is still running.
+func (u *TieredUpdate) Stats() (stats UpdateStats, ok bool) {
+	select {
+	case <-u.Done():
+		return u.stats, true
+	default:
+		return UpdateStats{}, false
+	}
+}
+
+// UpdateTiered is the session analogue of Program.AnalyzeTiered: the
+// compile stage and the tier-0 flow-insensitive answer are synchronous,
+// the flow-sensitive refinement runs in the background (cancellable
+// through ctx or Cancel). Compile-stage failures surface synchronously
+// with Update's error taxonomy; analysis failures are delivered with
+// the refinement. The flow-insensitive graph is computed once and
+// shared with the refinement's Budget degradation fallback.
+func (s *Session) UpdateTiered(ctx context.Context, filename, src string) (*TieredUpdate, error) {
+	st, err := s.inner.StageUpdate(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	comp := st.Compiled()
+	fiG, fiIters := st.FlowInsens()
+	ctx, cancel := context.WithCancel(ctx)
+	u := &TieredUpdate{
+		TieredResult: &TieredResult{
+			Fast:   FastAnswer{Graph: fiG, Iterations: fiIters},
+			done:   make(chan struct{}),
+			cancel: cancel,
+		},
+		Program: &Program{
+			File:     comp.File,
+			AST:      comp.AST,
+			Info:     comp.Info,
+			IR:       comp.IR,
+			Warnings: comp.Warnings,
+		},
+	}
+	go func() {
+		defer cancel()
+		res, stats, err := s.inner.RunStaged(ctx, st, fiG)
+		// Written before complete closes Done, read only after Done: the
+		// channel close orders the accesses.
+		u.stats = stats
+		u.complete(res, err)
+	}()
+	return u, nil
+}

@@ -1,0 +1,287 @@
+package mtpa_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mtpa"
+	"mtpa/internal/bench"
+	"mtpa/internal/locset"
+)
+
+// compileSeqOne compiles one sequential-partition program.
+func compileSeqOne(t *testing.T, name string) *mtpa.Program {
+	t.Helper()
+	prog, err := bench.SeqCompile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestAnalyzeTieredBasic checks the two-tier contract on a parallel
+// program: the tier-0 answer is available immediately and soundly
+// over-approximates the refinement, and the refinement is bit-identical
+// to a plain Analyze of the same program.
+func TestAnalyzeTieredBasic(t *testing.T) {
+	prog := compileOne(t, "cilksort")
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+
+	tr := prog.AnalyzeTiered(context.Background(), opts)
+	if tr.Fast.Graph == nil || tr.Fast.Graph.Len() == 0 {
+		t.Fatal("tier-0 answer is empty")
+	}
+	res, err := tr.Refined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FastPath {
+		t.Error("fast path fired on a parallel program")
+	}
+
+	// Tier-0 soundness: every refined flow-sensitive edge (except the
+	// materialised unk edges) appears in the flow-insensitive answer.
+	tab := prog.Table()
+	for _, g := range []*mtpa.Graph{res.MainOut.C, res.MainOut.E} {
+		for _, e := range g.Edges() {
+			if e.Dst == locset.UnkID {
+				continue
+			}
+			if !tr.Fast.Graph.Has(e.Src, e.Dst) {
+				t.Errorf("refined edge %s->%s missing from the tier-0 answer",
+					tab.String(e.Src), tab.String(e.Dst))
+			}
+		}
+	}
+
+	// The refinement is the plain analysis.
+	plain, err := prog.Analyze(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != plain.Fingerprint() {
+		t.Error("tiered refinement diverges from plain Analyze")
+	}
+
+	// Poll agrees after completion, and repeated queries reuse the cached
+	// flow-insensitive graph.
+	if _, _, ok := tr.Poll(); !ok {
+		t.Error("Poll not ok after Refined returned")
+	}
+	if again := prog.AnalyzeTiered(context.Background(), opts); again.Fast.Graph != tr.Fast.Graph {
+		t.Error("tier-0 graph recomputed on the second tiered query")
+	} else {
+		again.Cancel()
+	}
+}
+
+// TestAnalyzeTieredSeqFastPath checks that a tiered query on a
+// sequential program refines on the engine's fast path.
+func TestAnalyzeTieredSeqFastPath(t *testing.T) {
+	prog := compileSeqOne(t, "seqpousse")
+	if !prog.FastPathEligible() {
+		t.Fatal("seqpousse not fast-path eligible")
+	}
+	tr := prog.AnalyzeTiered(context.Background(), mtpa.Options{Mode: mtpa.Multithreaded})
+	res, err := tr.Refined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FastPath {
+		t.Error("refinement did not take the sequential fast path")
+	}
+}
+
+// TestAnalyzeTieredNotify checks the upgrade seam: a callback registered
+// before completion fires exactly once with the refinement, and one
+// registered after completion fires immediately.
+func TestAnalyzeTieredNotify(t *testing.T) {
+	prog := compileOne(t, "fib")
+	tr := prog.AnalyzeTiered(context.Background(), mtpa.Options{Mode: mtpa.Multithreaded})
+
+	var early atomic.Int32
+	ch := make(chan *mtpa.Result, 1)
+	tr.Notify(func(res *mtpa.Result, err error) {
+		early.Add(1)
+		ch <- res
+	})
+	select {
+	case res := <-ch:
+		if res == nil {
+			t.Fatal("notify delivered a nil result without error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("notify callback never fired")
+	}
+	if n := early.Load(); n != 1 {
+		t.Fatalf("early callback fired %d times, want 1", n)
+	}
+
+	fired := false
+	tr.Notify(func(res *mtpa.Result, err error) { fired = true })
+	if !fired {
+		t.Error("post-completion Notify did not fire synchronously")
+	}
+}
+
+// TestAnalyzeTieredCancel is the tiered cancellation contract: with the
+// refinement cancelled before it can finish, the fast answer remains
+// valid and usable, Refined reports the cancellation through the usual
+// error taxonomy, and no refinement goroutine leaks.
+func TestAnalyzeTieredCancel(t *testing.T) {
+	prog := compileOne(t, "barnes")
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+	before := runtime.NumGoroutine()
+
+	// Deterministic variant: the context is cancelled before the tiered
+	// call, so the refinement can never complete — but the tier-0 answer
+	// must still come back sound and non-empty.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := prog.AnalyzeTiered(ctx, opts)
+	if tr.Fast.Graph == nil || tr.Fast.Graph.Len() == 0 {
+		t.Fatal("cancelled tiered query lost its tier-0 answer")
+	}
+	res, err := tr.Refined()
+	if res != nil {
+		t.Error("cancelled refinement returned a partial result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled refinement returned %v, want context.Canceled in its chain", err)
+	}
+	var ae *mtpa.AnalysisError
+	if !errors.As(err, &ae) {
+		t.Errorf("cancellation not wrapped in *AnalysisError: %T", err)
+	}
+
+	// Racy variant: Cancel right after the query. Either the refinement
+	// wins (a full result) or the cancel does (context.Canceled); both
+	// are legal, anything else is not.
+	tr2 := prog.AnalyzeTiered(context.Background(), opts)
+	tr2.Cancel()
+	if res2, err2 := tr2.Refined(); err2 != nil && !errors.Is(err2, context.Canceled) {
+		t.Errorf("cancelled refinement failed with %v", err2)
+	} else if err2 == nil && res2 == nil {
+		t.Error("nil result without error")
+	}
+	tr2.Cancel() // idempotent after completion
+
+	// Leak check: both refinement goroutines must have unwound.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before tiered cancellation, %d after", before, after)
+	}
+}
+
+// TestSessionUpdateTiered checks the session variant: the first tiered
+// update computes the refinement; a byte-identical second update serves
+// it from the whole-file cache (already refined, stats flag set); and
+// the refinement matches a plain session update of the same source.
+func TestSessionUpdateTiered(t *testing.T) {
+	p, err := bench.SeqLoad("seqcilksort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+
+	s := mtpa.NewSession(opts)
+	u1, err := s.UpdateTiered(context.Background(), "seqcilksort.clk", p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Fast.Graph == nil || u1.Fast.Graph.Len() == 0 {
+		t.Fatal("tier-0 answer is empty")
+	}
+	if _, ok := u1.Stats(); ok {
+		// Possible but unlikely before Refined; don't assert either way.
+		t.Log("refinement landed before the first Stats call")
+	}
+	res1, err := u1.Refined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, ok := u1.Stats()
+	if !ok {
+		t.Fatal("Stats not available after Refined")
+	}
+	if st1.ResultCached {
+		t.Error("first update claims a whole-file cache hit")
+	}
+
+	// Plain session on the same source agrees.
+	plain := mtpa.NewSession(opts)
+	ur, err := plain.Update("seqcilksort.clk", p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Fingerprint() != ur.Result.Fingerprint() {
+		t.Error("tiered session refinement diverges from plain session update")
+	}
+
+	// Byte-identical re-update: served from the whole-file cache.
+	u2, err := s.UpdateTiered(context.Background(), "seqcilksort.clk", p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := u2.Refined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res1 {
+		t.Error("cached tiered update did not return the stored result")
+	}
+	if st2, ok := u2.Stats(); !ok || !st2.ResultCached {
+		t.Errorf("second update stats = %+v ok=%v, want ResultCached", st2, ok)
+	}
+}
+
+// TestSessionUpdateTieredCancel cancels a tiered session update before
+// its refinement lands and checks the session survives: the fast answer
+// stays valid, and a subsequent update on the same session completes
+// normally.
+func TestSessionUpdateTieredCancel(t *testing.T) {
+	p, err := bench.Load("barnes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+	s := mtpa.NewSession(opts)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	u, err := s.UpdateTiered(ctx, "barnes.clk", p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Fast.Graph == nil || u.Fast.Graph.Len() == 0 {
+		t.Fatal("cancelled tiered update lost its tier-0 answer")
+	}
+	if res, rerr := u.Refined(); res != nil || !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("cancelled refinement returned (%v, %v)", res, rerr)
+	}
+
+	// The session is intact: the same file analyses cleanly afterwards.
+	ur, err := s.Update("barnes.clk", p.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.Result == nil {
+		t.Fatal("post-cancel update returned no result")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before cancelled tiered update, %d after", before, after)
+	}
+}

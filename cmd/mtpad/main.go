@@ -1,0 +1,81 @@
+// mtpad is the multi-tenant analysis daemon: a long-running HTTP/JSON
+// service serving tiered pointer-analysis and race queries over
+// MiniCilk sources, one incremental session per tenant, all tenants
+// sharing one content-addressed artifact store.
+//
+// Usage:
+//
+//	mtpad [-addr :8719] [-store-capacity N] [-max-inflight N]
+//	      [-max-tenants N] [-default-wait-ms MS]
+//
+// Quickstart:
+//
+//	mtpad -addr :8719 &
+//	curl -s -X POST localhost:8719/v1/tenants -d '{"id":"alice"}'
+//	curl -s -X POST localhost:8719/v1/tenants/alice/update \
+//	     -d '{"file":"fib.clk","source":"...","wait_ms":2000}'
+//	curl -s -X POST localhost:8719/v1/tenants/alice/query \
+//	     -d '{"file":"fib.clk","kind":"races","wait_ms":2000}'
+//	curl -s localhost:8719/metrics
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight refinements
+// are cancelled and their goroutines drained before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mtpa/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8719", "listen address")
+	storeCapacity := flag.Int("store-capacity", 0, "shared artifact store bound (0 = default)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent refinements (0 = default)")
+	maxTenants := flag.Int("max-tenants", 0, "max live tenants (0 = default)")
+	defaultWait := flag.Int("default-wait-ms", 0, "default long-poll wait when a request sets none")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown bound")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		StoreCapacity: *storeCapacity,
+		MaxInflight:   *maxInflight,
+		MaxTenants:    *maxTenants,
+		DefaultWait:   time.Duration(*defaultWait) * time.Millisecond,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mtpad: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "mtpad: %v, shutting down\n", sig)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "mtpad: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mtpad: %v\n", err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "mtpad: http shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mtpad: bye")
+}

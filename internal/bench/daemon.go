@@ -1,0 +1,194 @@
+// The multi-tenant daemon load driver: N concurrent editors, each its
+// own tenant of one mtpad instance, stream single-procedure edits
+// through the full HTTP stack — tiered update, long-poll for the
+// refinement — over one shared artifact store. Correctness gate: every
+// refined answer must be bit-identical (by result fingerprint) to a
+// cold single-tenant run of the same source. The measurement (request
+// throughput, latency, cross-tenant warm-hit rate) is BENCH_9.json.
+
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mtpa"
+	"mtpa/internal/server"
+)
+
+// DaemonLoadReport is the BENCH_9.json document.
+type DaemonLoadReport struct {
+	Scenario       string   `json:"scenario"`
+	Tenants        int      `json:"tenants"`
+	EditsPerTenant int      `json:"edits_per_tenant"`
+	Programs       []string `json:"programs"`
+
+	TotalRequests  int64   `json:"total_requests"`
+	ElapsedMs      float64 `json:"elapsed_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	MeanLatencyMs  float64 `json:"mean_latency_ms"`
+	MaxLatencyMs   float64 `json:"max_latency_ms"`
+
+	// WarmHitRate is the shared store's aggregate hit fraction over the
+	// result, AST and summary kinds — the cross-tenant dedupe payoff.
+	WarmHitRate          float64 `json:"warm_hit_rate"`
+	StoreLen             int     `json:"store_len"`
+	RefinementsCompleted int64   `json:"refinements_completed"`
+
+	// FingerprintMismatches counts refined answers that differed from the
+	// cold single-tenant run of the same source. Must be zero.
+	FingerprintMismatches int64 `json:"fingerprint_mismatches"`
+}
+
+// MeasureDaemonLoad runs the load: tenants concurrent editors, each
+// assigned a corpus program round-robin, streaming the base source plus
+// edits single-procedure variants through one daemon. Every editor
+// long-polls each update to refinement and checks the fingerprint
+// against a cold run.
+func MeasureDaemonLoad(tenants, edits int, programs []string) (*DaemonLoadReport, error) {
+	type progData struct {
+		name     string
+		file     string
+		variants []string          // base + edited sources, in stream order
+		cold     map[string]string // source -> cold fingerprint
+	}
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+	var progs []*progData
+	for _, name := range programs {
+		p, err := Load(name)
+		if err != nil {
+			return nil, err
+		}
+		file := name + ".clk"
+		variants, err := editVariants(file, p.Source, edits)
+		if err != nil {
+			return nil, err
+		}
+		pd := &progData{
+			name:     name,
+			file:     file,
+			variants: append([]string{p.Source}, variants...),
+			cold:     map[string]string{},
+		}
+		for _, src := range pd.variants {
+			prog, err := mtpa.Compile(file, src)
+			if err != nil {
+				return nil, err
+			}
+			res, err := prog.Analyze(opts)
+			if err != nil {
+				return nil, err
+			}
+			pd.cold[src] = res.Fingerprint()
+		}
+		progs = append(progs, pd)
+	}
+
+	srv := server.New(server.Config{MaxTenants: tenants + 1, MaxInflight: tenants + 1})
+	h := srv.Handler()
+	post := func(path string, body any) (int, map[string]any, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		req := httptest.NewRequest("POST", path, bytes.NewReader(buf))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		out := map[string]any{}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return rec.Code, nil, fmt.Errorf("%s: bad response body: %w", path, err)
+		}
+		return rec.Code, out, nil
+	}
+
+	var mismatches atomic.Int64
+	errc := make(chan error, tenants)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pd := progs[i%len(progs)]
+			id := fmt.Sprintf("editor-%d", i)
+			if code, body, err := post("/v1/tenants", map[string]any{"id": id}); err != nil || code != http.StatusCreated {
+				errc <- fmt.Errorf("%s: create: %d %v %v", id, code, body, err)
+				return
+			}
+			for vi, src := range pd.variants {
+				code, body, err := post("/v1/tenants/"+id+"/update",
+					map[string]any{"file": pd.file, "source": src, "wait_ms": 600000})
+				if err != nil || code != http.StatusOK {
+					errc <- fmt.Errorf("%s: update %d: %d %v %v", id, vi, code, body, err)
+					return
+				}
+				refined, _ := body["refined"].(map[string]any)
+				if refined == nil {
+					errc <- fmt.Errorf("%s: update %d: no refined answer: %v", id, vi, body)
+					return
+				}
+				if refined["fingerprint"] != pd.cold[src] {
+					mismatches.Add(1)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, err
+	default:
+	}
+
+	snap := srv.Counters().Snapshot()
+	st := srv.Store().Stats()
+	var hits, probes int
+	for _, kind := range []string{"res", "ast", "sum"} {
+		hits += st[kind].Hits
+		probes += st[kind].Hits + st[kind].Misses
+	}
+	report := &DaemonLoadReport{
+		Scenario:              "concurrent editors streaming single-procedure edits through one daemon and shared store, long-polling each tiered update to refinement",
+		Tenants:               tenants,
+		EditsPerTenant:        edits,
+		Programs:              programs,
+		TotalRequests:         snap.Total.Requests,
+		ElapsedMs:             float64(elapsed.Nanoseconds()) / 1e6,
+		MeanLatencyMs:         snap.Total.MeanLatencyMs,
+		MaxLatencyMs:          snap.Total.MaxLatencyMs,
+		StoreLen:              srv.Store().Len(),
+		RefinementsCompleted:  snap.RefinementsCompleted,
+		FingerprintMismatches: mismatches.Load(),
+	}
+	if elapsed > 0 {
+		report.RequestsPerSec = float64(snap.Total.Requests) / elapsed.Seconds()
+	}
+	if probes > 0 {
+		report.WarmHitRate = float64(hits) / float64(probes)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// WriteDaemonJSON writes the report as indented JSON.
+func WriteDaemonJSON(path string, report *DaemonLoadReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestDaemonMultiTenantLoad is the acceptance gate for the multi-tenant
+// daemon: at least 8 concurrent editors stream single-procedure edits
+// through one shared artifact store, every refined answer bit-identical
+// to a cold single-tenant run, with observable cross-tenant reuse. Run
+// under -race this is also the serving stack's concurrency hammer.
+func TestDaemonMultiTenantLoad(t *testing.T) {
+	report, err := MeasureDaemonLoad(8, 3, []string{"fib", "heat", "knapsack", "cilksort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d tenants x %d updates: %.0f req/s, mean %.2f ms, max %.2f ms, warm hit rate %.2f, store %d",
+		report.Tenants, report.EditsPerTenant+1, report.RequestsPerSec,
+		report.MeanLatencyMs, report.MaxLatencyMs, report.WarmHitRate, report.StoreLen)
+	if report.FingerprintMismatches != 0 {
+		t.Errorf("%d refined answers differed from the cold single-tenant run", report.FingerprintMismatches)
+	}
+	if report.WarmHitRate == 0 {
+		t.Error("no cross-tenant artifact reuse through the shared store")
+	}
+	if report.RefinementsCompleted < int64(report.Tenants) {
+		t.Errorf("only %d refinements completed for %d tenants", report.RefinementsCompleted, report.Tenants)
+	}
+	// Regenerate the committed measurement with:
+	//   MTPA_WRITE_BENCH9=BENCH_9.json go test ./internal/bench/ -run TestDaemonMultiTenantLoad
+	if path := os.Getenv("MTPA_WRITE_BENCH9"); path != "" {
+		if err := WriteDaemonJSON(path, report); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

@@ -393,6 +393,19 @@ type Result struct {
 	analysis *Analysis
 }
 
+// Freeze marks every points-to graph the result exposes as shared
+// (ptgraph.Graph.Freeze), so concurrent readers may Clone and format
+// them without coordination. The incremental session freezes a result
+// before publishing it to a (possibly shared) artifact store, where any
+// number of tenants may read it at once. All queries remain valid on a
+// frozen result.
+func (r *Result) Freeze() *Result {
+	if r.MainOut != nil {
+		r.MainOut.Freeze()
+	}
+	return r
+}
+
 // Analyze runs the analysis to a fixed point and then performs one metrics
 // pass that records per-context solver facts, from which the precision
 // measurements are derived.

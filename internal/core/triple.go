@@ -36,6 +36,15 @@ func (t *Triple) Clone() *Triple {
 	return &Triple{C: t.C.Clone(), I: t.I.Clone(), E: t.E.Clone()}
 }
 
+// Freeze marks all three graphs shared (ptgraph.Graph.Freeze), after
+// which concurrent readers may Clone and format them without
+// coordination. The triple must not be mutated afterwards.
+func (t *Triple) Freeze() {
+	t.C.Freeze()
+	t.I.Freeze()
+	t.E.Freeze()
+}
+
 // Merge computes the lattice meet ⟨C₁⊔C₂, I₁∪I₂, E₁∪E₂⟩ in place; it
 // reports whether t changed. The C component uses the path-union ⊔, which
 // completes implicit initial-unk values: a location set written on one

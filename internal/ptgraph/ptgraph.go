@@ -258,14 +258,35 @@ func (g *Graph) Union(other *Graph) bool {
 // Clone returns a logically independent copy. The successor map is shared
 // copy-on-write, so cloning is O(1) and memory is only spent when one of
 // the copies diverges.
+//
+// A graph already marked copy-on-write (one produced by Clone, or frozen
+// with Freeze) is cloned without any write to the receiver, so concurrent
+// Clone calls on a published snapshot are race-free. Cloning an unshared
+// graph still writes the copy-on-write mark and must not race with other
+// accesses — publish with Freeze first.
 func (g *Graph) Clone() *Graph {
-	g.shared = true
+	if !g.shared {
+		g.shared = true
+	}
 	c := &Graph{succ: g.succ, count: g.count, hash: g.hash, shared: true}
 	if g.shadow != nil {
 		c.shadow = g.shadow.Clone()
 		g.checkCount("Clone")
 	}
 	return c
+}
+
+// Freeze marks the graph copy-on-write without copying anything, so it
+// can be handed to concurrent readers as an immutable snapshot: after
+// Freeze, Clone and CloneShared perform no write on the receiver, and
+// every mutating operation on a clone copies the successor map first.
+// The frozen graph itself must no longer be mutated by its owner; the
+// Freeze call must happen-before the graph is shared with other
+// goroutines. Freeze is idempotent and returns the receiver for
+// chaining.
+func (g *Graph) Freeze() *Graph {
+	g.shared = true
+	return g
 }
 
 // CloneShared is Clone for a graph that is already marked copy-on-write

@@ -1,0 +1,322 @@
+// Package server implements mtpad, the multi-tenant analysis daemon: a
+// long-running HTTP/JSON service holding one incremental analysis
+// session (mtpa.Session) per tenant over one shared content-addressed
+// artifact store, so identical work dedupes across tenants — a file one
+// tenant already analysed is a whole-file cache hit for every other, and
+// unchanged procedures share parsed ASTs and fixpoint summaries.
+//
+// The serving protocol is tiered (see mtpa.AnalyzeTiered): an update
+// returns the flow-insensitive tier-0 answer immediately together with a
+// refinement token, and clients poll or long-poll the token for the
+// flow-sensitive upgrade. Admission control maps per-tenant resource
+// budgets onto core.Options.Budget (refinements degrade, never fail) and
+// per-request deadlines onto context cancellation; a semaphore bounds
+// concurrent refinements in flight. Shutdown cancels every in-flight
+// refinement and waits for the goroutines to drain — the exactly-once
+// TieredResult.Notify contract is what makes that wait leak-free.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"mtpa"
+	"mtpa/internal/metrics"
+)
+
+// Config parameterises a daemon instance.
+type Config struct {
+	// StoreCapacity bounds the shared artifact store (0 = default).
+	StoreCapacity int
+	// MaxInflight bounds concurrently running refinements; further
+	// updates are refused with 429 until one lands (0 = 64).
+	MaxInflight int
+	// MaxTenants bounds live tenants; creation beyond it is refused with
+	// 429 (0 = 256).
+	MaxTenants int
+	// DefaultWait is the long-poll wait applied when a request does not
+	// set wait_ms (0 = answer immediately).
+	DefaultWait time.Duration
+}
+
+// Server is one daemon instance: the tenant registry, the shared store,
+// the refinement registry and the serving counters behind the HTTP API.
+type Server struct {
+	cfg      Config
+	store    *mtpa.SharedStore
+	counters *metrics.ServingCounters
+
+	// baseCtx parents every refinement; Shutdown cancels it.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	// inflight counts running refinements; Shutdown waits on it.
+	inflight sync.WaitGroup
+	// slots is the admission semaphore for refinements.
+	slots chan struct{}
+
+	mu          sync.Mutex
+	closed      bool
+	tenants     map[string]*tenant
+	refinements map[string]*refinement
+	nextTenant  int
+	nextToken   int
+	analysis    AnalysisTotals
+}
+
+// AnalysisTotals accumulates the engine's per-result cache, seed and
+// budget counters (metrics.CacheStatsOf / BudgetStatsOf, Result.
+// SeedStats) over every refinement the daemon completed, for /metrics.
+type AnalysisTotals struct {
+	Contexts         int   `json:"contexts"`
+	ProcAnalyses     int   `json:"proc_analyses"`
+	MemoHits         int   `json:"memo_hits"`
+	MemoMisses       int   `json:"memo_misses"`
+	SolverSteps      int64 `json:"solver_steps"`
+	DegradedContexts int   `json:"degraded_contexts"`
+	SeedHits         int   `json:"seed_hits"`
+	SeedMisses       int   `json:"seed_misses"`
+}
+
+// tenant is one client of the daemon: an incremental session with fixed
+// analysis options over the shared store.
+type tenant struct {
+	id      string
+	session *mtpa.Session
+	opts    mtpa.Options
+
+	mu sync.Mutex
+	// files maps filename to the latest refinement for that file, so
+	// queries address "the current version of file F".
+	files map[string]*refinement
+}
+
+// refinement is one tiered update in flight (or landed): the token the
+// client polls, the tier-0 answer, and the TieredUpdate delivering the
+// flow-sensitive upgrade.
+type refinement struct {
+	token    string
+	tenantID string
+	file     string
+	update   *mtpa.TieredUpdate
+	started  time.Time
+}
+
+// New returns a running (but not yet listening) daemon.
+func New(cfg Config) *Server {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		store:       mtpa.NewSharedStore(cfg.StoreCapacity),
+		counters:    metrics.NewServingCounters(),
+		baseCtx:     ctx,
+		cancelBase:  cancel,
+		slots:       make(chan struct{}, cfg.MaxInflight),
+		tenants:     map[string]*tenant{},
+		refinements: map[string]*refinement{},
+	}
+}
+
+// Store exposes the shared artifact store (for tests and metrics).
+func (s *Server) Store() *mtpa.SharedStore { return s.store }
+
+// Counters exposes the serving counters (for tests).
+func (s *Server) Counters() *metrics.ServingCounters { return s.counters }
+
+// Shutdown stops admitting work, cancels every in-flight refinement and
+// waits for their goroutines to drain (bounded by ctx). After Shutdown
+// every endpoint answers 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelBase()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("shutdown: refinements still in flight: %w", ctx.Err())
+	}
+}
+
+// createTenant registers a new tenant session over the shared store.
+func (s *Server) createTenant(id string, opts mtpa.Options) (*tenant, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errShuttingDown
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, errTooManyTenants
+	}
+	if id == "" {
+		s.nextTenant++
+		id = "t-" + strconv.Itoa(s.nextTenant)
+	} else if _, dup := s.tenants[id]; dup {
+		return nil, fmt.Errorf("%w: %q", errTenantExists, id)
+	}
+	t := &tenant{
+		id:      id,
+		session: mtpa.NewSessionWithStore(opts, s.store),
+		opts:    opts,
+		files:   map[string]*refinement{},
+	}
+	s.tenants[id] = t
+	return t, nil
+}
+
+func (s *Server) tenant(id string) (*tenant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	return t, ok
+}
+
+// closeTenant removes a tenant, cancelling its in-flight refinements and
+// dropping its refinement tokens (polling one afterwards answers 410 via
+// the cancelled refinement, then 404 once pruned here).
+func (s *Server) closeTenant(id string) bool {
+	s.mu.Lock()
+	t, ok := s.tenants[id]
+	if ok {
+		delete(s.tenants, id)
+		for token, r := range s.refinements {
+			if r.tenantID == id {
+				delete(s.refinements, token)
+			}
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.mu.Lock()
+	files := t.files
+	t.files = map[string]*refinement{}
+	t.mu.Unlock()
+	for _, r := range files {
+		r.update.Cancel()
+	}
+	s.counters.DropTenant(id)
+	return true
+}
+
+// startUpdate admits and launches one tiered update for a tenant,
+// registering the refinement under a fresh token. maxWallTime, when
+// positive, caps the refinement's wall clock via context deadline (the
+// whole refinement is cancelled past it; for degrade-not-fail semantics
+// use the tenant Budget instead).
+func (s *Server) startUpdate(t *tenant, file, src string, maxWallTime time.Duration) (*refinement, error) {
+	// The closed check and the inflight increment share one critical
+	// section with Shutdown's closed store, so Shutdown's inflight.Wait
+	// can never miss a refinement that was admitted before the close.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errShuttingDown
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		s.inflight.Done()
+		return nil, errOverCapacity
+	}
+
+	ctx := s.baseCtx
+	var cancel context.CancelFunc = func() {}
+	if maxWallTime > 0 {
+		ctx, cancel = context.WithTimeout(ctx, maxWallTime)
+	}
+	up, err := t.session.UpdateTiered(ctx, file, src)
+	if err != nil {
+		cancel()
+		<-s.slots
+		s.inflight.Done()
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.nextToken++
+	r := &refinement{
+		token:    "r-" + strconv.Itoa(s.nextToken),
+		tenantID: t.id,
+		file:     file,
+		update:   up,
+		started:  time.Now(),
+	}
+	s.refinements[r.token] = r
+	s.mu.Unlock()
+
+	t.mu.Lock()
+	prev := t.files[file]
+	t.files[file] = r
+	t.mu.Unlock()
+	if prev != nil {
+		// A newer version of the file supersedes the old refinement; stop
+		// paying for it.
+		prev.update.Cancel()
+	}
+
+	s.counters.RefinementStarted()
+	// Exactly-once even when registered after completion or after Cancel
+	// (the TieredResult.Notify contract): the slot release and the
+	// inflight.Done the shutdown path waits on cannot be lost or doubled.
+	up.Notify(func(res *mtpa.Result, err error) {
+		cancel()
+		cancelled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		s.counters.RefinementFinished(cancelled)
+		if res != nil {
+			if len(res.Degraded) > 0 {
+				s.counters.BudgetDegraded()
+			}
+			cs := metrics.CacheStatsOf("", res)
+			bs := metrics.BudgetStatsOf("", res)
+			seed := res.SeedStats()
+			s.mu.Lock()
+			s.analysis.Contexts += cs.Contexts
+			s.analysis.ProcAnalyses += cs.ProcAnalyses
+			s.analysis.MemoHits += cs.MemoHits
+			s.analysis.MemoMisses += cs.MemoMisses
+			s.analysis.SolverSteps += bs.SolverSteps
+			s.analysis.DegradedContexts += bs.Degraded
+			s.analysis.SeedHits += seed.Hits
+			s.analysis.SeedMisses += seed.Misses
+			s.mu.Unlock()
+		}
+		<-s.slots
+		s.inflight.Done()
+	})
+	return r, nil
+}
+
+func (s *Server) refinement(token string) (*refinement, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.refinements[token]
+	return r, ok
+}
+
+// Sentinel serving errors, mapped to HTTP statuses in handlers.go.
+var (
+	errShuttingDown   = errors.New("daemon is shutting down")
+	errOverCapacity   = errors.New("refinement capacity exhausted")
+	errTooManyTenants = errors.New("tenant capacity exhausted")
+	errTenantExists   = errors.New("tenant already exists")
+)

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mtpa/internal/ast"
 	"mtpa/internal/core"
@@ -103,7 +104,7 @@ type Stats struct {
 type Session struct {
 	opts    core.Options
 	optsKey string
-	store   *Store
+	store   Artifacts
 
 	mu         sync.Mutex
 	updates    int
@@ -114,10 +115,20 @@ type Session struct {
 // New returns a session running every update with the given options.
 // capacity bounds the artifact store (0 selects the default).
 func New(opts core.Options, capacity int) *Session {
+	return NewWithStore(opts, NewStore(capacity))
+}
+
+// NewWithStore returns a session over a caller-supplied artifact store.
+// Passing the same store to several sessions shares every artifact kind
+// between them: a tenant re-submitting a file another tenant already
+// compiled (same name, content and options) hits the whole-file result
+// cache, and unchanged procedures dedupe through the AST and summary
+// caches. The store must be safe for concurrent use (Store is).
+func NewWithStore(opts core.Options, store Artifacts) *Session {
 	return &Session{
 		opts:    opts,
 		optsKey: fmt.Sprintf("%+v", opts),
-		store:   NewStore(capacity),
+		store:   store,
 	}
 }
 
@@ -142,10 +153,17 @@ func (s *Session) Update(filename, src string) (*Compiled, *core.Result, UpdateS
 	return s.UpdateContext(context.Background(), filename, src)
 }
 
-// cachedRun is the whole-file fast-path artifact.
+// cachedRun is the whole-file fast-path artifact. The flow-insensitive
+// tier-0 answer rides along, computed and frozen before the artifact is
+// published: recomputing it on a later hit would intern fresh location
+// sets into the (by then shared) table, racing with concurrent readers
+// of the cached result — and a served tier-0 answer for a known file
+// should be O(1) anyway.
 type cachedRun struct {
 	compiled *Compiled
 	result   *core.Result
+	fiGraph  *ptgraph.Graph
+	fiIters  int
 }
 
 // UpdateContext is Update with cooperative cancellation. Malformed input
@@ -197,10 +215,20 @@ func (st *Staged) Refined() *core.Result {
 // FlowInsens returns the staged program's flow-insensitive points-to
 // graph and iteration count, computing them on first use. Passing the
 // graph to RunStaged shares it with the run's Budget degradation
-// fallback, so a tiered update computes flowinsens exactly once.
+// fallback, so a tiered update computes flowinsens exactly once. The
+// graph is frozen (ptgraph.Graph.Freeze) before it is returned: it will
+// be shared between the tier-0 answer, the refinement and any number of
+// concurrent readers. On a whole-file cache hit the graph stored with
+// the cached run is returned without any computation — flowinsens
+// interns location sets into the program table, which is shared and
+// read-only once the artifact is published.
 func (st *Staged) FlowInsens() (*ptgraph.Graph, int) {
+	if st.cached != nil {
+		return st.cached.fiGraph, st.cached.fiIters
+	}
 	st.fiOnce.Do(func() {
 		fi := flowinsens.Analyze(st.comp.IR)
+		fi.Graph.Freeze()
 		st.fiGraph, st.fiIters = fi.Graph, fi.Iterations
 	})
 	return st.fiGraph, st.fiIters
@@ -286,7 +314,16 @@ func (s *Session) RunStaged(ctx context.Context, st *Staged, fi *ptgraph.Graph) 
 		s.store.Put("sum|"+st.comp.File+"|"+s.optsKey+"|"+sm.Key, &storedSum{sum: sm, fn: sm.Fn, depHash: dh})
 		stats.SummariesStored++
 	}
-	s.store.Put(st.resKey, &cachedRun{compiled: st.comp, result: res})
+	// The tier-0 answer is computed (or reused from the tiered staging)
+	// before the run is published: after the Put, the compiled program and
+	// its location-set table may be read concurrently by other sessions
+	// sharing the store, so no pass that interns into the table may run on
+	// it again.
+	fiG, fiIters := st.FlowInsens()
+	// Freeze the result's graphs too: a published result is served to
+	// every later hit, and concurrent readers Clone or format its graphs.
+	res.Freeze()
+	s.store.Put(st.resKey, &cachedRun{compiled: st.comp, result: res, fiGraph: fiG, fiIters: fiIters})
 	s.finish(&stats)
 	return res, stats, nil
 }
@@ -306,10 +343,32 @@ func (s *Session) finish(stats *UpdateStats) {
 // declaration ASTs of every non-procedure segment, retained as a unit
 // (cached procedure ASTs reference the struct table by identity, so they
 // are keyed under the environment's hash).
+//
+// An envState is shared mutable state: parsing a procedure segment may
+// intern forward-referenced struct shells into structs
+// (parser.ParseDecl), and every update's sem.Check writes symbol
+// bindings into the cached declaration ASTs in place. Single-session
+// sequential updates never observed this, but two sessions sharing one
+// artifact store (the multi-tenant daemon) reach the same envState
+// concurrently — so mu serialises the whole environment-dependent back
+// half of an update (segment parsing, AST stitching, checking,
+// lowering). The fixpoint, which dominates the pipeline, runs outside
+// the lock.
+//
+// id is a process-unique instance stamp, included in the ast| cache keys
+// of procedure ASTs parsed against this environment: if the env entry is
+// evicted and rebuilt, the fresh instance gets a fresh id and never
+// shares cached ASTs (or their mutex) with sessions still holding the
+// old instance.
 type envState struct {
+	id      uint64
+	mu      sync.Mutex
 	structs map[string]*types.Type
 	others  map[string]*segDecls
 }
+
+// envSeq stamps envState instances.
+var envSeq atomic.Uint64
 
 // segDecls is the parse result of one segment.
 type segDecls struct {
@@ -427,7 +486,7 @@ func (s *Session) compileSegmented(filename, src string, stats *UpdateStats) (c 
 		env = v.(*envState)
 		stats.EnvReused = true
 	} else {
-		env = &envState{structs: map[string]*types.Type{}, others: map[string]*segDecls{}}
+		env = &envState{id: envSeq.Add(1), structs: map[string]*types.Type{}, others: map[string]*segDecls{}}
 		for _, seg := range segs {
 			if seg.Kind == parser.SegProc {
 				continue
@@ -440,6 +499,15 @@ func (s *Session) compileSegmented(filename, src string, stats *UpdateStats) (c 
 		}
 		s.store.Put(envKey, env)
 	}
+
+	// Everything below reads and writes environment-owned state: segment
+	// parses intern struct shells into env.structs, and sem.Check binds
+	// symbols into the cached declaration ASTs in place. Concurrent
+	// updates through the same environment (same or different session —
+	// the daemon shares one store between tenants) serialise here; see
+	// envState.
+	env.mu.Lock()
+	defer env.mu.Unlock()
 
 	// Parse changed procedure segments; reuse cached ASTs for the rest.
 	// Cached declarations carry absolute positions, so the key includes
@@ -457,7 +525,9 @@ func (s *Session) compileSegmented(filename, src string, stats *UpdateStats) (c 
 	for _, seg := range segs {
 		var decls *segDecls
 		if seg.Kind == parser.SegProc {
-			astKey := "ast|" + filename + "|" + envHash + "|" + segCacheKey(seg)
+			// The env instance id ties cached procedure ASTs to the exact
+			// envState (and mutex) they were parsed under; see envState.
+			astKey := "ast|" + filename + "|" + envHash + "|" + strconv.FormatUint(env.id, 10) + "|" + segCacheKey(seg)
 			if v, ok := s.store.Get(astKey); ok {
 				decls = v.(*segDecls)
 				stats.ProcsReused++
@@ -564,7 +634,7 @@ type storedSum struct {
 // a stored summary is served only while its procedure's dependency hash
 // matches the current program's.
 type storeSeeder struct {
-	store  *Store
+	store  Artifacts
 	prefix string
 	deps   map[string]string
 }
@@ -596,15 +666,12 @@ func (s *storeSeeder) LookupKey(key string) *core.Summary {
 // ---------------------------------------------------------------------------
 
 // SummaryCount reports how many context summaries the store currently
-// holds (test helper).
+// holds (test helper; -1 when the session runs over a custom Artifacts
+// implementation that is not a *Store).
 func (s *Session) SummaryCount() int {
-	n := 0
-	s.store.mu.Lock()
-	for k := range s.store.items {
-		if keyKind(k) == "sum" {
-			n++
-		}
+	st, ok := s.store.(*Store)
+	if !ok {
+		return -1
 	}
-	s.store.mu.Unlock()
-	return n
+	return st.CountKind("sum")
 }

@@ -14,7 +14,28 @@ import "sync"
 // defaultCapacity bounds the artifact store when the caller does not.
 const defaultCapacity = 8192
 
-// Store is a bounded, mutex-guarded artifact cache.
+// Artifacts is the storage interface behind a session: a content-keyed
+// cache of every artifact kind the incremental pipeline retains.
+// Implementations must be safe for concurrent use by multiple sessions —
+// the multi-tenant daemon shares one store between every tenant's
+// session so identical artifacts (same filename, content and options)
+// dedupe across tenants. Every entry is a pure cache: Get may miss at
+// any time and the pipeline recomputes, so eviction policy is an
+// implementation concern, never a correctness one.
+type Artifacts interface {
+	// Get returns the artifact stored under key.
+	Get(key string) (any, bool)
+	// Put stores an artifact under key.
+	Put(key string, val any)
+	// Len returns the number of stored artifacts.
+	Len() int
+	// Stats returns a snapshot of per-kind probe counters.
+	Stats() map[string]KindStats
+}
+
+// Store is a bounded, mutex-guarded artifact cache — the standard
+// Artifacts implementation, safe for concurrent use and for sharing
+// between sessions.
 type Store struct {
 	mu    sync.Mutex
 	cap   int
@@ -126,4 +147,18 @@ func (s *Store) Stats() map[string]KindStats {
 		out[k] = *st
 	}
 	return out
+}
+
+// CountKind returns the number of stored artifacts of one kind (the key
+// prefix up to the first '|').
+func (s *Store) CountKind(kind string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.items {
+		if keyKind(k) == kind {
+			n++
+		}
+	}
+	return n
 }

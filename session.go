@@ -45,6 +45,42 @@ func NewSessionCapacity(opts Options, capacity int) *Session {
 	return &Session{inner: session.New(opts, capacity)}
 }
 
+// StoreKindStats counts probe outcomes for one artifact kind of a
+// session store ("res" whole-file results, "env" naming environments,
+// "ast" procedure ASTs, "sum" context summaries).
+type StoreKindStats = session.KindStats
+
+// SharedStore is a bounded, concurrency-safe, content-addressed artifact
+// store that any number of Sessions can share. Sharing one store dedupes
+// identical work across sessions: a tenant re-submitting a file another
+// tenant already analysed (same name, content and options) hits the
+// whole-file result cache, unchanged procedures reuse parsed ASTs, and
+// context summaries seed each other's fixpoints. This is the storage
+// layer of the multi-tenant analysis daemon (cmd/mtpad).
+type SharedStore struct {
+	inner *session.Store
+}
+
+// NewSharedStore returns a shared artifact store bounded to capacity
+// entries (0 selects the default).
+func NewSharedStore(capacity int) *SharedStore {
+	return &SharedStore{inner: session.NewStore(capacity)}
+}
+
+// Len returns the number of stored artifacts.
+func (s *SharedStore) Len() int { return s.inner.Len() }
+
+// Stats returns a snapshot of the store's per-kind probe counters.
+func (s *SharedStore) Stats() map[string]StoreKindStats { return s.inner.Stats() }
+
+// NewSessionWithStore returns a session running every update with the
+// given options over a shared artifact store. Sessions remain
+// individually safe for concurrent use, and any number of them may share
+// one store from any number of goroutines.
+func NewSessionWithStore(opts Options, store *SharedStore) *Session {
+	return &Session{inner: session.NewWithStore(opts, store.inner)}
+}
+
 // UpdateResult is the outcome of one Session.Update.
 type UpdateResult struct {
 	// Program is the compiled program (as from Compile).

@@ -27,9 +27,11 @@ import (
 
 // FastAnswer is the tier-0 result of a tiered query: the
 // flow-insensitive points-to graph and the number of iterations its
-// fixpoint took. The graph is shared with the running refinement's
-// degradation fallback and with later queries on the same Program —
-// treat it as read-only.
+// fixpoint took. The graph is an immutable snapshot (frozen before
+// publication) shared with the running refinement's degradation
+// fallback, with later queries on the same Program, and — in a serving
+// deployment — with any number of concurrent HTTP encoders: reading and
+// Clone-ing it from many goroutines is race-free; do not mutate it.
 type FastAnswer struct {
 	Graph      *Graph
 	Iterations int
@@ -51,6 +53,10 @@ func (p *Program) FastPathEligible() bool {
 func (p *Program) FlowInsensitive() FastAnswer {
 	p.fiOnce.Do(func() {
 		fi := flowinsens.Analyze(p.IR)
+		// Freeze before publication: every later Clone (repeated queries,
+		// the refinement's degradation fallback, concurrent response
+		// encoders) is then write-free on the shared graph.
+		fi.Graph.Freeze()
 		p.fiAnswer = FastAnswer{Graph: fi.Graph, Iterations: fi.Iterations}
 	})
 	return p.fiAnswer
@@ -65,10 +71,14 @@ type TieredResult struct {
 	done   chan struct{}
 	cancel context.CancelFunc
 
-	mu   sync.Mutex
-	res  *Result
-	err  error
-	subs []func(*Result, error)
+	mu sync.Mutex
+	// completed is set under mu before done is closed; Notify keys off it
+	// (not the channel) so a callback registered between complete's
+	// handover of subs and the channel close still fires exactly once.
+	completed bool
+	res       *Result
+	err       error
+	subs      []func(*Result, error)
 }
 
 // AnalyzeTiered answers the query in two tiers. It returns immediately:
@@ -94,6 +104,7 @@ func (p *Program) AnalyzeTiered(ctx context.Context, opts Options) *TieredResult
 func (t *TieredResult) complete(res *Result, err error) {
 	t.mu.Lock()
 	t.res, t.err = res, err
+	t.completed = true
 	subs := t.subs
 	t.subs = nil
 	t.mu.Unlock()
@@ -138,15 +149,21 @@ func (t *TieredResult) Poll() (res *Result, err error, ok bool) {
 // so they should hand off promptly. This is the upgrade-notification
 // seam a serving layer (e.g. an analysis daemon pushing tier upgrades to
 // clients) plugs into.
+//
+// The exactly-once guarantee holds under every registration/completion
+// interleaving a daemon subscriber can lose: a callback registered after
+// the refinement completed, or after Cancel, still fires once with the
+// final result/error. (Notify decides on the completed flag set under
+// the mutex, not on the Done channel: complete hands over the registered
+// callbacks before it closes the channel, so a channel-based check could
+// park a late callback on the dead subscriber list and never fire it.)
 func (t *TieredResult) Notify(f func(*Result, error)) {
 	t.mu.Lock()
-	select {
-	case <-t.done:
+	if t.completed {
 		res, err := t.res, t.err
 		t.mu.Unlock()
 		f(res, err)
 		return
-	default:
 	}
 	t.subs = append(t.subs, f)
 	t.mu.Unlock()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -283,5 +284,108 @@ func TestSessionUpdateTieredCancel(t *testing.T) {
 	}
 	if after := runtime.NumGoroutine(); after > before {
 		t.Errorf("goroutine leak: %d before cancelled tiered update, %d after", before, after)
+	}
+}
+
+// TestTieredNotifyAfterCompletionOrderings pins the exactly-once Notify
+// contract in the two orderings a daemon subscriber can always lose: a
+// callback registered after the refinement already completed, and one
+// registered after Cancel. Both must fire exactly once with the final
+// result/error.
+func TestTieredNotifyAfterCompletionOrderings(t *testing.T) {
+	prog := compileOne(t, "fib")
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+
+	// Ordering 1: registered after completion — fires synchronously, once,
+	// with the final result.
+	tr := prog.AnalyzeTiered(context.Background(), opts)
+	want, err := tr.Refined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int32
+	tr.Notify(func(res *mtpa.Result, err error) {
+		n.Add(1)
+		if res != want || err != nil {
+			t.Errorf("late callback got (%v, %v), want the completed result", res, err)
+		}
+	})
+	if got := n.Load(); got != 1 {
+		t.Fatalf("callback registered after completion fired %d times, want 1", got)
+	}
+
+	// Ordering 2: registered after Cancel. Whether the callback runs
+	// synchronously (refinement already unwound) or later (cancellation
+	// still propagating), it must fire exactly once with the final
+	// outcome — a completed result or the cancellation error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr2 := prog.AnalyzeTiered(ctx, opts)
+	tr2.Cancel()
+	var m atomic.Int32
+	fired := make(chan struct{})
+	tr2.Notify(func(res *mtpa.Result, err error) {
+		if m.Add(1) == 1 {
+			if res == nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("post-Cancel callback got (%v, %v)", res, err)
+			}
+			close(fired)
+		}
+	})
+	select {
+	case <-fired:
+	case <-time.After(30 * time.Second):
+		t.Fatal("callback registered after Cancel never fired")
+	}
+	<-tr2.Done()
+	if got := m.Load(); got != 1 {
+		t.Fatalf("post-Cancel callback fired %d times, want 1", got)
+	}
+}
+
+// TestTieredNotifyCompletionRace hammers Notify registration against
+// refinement completion: every callback registered from any goroutine, in
+// any interleaving with complete, fires exactly once. (This is the
+// daemon-subscriber race: a registration sliding between complete's
+// callback handover and its channel close must not be parked forever.)
+func TestTieredNotifyCompletionRace(t *testing.T) {
+	prog := compileSeqOne(t, "seqfib")
+	opts := mtpa.Options{Mode: mtpa.Multithreaded}
+
+	const rounds = 20
+	const registrars = 8
+	for r := 0; r < rounds; r++ {
+		tr := prog.AnalyzeTiered(context.Background(), opts)
+		var registered, firedCount atomic.Int32
+		var wg sync.WaitGroup
+		for g := 0; g < registrars; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					registered.Add(1)
+					tr.Notify(func(*mtpa.Result, error) { firedCount.Add(1) })
+					select {
+					case <-tr.Done():
+						return
+					default:
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		<-tr.Done()
+		// Every registration before and after completion has fired by the
+		// time the registrars have observed Done and returned: callbacks
+		// registered post-completion run synchronously, and pre-completion
+		// ones run before complete closes Done... complete fires them after
+		// closing, so give the last batch a moment to drain.
+		deadline := time.Now().Add(5 * time.Second)
+		for firedCount.Load() != registered.Load() && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if f, reg := firedCount.Load(), registered.Load(); f != reg {
+			t.Fatalf("round %d: %d callbacks registered, %d fired", r, reg, f)
+		}
 	}
 }

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	mtpad [-addr :8719] [-store-capacity N] [-max-inflight N]
-//	      [-max-tenants N] [-default-wait-ms MS]
+//	      [-max-tenants N] [-default-wait-ms MS] [-token-ttl D]
 //
 // Quickstart:
 //
@@ -41,6 +41,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent refinements (0 = default)")
 	maxTenants := flag.Int("max-tenants", 0, "max live tenants (0 = default)")
 	defaultWait := flag.Int("default-wait-ms", 0, "default long-poll wait when a request sets none")
+	tokenTTL := flag.Duration("token-ttl", 0, "expire unclaimed refinement tokens this long after their refinement lands; expired tokens answer 410 Gone (0 = never)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown bound")
 	flag.Parse()
 
@@ -49,6 +50,7 @@ func main() {
 		MaxInflight:   *maxInflight,
 		MaxTenants:    *maxTenants,
 		DefaultWait:   time.Duration(*defaultWait) * time.Millisecond,
+		TokenTTL:      *tokenTTL,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

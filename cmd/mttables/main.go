@@ -11,6 +11,7 @@
 //	mttables -table cache  context-cache and call-memo statistics
 //	mttables -table budget solver-step and degradation counters
 //	mttables -table tier   fast-path eligibility and tiered-precision data
+//	mttables -table threads  create/join/lock sites per procedure (unstructured partition)
 //	mttables -table all    everything
 //
 // -table tier covers both corpus partitions: the 18 paper programs
@@ -50,11 +51,11 @@ import (
 var validTables = map[string]bool{
 	"1": true, "2": true, "3": true, "4": true,
 	"fig8": true, "fig9": true, "fig10": true,
-	"cache": true, "budget": true, "tier": true, "all": true,
+	"cache": true, "budget": true, "tier": true, "threads": true, "all": true,
 }
 
 func main() {
-	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, tier, all")
+	table := flag.String("table", "all", "which table/figure to produce: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, tier, threads, all")
 	timingRuns := flag.Int("timing-runs", 3, "analysis runs per timing measurement (fig10); the minimum is reported")
 	timeout := flag.Duration("timeout", 0, "cancel the corpus analysis after this duration (0 = no limit)")
 	maxSteps := flag.Int("max-steps", 0, "per-procedure solver step budget, degrading to flow-insensitive on excess (0 = no limit)")
@@ -95,7 +96,7 @@ func main() {
 // validTables (golden-pinned: an unknown name used to silently render
 // nothing and exit 0).
 func unknownTableDiag(table string) string {
-	return fmt.Sprintf("unknown table %q (valid: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, tier, all)", table)
+	return fmt.Sprintf("unknown table %q (valid: 1, 2, 3, 4, fig8, fig9, fig10, cache, budget, tier, threads, all)", table)
 }
 
 // exitCode mirrors the mtpa CLI's classification: 3 for timeouts and
@@ -304,6 +305,29 @@ func run(ctx context.Context, out, errOut io.Writer, table string, timingRuns, m
 			rows = append(rows, tierRowOf(r.Name, "sequential", r.Prog, r.Res))
 		}
 		fmt.Fprintln(out, metrics.RenderTierTable(rows))
+	}
+
+	if want("threads") {
+		// The unstructured partition: create/join/lock sites per procedure.
+		// The analysis runs first (at the requested worker count) so a
+		// program the engine cannot handle is reported like any other
+		// corpus failure; the site counts themselves come from lowering.
+		unstr, err := bench.AnalyzeUnstrAll(mtpa.Options{Mode: mtpa.Multithreaded, FixpointWorkers: workers}, 0)
+		if err != nil {
+			return err
+		}
+		var rows []metrics.ThreadSiteRow
+		for _, r := range unstr {
+			if r.Err != nil {
+				fmt.Fprintln(errOut, "mttables:", r.Err)
+				if corpusErr == nil {
+					corpusErr = r.Err
+				}
+				continue
+			}
+			rows = append(rows, metrics.ThreadSites(r.Name, r.Prog.IR)...)
+		}
+		fmt.Fprintln(out, metrics.RenderThreadSites(rows))
 	}
 
 	if want("fig10") {

@@ -125,10 +125,27 @@ func TestTierTableGolden(t *testing.T) {
 	}
 }
 
+// TestThreadsTableGolden locks the per-procedure concurrency-site table
+// over the unstructured partition. The counts are a function of lowering
+// alone, so the rendering must match the golden byte-for-byte at both 1
+// and 4 fixpoint workers.
+func TestThreadsTableGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-partition table rendering is slow in -short mode")
+	}
+	for _, workers := range []int{1, 4} {
+		var out, errOut bytes.Buffer
+		if err := run(context.Background(), &out, &errOut, "threads", 1, 0, workers); err != nil {
+			t.Fatalf("table threads (workers=%d): %v", workers, err)
+		}
+		checkGolden(t, "threads.golden", out.Bytes())
+	}
+}
+
 // TestValidTables pins the closed set of -table names: an unknown name
 // must be rejected in main (it used to silently render nothing and exit 0).
 func TestValidTables(t *testing.T) {
-	for _, name := range []string{"1", "2", "3", "4", "fig8", "fig9", "fig10", "cache", "budget", "tier", "all"} {
+	for _, name := range []string{"1", "2", "3", "4", "fig8", "fig9", "fig10", "cache", "budget", "tier", "threads", "all"} {
 		if !validTables[name] {
 			t.Errorf("table %q missing from validTables", name)
 		}

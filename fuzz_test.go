@@ -28,6 +28,9 @@ func FuzzAnalyzeNoPanic(f *testing.F) {
 	f.Add("int *p; int main(int argc) { *p = 1; return 0; }")
 	f.Add("int g; int main(int argc) { par { { g = 1; } { g = 2; } } return g; }")
 	f.Add("int main(int argc) { int i; int *p; parfor (i = 0; i < 4; i++) { p = &i; } return 0; }")
+	f.Add("int g; void w() { g = 1; } int main(int argc) { thread t; t = thread_create(w); g = 2; join(t); return g; }")
+	f.Add("int g; void w() { g = 1; } int main(int argc) { thread_create(w); g = 2; return g; }")
+	f.Add("int g; mutex m; void w() { lock(m); g = g + 1; unlock(m); } int main(int argc) { thread a; a = thread_create(w); lock(m); g = g + 2; unlock(m); join(a); return g; }")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 1<<16 {

@@ -231,6 +231,38 @@ type SpawnStmt struct {
 // SyncStmt is sync; — the parent blocks until outstanding spawns complete.
 type SyncStmt struct{ SyncPos token.Pos }
 
+// ThreadCreateStmt is the unstructured thread creation construct:
+//
+//	t = thread_create(f, args...);   or   thread_create(f, args...);
+//
+// The call runs in a new thread executing concurrently with the parent.
+// Handle, when present, names a thread-typed lvalue that a later join can
+// wait on; without a handle the thread is detached.
+type ThreadCreateStmt struct {
+	CrPos  token.Pos
+	Handle Expr // optional thread-typed lvalue; nil for a detached create
+	Call   *CallExpr
+}
+
+// JoinStmt is join(t); — the parent blocks until the thread named by the
+// handle completes. Joining a never-created handle is a no-op.
+type JoinStmt struct {
+	JoinPos token.Pos
+	Handle  Expr
+}
+
+// LockStmt is lock(m); — acquire the mutex m.
+type LockStmt struct {
+	LockPos token.Pos
+	X       Expr
+}
+
+// UnlockStmt is unlock(m); — release the mutex m.
+type UnlockStmt struct {
+	UnlockPos token.Pos
+	X         Expr
+}
+
 // Pos implementations.
 func (s *BlockStmt) Pos() token.Pos    { return s.Lbrace }
 func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
@@ -249,6 +281,11 @@ func (s *ParForStmt) Pos() token.Pos   { return s.ParPos }
 func (s *SpawnStmt) Pos() token.Pos    { return s.SpawnPos }
 func (s *SyncStmt) Pos() token.Pos     { return s.SyncPos }
 
+func (s *ThreadCreateStmt) Pos() token.Pos { return s.CrPos }
+func (s *JoinStmt) Pos() token.Pos         { return s.JoinPos }
+func (s *LockStmt) Pos() token.Pos         { return s.LockPos }
+func (s *UnlockStmt) Pos() token.Pos       { return s.UnlockPos }
+
 func (*BlockStmt) stmtNode()    {}
 func (*ExprStmt) stmtNode()     {}
 func (*DeclStmt) stmtNode()     {}
@@ -265,6 +302,11 @@ func (*ParStmt) stmtNode()      {}
 func (*ParForStmt) stmtNode()   {}
 func (*SpawnStmt) stmtNode()    {}
 func (*SyncStmt) stmtNode()     {}
+
+func (*ThreadCreateStmt) stmtNode() {}
+func (*JoinStmt) stmtNode()         {}
+func (*LockStmt) stmtNode()         {}
+func (*UnlockStmt) stmtNode()       {}
 
 // ---------------------------------------------------------------------------
 // Expressions

@@ -219,6 +219,18 @@ func (p *printer) stmt(s Stmt) {
 		}
 	case *SyncStmt:
 		p.line("sync;")
+	case *ThreadCreateStmt:
+		if s.Handle != nil {
+			p.line(PrintExpr(s.Handle) + " = thread_create(" + createArgs(s.Call) + ");")
+		} else {
+			p.line("thread_create(" + createArgs(s.Call) + ");")
+		}
+	case *JoinStmt:
+		p.line("join(" + PrintExpr(s.Handle) + ");")
+	case *LockStmt:
+		p.line("lock(" + PrintExpr(s.X) + ");")
+	case *UnlockStmt:
+		p.line("unlock(" + PrintExpr(s.X) + ");")
 	case *ReturnStmt:
 		if s.Value != nil {
 			p.line("return " + PrintExpr(s.Value) + ";")
@@ -234,6 +246,16 @@ func (p *printer) stmt(s Stmt) {
 	default:
 		p.line(fmt.Sprintf("/* unknown statement %T */", s))
 	}
+}
+
+// createArgs renders "f, a, b" for thread_create(f, a, b) from the call
+// node the parser assembled.
+func createArgs(call *CallExpr) string {
+	out := PrintExpr(call.Fun)
+	for _, a := range call.Args {
+		out += ", " + PrintExpr(a)
+	}
+	return out
 }
 
 // blockish prints a statement that is the body of a control construct,

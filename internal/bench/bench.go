@@ -21,6 +21,9 @@ var corpusFS embed.FS
 //go:embed corpus_seq/*.clk
 var seqCorpusFS embed.FS
 
+//go:embed corpus_unstr/*.clk
+var unstrCorpusFS embed.FS
+
 // Program is one corpus entry.
 type Program struct {
 	Name        string
@@ -188,6 +191,85 @@ func SeqLoad(name string) (Program, error) {
 // SeqCompile compiles one sequential-partition program.
 func SeqCompile(name string) (*mtpa.Program, error) {
 	p, err := SeqLoad(name)
+	if err != nil {
+		return nil, err
+	}
+	return mtpa.Compile(name+".clk", p.Source)
+}
+
+// unstrDescriptions covers the unstructured partition: programs built on
+// thread_create/join and mutex regions instead of (or mixed with) the
+// structured par constructs.
+var unstrDescriptions = map[string]string{
+	"tcount":  "Mutex-Serialised Shared Counter",
+	"tlist":   "Builder Thread Linked List",
+	"tdetach": "Detached Thread Interference",
+	"thand":   "Thread Creation via Function Pointer",
+	"tbank":   "Two Accounts, Nested Mutexes",
+	"tpipe":   "Overlapping Create/Join Pairs",
+	"tmix":    "Structured Par Mixed with Create/Join",
+	"tshare":  "Mutex-Protected Shared Slot",
+}
+
+// unstrOrder is the table order of the unstructured partition.
+var unstrOrder = []string{
+	"tcount", "tlist", "tdetach", "thand", "tbank", "tpipe", "tmix",
+	"tshare",
+}
+
+// UnstrPrograms returns the unstructured partition of the corpus:
+// programs exercising thread_create/join (including detached threads)
+// and lock/unlock regions. Like the sequential partition, it is embedded
+// separately so the paper-table pins stay untouched.
+func UnstrPrograms() ([]Program, error) {
+	entries, err := unstrCorpusFS.ReadDir("corpus_unstr")
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Program{}
+	for _, e := range entries {
+		name := e.Name()
+		name = name[:len(name)-len(".clk")]
+		data, err := unstrCorpusFS.ReadFile("corpus_unstr/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		byName[name] = Program{
+			Name:        name,
+			Description: unstrDescriptions[name],
+			Source:      string(data),
+		}
+	}
+	var out []Program
+	for _, name := range unstrOrder {
+		if p, ok := byName[name]; ok {
+			out = append(out, p)
+			delete(byName, name)
+		}
+	}
+	var rest []string
+	for name := range byName {
+		rest = append(rest, name)
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}
+
+// UnstrLoad returns one unstructured-partition program by name.
+func UnstrLoad(name string) (Program, error) {
+	data, err := unstrCorpusFS.ReadFile("corpus_unstr/" + name + ".clk")
+	if err != nil {
+		return Program{}, fmt.Errorf("bench: unknown unstructured program %q", name)
+	}
+	return Program{Name: name, Description: unstrDescriptions[name], Source: string(data)}, nil
+}
+
+// UnstrCompile compiles one unstructured-partition program.
+func UnstrCompile(name string) (*mtpa.Program, error) {
+	p, err := UnstrLoad(name)
 	if err != nil {
 		return nil, err
 	}

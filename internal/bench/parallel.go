@@ -64,6 +64,16 @@ func AnalyzeSeqAll(opts mtpa.Options, workers int) ([]CorpusResult, error) {
 	return analyzeAll(context.Background(), progs, opts, workers), nil
 }
 
+// AnalyzeUnstrAll runs the same fan over the unstructured partition
+// (UnstrPrograms) instead of the 18 paper programs.
+func AnalyzeUnstrAll(opts mtpa.Options, workers int) ([]CorpusResult, error) {
+	progs, err := UnstrPrograms()
+	if err != nil {
+		return nil, err
+	}
+	return analyzeAll(context.Background(), progs, opts, workers), nil
+}
+
 // analyzeAll fans the analysis of progs across workers goroutines.
 func analyzeAll(ctx context.Context, progs []Program, opts mtpa.Options, workers int) []CorpusResult {
 	if workers <= 0 {

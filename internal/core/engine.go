@@ -338,6 +338,14 @@ type Analysis struct {
 	privBlocks   map[*locset.Block]bool
 	procAnalyses int
 
+	// hasDetached marks that a region with detached (join-less) threads is
+	// reachable: detached threads outlive their creating region, so the
+	// engine extends the interference environment of everything downstream
+	// of the region and of every call that may have started one (par.go,
+	// interproc.go). False on every structured program, keeping those
+	// bit-identical.
+	hasDetached bool
+
 	// Summary seeding (seed.go). seeder is nil on plain Analyze runs; cn is
 	// the lazily built canonical encoder; seedByKey indexes seeded and
 	// harvested contexts by canonical key for the metrics-pass demand walk.
@@ -457,6 +465,17 @@ func analyze(ctx context.Context, prog *ir.Program, opts Options, seeder Seeder,
 	if opts.seqFastPathWanted() && !prog.ParReachable() {
 		a.seqFast = true
 		a.emptyI = ptgraph.New()
+	}
+	if prog.HasDetachedThreads && prog.ParReachable() {
+		// A detached thread races with every statement downstream of its
+		// creation point — code its region solve never sees. The
+		// flow-insensitive graph over-approximates every edge any code ever
+		// creates, so it serves as the thread's unseen-interference
+		// environment (par.go). Computing it interns location sets into the
+		// shared table, so it happens here, eagerly and deterministically,
+		// before any speculative solve could race to build it.
+		a.hasDetached = true
+		a.flowinsensGraph()
 	}
 	for _, b := range prog.Table.Blocks() {
 		if b.Kind == locset.KindPrivateGlobal {

@@ -39,6 +39,17 @@ import (
 // concurrency (Options.ParWorkers > 1) even on a single-CPU machine.
 var specSem = make(chan struct{}, max(2, runtime.GOMAXPROCS(0)))
 
+// transferRegion is the single entry point for parallel-region vertices:
+// parallel loops go to the §3.8 equations, every other region — structured
+// par and the normalized thread_create/join groups, which share one
+// interference model — goes to the Figure 6 fixed point.
+func (x *exec) transferRegion(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Triple, error) {
+	if region.IsLoop {
+		return x.transferParFor(region, t, ctx)
+	}
+	return x.transferPar(region, t, ctx)
+}
+
 // transferPar solves the par-construct dataflow equations:
 //
 //	C_i = C ∪ ⋃_{j≠i} E_j      I_i = I ∪ ⋃_{j≠i} E_j
@@ -104,8 +115,14 @@ func (x *exec) transferPar(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Tr
 	// Combine: intersection of the thread outputs; a conditionally created
 	// thread may not run at all, so its input graph is unioned back first
 	// (this restores every edge the thread killed, as §3.11 requires).
-	combined := make([]*ptgraph.Graph, k)
+	// Detached threads are excluded from the intersection — the region ends
+	// when the joined threads finish, not when they do — and instead extend
+	// the downstream interference environment below.
+	combined := make([]*ptgraph.Graph, 0, k)
 	for i := range region.Threads {
+		if region.DetachedThread(i) {
+			continue
+		}
 		ci := Couts[i]
 		if region.CondThread[i] {
 			// The thread may not have been created at all: union its input
@@ -116,9 +133,16 @@ func (x *exec) transferPar(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Tr
 		if a.hasPrivates {
 			ci = a.privMask(ci)
 		}
-		combined[i] = ci
+		combined = append(combined, ci)
 	}
-	Cprime := ptgraph.IntersectAll(combined)
+	var Cprime *ptgraph.Graph
+	if len(combined) > 0 {
+		Cprime = ptgraph.IntersectAll(combined)
+	} else {
+		// Every thread is detached: creation itself transfers no pointer
+		// values, so the creating thread's state flows on unchanged.
+		Cprime = t.C.Clone()
+	}
 	if a.hasPrivates {
 		a.privRestoreParent(Cprime, t.C)
 	}
@@ -127,14 +151,29 @@ func (x *exec) transferPar(region *pfg.ParRegion, t *Triple, ctx *ctxEntry) (*Tr
 		Eprime.Union(Es[i])
 	}
 	// The interference edges known at the par construct remain valid after
-	// it; keep I ⊆ C.
-	Cprime.Union(t.I)
-	return &Triple{C: Cprime, I: t.I, E: Eprime}, nil
+	// it; keep I ⊆ C. A detached thread keeps running after the region, so
+	// its created edges additionally join the downstream interference set —
+	// no later strong update may kill an edge a live thread can recreate.
+	Iprime := t.I
+	if region.HasDetached() {
+		Iprime = t.I.Clone()
+		for i := range Es {
+			if region.DetachedThread(i) {
+				Iprime.Union(Es[i])
+			}
+		}
+	}
+	Cprime.Union(Iprime)
+	return &Triple{C: Cprime, I: Iprime, E: Eprime}, nil
 }
 
 // prepareThreadInput builds the ⟨C_i, I_i⟩ inputs of thread i from the
-// construct input and the created-edge sets of the sibling threads.
-func (x *exec) prepareThreadInput(t *Triple, es []*ptgraph.Graph, i int) (Ci, Ii *ptgraph.Graph) {
+// construct input and the created-edge sets of the sibling threads. A
+// detached thread additionally races with every statement downstream of
+// the region — code this solve never sees — so its inputs absorb the
+// flow-insensitive graph, which over-approximates every edge any part of
+// the program ever creates (precomputed in analyze; see engine.go).
+func (x *exec) prepareThreadInput(region *pfg.ParRegion, t *Triple, es []*ptgraph.Graph, i int) (Ci, Ii *ptgraph.Graph) {
 	a := x.a
 	Ci = t.C.Clone()
 	Ii = t.I.Clone()
@@ -148,6 +187,11 @@ func (x *exec) prepareThreadInput(t *Triple, es []*ptgraph.Graph, i int) (Ci, Ii
 		addCreatedC(Ci, es[j])
 		Ii.Union(es[j])
 	}
+	if region.DetachedThread(i) {
+		fi := a.flowinsensGraph()
+		addCreatedC(Ci, fi)
+		Ii.Union(fi)
+	}
 	if a.hasPrivates {
 		a.privEnterThread(Ci)
 		a.privEnterThread(Ii)
@@ -160,7 +204,7 @@ func (x *exec) prepareThreadInput(t *Triple, es []*ptgraph.Graph, i int) (Ci, Ii
 // whether E_i changed.
 func (x *exec) parSolveThread(region *pfg.ParRegion, i int, t *Triple, ctx *ctxEntry, Es, Couts, Cins []*ptgraph.Graph) (bool, error) {
 	a := x.a
-	Ci, Ii := x.prepareThreadInput(t, Es, i)
+	Ci, Ii := x.prepareThreadInput(region, t, Es, i)
 	Cins[i] = Ci.Clone()
 	out, err := x.solveBody(region.Threads[i], &Triple{C: Ci, I: Ii, E: ptgraph.New()}, ctx)
 	if err != nil {
@@ -204,7 +248,7 @@ func (x *exec) parIteration(region *pfg.ParRegion, t *Triple, ctx *ctxEntry, Es,
 	ins := make([]*Triple, k)
 	cins := make([]*ptgraph.Graph, k)
 	for i := 0; i < k; i++ {
-		Ci, Ii := x.prepareThreadInput(t, snap, i)
+		Ci, Ii := x.prepareThreadInput(region, t, snap, i)
 		cins[i] = Ci.Clone()
 		ins[i] = &Triple{C: Ci, I: Ii, E: ptgraph.New()}
 	}

@@ -263,10 +263,7 @@ func (p bodyProblem) Merge(dst, src *Triple) bool {
 func (p bodyProblem) Transfer(v *pfg.Vertex, in *Triple) (*Triple, error) {
 	switch v.Kind {
 	case pfg.KindParBegin:
-		if v.Par.IsLoop {
-			return p.x.transferParFor(v.Par, in, p.ctx)
-		}
-		return p.x.transferPar(v.Par, in, p.ctx)
+		return p.x.transferRegion(v.Par, in, p.ctx)
 	case pfg.KindParEnd:
 		// The region's dataflow is solved at the parbegin vertex; the
 		// parend vertex is its chain successor and passes the fact on.
@@ -352,6 +349,12 @@ func (x *exec) transferInstr(in *ir.Instr, t *Triple, ctx *ctxEntry) error {
 		// Direct array accesses have a statically known location set; they
 		// are counted in the program characteristics but not in the
 		// pointer-dereference precision metrics.
+	case ir.OpLock, ir.OpUnlock:
+		// Mutex operations transfer no pointer values. Mutual exclusion is
+		// also not used to prune I here: removing a may-points-to edge for
+		// the duration of a lock region would need must-alias information
+		// about the state at the unlock, which the ⟨C,I,E⟩ lattice does not
+		// carry. The race client consumes the lock sites instead (race.go).
 	case ir.OpReturn:
 		// The return value was already copied to the ret location set.
 	case ir.OpCall:

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"testing"
+
+	"mtpa"
+	"mtpa/internal/locset"
+)
+
+// TestCreateJoinPairBehavesLikePar checks that a thread_create/join pair
+// with statements in between is analysed exactly like the equivalent
+// structured par: the code between create and join runs concurrently with
+// the created thread.
+func TestCreateJoinPairBehavesLikePar(t *testing.T) {
+	src := `
+int x, y;
+int *p, **q;
+void redirect() { *q = &y; }
+int main() {
+  thread t;
+  p = &x;
+  q = &p;
+  t = thread_create(redirect);
+  *p = 1;
+  join(t);
+  *p = 2;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	// The created thread always redirects p before the join completes.
+	if !C.Has(p, y) {
+		t.Errorf("after join: p should point to y; C = %s", C.Format(prog.Table()))
+	}
+	if C.Has(p, x) {
+		t.Errorf("after join: the redirect strong-updates p, killing x; C = %s", C.Format(prog.Table()))
+	}
+	ps := res.Metrics.ParSamples()
+	if len(ps) != 1 || ps[0].Threads != 2 {
+		t.Fatalf("expected one 2-thread region analysis, got %+v", ps)
+	}
+}
+
+// TestDetachedThreadExtendsInterference checks that a join-less
+// thread_create extends the interference environment of everything
+// downstream: the detached thread's created edges survive in I, so later
+// strong updates cannot kill them.
+func TestDetachedThreadExtendsInterference(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+void redirect() { p = &y; }
+int main() {
+  p = &x;
+  thread_create(redirect);
+  p = &x;
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	// The re-assignment p = &x after the create is a strong update, but the
+	// detached thread may redirect p at any later moment: both targets stay.
+	if !C.Has(p, x) || !C.Has(p, y) {
+		t.Errorf("p should may-point to x and y at main's exit; C = %s", C.Format(prog.Table()))
+	}
+	if !res.MainOut.E.Has(p, y) {
+		t.Errorf("detached thread's edge p->y should be in E at main's exit; E = %s",
+			res.MainOut.E.Format(prog.Table()))
+	}
+	if res.FastPath {
+		t.Error("a program with a reachable region must not use the fast path")
+	}
+}
+
+// TestDetachedThreadEscapesCall checks the interprocedural case: a callee
+// starts a detached thread and returns; the thread keeps racing with the
+// caller's code after the call.
+func TestDetachedThreadEscapesCall(t *testing.T) {
+	src := `
+int x, y;
+int *p;
+void redirect() { p = &y; }
+void starter() { thread_create(redirect); }
+int main() {
+  p = &x;
+  starter();
+  p = &x;
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	y := loc(t, prog, "y")
+	C := res.MainOut.C
+	if !C.Has(p, x) || !C.Has(p, y) {
+		t.Errorf("the thread escaping starter() should keep p->y alive past the strong update; C = %s",
+			C.Format(prog.Table()))
+	}
+}
+
+// TestMutexRegionsAnalyze checks that lock/unlock pass through the
+// points-to analysis as no-ops.
+func TestMutexRegionsAnalyze(t *testing.T) {
+	src := `
+int x;
+int *p;
+mutex m;
+int main() {
+  lock(m);
+  p = &x;
+  unlock(m);
+  *p = 1;
+  return 0;
+}
+`
+	prog, res := analyze(t, src, mtpa.Options{Mode: mtpa.Multithreaded})
+	p := loc(t, prog, "p")
+	x := loc(t, prog, "x")
+	if !res.MainOut.C.Has(p, x) {
+		t.Errorf("p should point to x; C = %s", res.MainOut.C.Format(prog.Table()))
+	}
+	if res.MainOut.C.Has(p, locset.UnkID) {
+		t.Errorf("p is definitely assigned; C = %s", res.MainOut.C.Format(prog.Table()))
+	}
+	if prog.IR.LockSites != 1 || prog.IR.UnlockSites != 1 {
+		t.Errorf("lock/unlock sites = %d/%d, want 1/1", prog.IR.LockSites, prog.IR.UnlockSites)
+	}
+}

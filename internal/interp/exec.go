@@ -212,6 +212,52 @@ func (fr *frame) execStmt(s ast.Stmt) {
 		fr.children = append(fr.children, t)
 	case *ast.SyncStmt:
 		fr.syncChildren()
+	case *ast.ThreadCreateStmt:
+		// The callee and arguments are evaluated in the creating thread (as
+		// with pthread_create); only the call itself runs in the new thread.
+		var fd *ast.FuncDecl
+		if id, ok := s.Call.Fun.(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind == ast.SymFunc {
+			fd = id.Sym.Func
+		}
+		if fd == nil {
+			v := fr.eval(s.Call.Fun)
+			fn, ok := v.(Fn)
+			if !ok {
+				m.fail("interp: thread_create of non-function value")
+			}
+			fd = fn.Decl
+		}
+		args := make([]Value, len(s.Call.Args))
+		for i, a := range s.Call.Args {
+			args[i] = fr.eval(a)
+		}
+		t := m.sched.spawnThread(fr.thread, func(t *tstate) {
+			tf := &frame{machine: m, thread: t, fn: fd, locals: map[*ast.Symbol]*Object{}}
+			tf.call(fd, args)
+		})
+		if s.Handle != nil {
+			addr := fr.lvalue(s.Handle)
+			fr.storeTo(addr, ThreadV{t: t}, s.Handle.Type())
+		}
+		// Created threads are deliberately not recorded in fr.children:
+		// procedure exit does not join them. Whatever is still running when
+		// main returns is drained by the scheduler loop (sched.go).
+	case *ast.JoinStmt:
+		// Joining a handle that never received a thread is a no-op.
+		if tv, ok := fr.eval(s.Handle).(ThreadV); ok {
+			fr.waitFor([]*tstate{tv.t})
+		}
+	case *ast.LockStmt:
+		addr := fr.lvalue(s.X)
+		for asInt(fr.loadFrom(addr, nil)) != 0 {
+			m.step() // a deadlocked acquire hits the step limit
+			fr.thread.pause()
+		}
+		// The test-and-set is atomic: no interleaving point occurs between
+		// the load above and this store within one scheduler grant.
+		fr.storeTo(addr, Int(1), nil)
+	case *ast.UnlockStmt:
+		fr.storeTo(fr.lvalue(s.X), Int(0), nil)
 	default:
 		m.fail("interp: unknown statement %T", s)
 	}
@@ -446,6 +492,9 @@ func (fr *frame) eval(e ast.Expr) Value {
 	case *ast.UnaryExpr:
 		switch e.Op {
 		case token.AMP:
+			if id, ok := e.X.(*ast.Ident); ok && id.Sym != nil && id.Sym.Kind == ast.SymFunc {
+				return Fn{Decl: id.Sym.Func} // &f and f denote the same function value
+			}
 			return fr.lvalue(e.X)
 		case token.STAR:
 			p, ok := fr.eval(e.X).(Ptr)

@@ -41,14 +41,19 @@ type Ptr struct {
 // Fn is a function value.
 type Fn struct{ Decl *ast.FuncDecl }
 
+// ThreadV is a thread handle produced by thread_create; join waits on the
+// wrapped thread.
+type ThreadV struct{ t *tstate }
+
 // Undef is the value of uninitialised memory.
 type Undef struct{}
 
-func (Int) isValue()   {}
-func (Float) isValue() {}
-func (Ptr) isValue()   {}
-func (Fn) isValue()    {}
-func (Undef) isValue() {}
+func (Int) isValue()     {}
+func (Float) isValue()   {}
+func (Ptr) isValue()     {}
+func (Fn) isValue()      {}
+func (ThreadV) isValue() {}
+func (Undef) isValue()   {}
 
 // IsNull reports whether the pointer is NULL.
 func (p Ptr) IsNull() bool { return p.Obj == nil }

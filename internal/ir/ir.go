@@ -51,6 +51,8 @@ const (
 	OpReturn                // jump to function exit (return value already copied to ret locset)
 	OpRegLoad               // read of a named scalar variable (register-level; race detection only)
 	OpRegStore              // write of a named scalar variable (register-level; race detection only)
+	OpLock                  // lock(m): acquire mutex Src (NoLoc = statically unknown mutex)
+	OpUnlock                // unlock(m): release mutex Src (NoLoc = statically unknown mutex)
 )
 
 func (o Op) String() string {
@@ -91,6 +93,10 @@ func (o Op) String() string {
 		return "regload"
 	case OpRegStore:
 		return "regstore"
+	case OpLock:
+		return "lock"
+	case OpUnlock:
+		return "unlock"
 	}
 	return fmt.Sprintf("Op(%d)", int(o))
 }
@@ -193,6 +199,13 @@ type Node struct {
 	Threads    []*Body
 	CondThread []bool
 
+	// Detached marks threads created by thread_create with no matching
+	// join in the creating statement list: they outlive the region, so
+	// their effects extend the interference environment of everything
+	// downstream instead of being joined at the parend. nil means every
+	// thread is joined at the region end (the structured par case).
+	Detached []bool
+
 	// Body is the replicated thread body of a NodeParFor.
 	Body *Body
 
@@ -201,6 +214,20 @@ type Node struct {
 
 	// Pos is the source position of the construct, for reporting.
 	Pos token.Pos
+}
+
+// DetachedThread reports whether thread i of a NodePar region is
+// detached (created without a matching join).
+func (n *Node) DetachedThread(i int) bool { return n.Detached != nil && n.Detached[i] }
+
+// HasDetached reports whether any thread of the region is detached.
+func (n *Node) HasDetached() bool {
+	for _, d := range n.Detached {
+		if d {
+			return true
+		}
+	}
+	return false
 }
 
 func (n *Node) addSucc(s *Node) {
@@ -240,6 +267,14 @@ type Func struct {
 
 	// NumInstrs counts instructions for the complexity metrics.
 	NumInstrs int
+
+	// Per-procedure unstructured-concurrency site counters (the program
+	// totals live on Program): thread_create statements, joins matched to
+	// a create in their statement list, and lock/unlock statements.
+	CreateSites int
+	JoinSites   int
+	LockSites   int
+	UnlockSites int
 }
 
 // Program is the IR for a whole translation unit.
@@ -260,6 +295,15 @@ type Program struct {
 	NumPtrLoads         int
 	NumPtrStores        int
 	ThreadCreationSites int
+
+	// Unstructured-concurrency counters and flags.
+	JoinSites   int // join(t) statements matched to a create in their list
+	LockSites   int // lock(m) statements
+	UnlockSites int // unlock(m) statements
+	// HasDetachedThreads records whether any region contains a detached
+	// (join-less) thread; the analysis gates summary seeding and extends
+	// budget degradation with the escape environment when set.
+	HasDetachedThreads bool
 
 	// Warnings from lowering (e.g. unstructured spawn fallbacks).
 	Warnings []string

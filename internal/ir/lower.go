@@ -184,10 +184,13 @@ func (lo *lowerer) lowerFunc(fn *Func) {
 // Spawns with no following sync in the same list are joined at the end of
 // the list (Cilk's implicit sync at procedure end).
 
-// spawnThread is one recognised child thread.
+// spawnThread is one recognised child thread. detached marks threads
+// created by thread_create with no matching join in the same statement
+// list; they outlive the region they were created in.
 type spawnThread struct {
-	stmts []ast.Stmt
-	cond  bool
+	stmts    []ast.Stmt
+	cond     bool
+	detached bool
 }
 
 func (lo *lowerer) lowerStmts(list []ast.Stmt) { lo.lowerStmtList(list, false) }
@@ -209,6 +212,16 @@ func (lo *lowerer) lowerStmtList(list []ast.Stmt, funcTop bool) {
 				i += 2
 				continue
 			}
+		}
+
+		// Unstructured create/join group: a run of thread_create statements
+		// and the statements running concurrently with them, closed by the
+		// join of every tracked handle (or left open: detached threads).
+		if cs, ok := s.(*ast.ThreadCreateStmt); ok {
+			group, next := lo.collectCreateGroup(list, i)
+			lo.lowerRegionGroup(group, cs.CrPos)
+			i = next
+			continue
 		}
 
 		// Spawn group: spawns (conditional or not) up to a sync.
@@ -376,6 +389,151 @@ func (lo *lowerer) collectSpawnGroup(list []ast.Stmt, i int) ([]spawnThread, int
 		threads = append(threads, spawnThread{stmts: contStmts})
 	}
 	return threads, j, sawSync
+}
+
+// ---------------------------------------------------------------------------
+// Unstructured thread_create/join recognition
+//
+// A statement list starting with thread_create is normalised into the same
+// ThreadRegion form as a structured par: every created thread becomes a
+// region thread, the ordinary statements interleaved with the creates form
+// the continuation thread, and the region closes at the point where every
+// tracked handle has been joined (restoring sequential flow — the
+// may-happen-in-parallel pruning from create/join ordering). Threads whose
+// handle is never joined in the list — or is untrackable (stored through a
+// non-variable lvalue, or discarded) — are marked detached: they outlive
+// the region, and the analysis extends their interference to everything
+// downstream.
+
+// collectCreateGroup gathers a create/join group from list[i:]. It returns
+// the recognised threads and the index of the next unconsumed statement.
+// Handle writes are emitted into the current (pre-region) block as data
+// writes: handles carry no pointer values, but the writes stay visible to
+// race detection.
+func (lo *lowerer) collectCreateGroup(list []ast.Stmt, i int) ([]spawnThread, int) {
+	var threads []spawnThread
+	var contStmts []ast.Stmt
+	open := map[*ast.Symbol]int{} // unjoined handle symbol -> thread index
+	unjoined := 0
+	j := i
+collect:
+	for ; j < len(list); j++ {
+		s := list[j]
+		switch s := s.(type) {
+		case *ast.ThreadCreateStmt:
+			lo.prog.ThreadCreationSites++
+			lo.fn.CreateSites++
+			idx := len(threads)
+			threads = append(threads, spawnThread{
+				stmts:    []ast.Stmt{&ast.ExprStmt{X: s.Call}},
+				detached: true,
+			})
+			unjoined++
+			if s.Handle != nil {
+				lv := lo.lowerLValue(s.Handle)
+				lo.dataWrite(lv, s.CrPos)
+			}
+			if sym := handleSym(s.Handle); sym != nil {
+				// Reusing a live handle orphans the earlier thread: it can
+				// no longer be joined, so it stays detached.
+				open[sym] = idx
+			}
+		case *ast.JoinStmt:
+			sym := handleSym(s.Handle)
+			idx, ok := 0, false
+			if sym != nil {
+				idx, ok = open[sym]
+			}
+			if !ok {
+				lo.warnf(s.JoinPos, "join has no matching thread_create in this statement list; treated as a no-op")
+				continue
+			}
+			delete(open, sym)
+			threads[idx].detached = false
+			lo.prog.JoinSites++
+			lo.fn.JoinSites++
+			unjoined--
+			if unjoined == 0 {
+				// Every thread created in this group has been joined: the
+				// region closes here and sequential flow resumes.
+				j++
+				break collect
+			}
+		default:
+			if blocksCreateGrouping(s) {
+				// A statement we cannot place inside the region (control
+				// transfer out of the list, or nested synchronisation we do
+				// not track): close the group before it. Still-open threads
+				// stay detached.
+				break collect
+			}
+			contStmts = append(contStmts, s)
+		}
+	}
+	if len(contStmts) > 0 {
+		threads = append(threads, spawnThread{stmts: contStmts})
+	}
+	return threads, j
+}
+
+// handleSym resolves a thread-handle expression to its symbol when it is a
+// plain variable; any other shape is untrackable.
+func handleSym(e ast.Expr) *ast.Symbol {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Sym
+	}
+	return nil
+}
+
+// blocksCreateGrouping reports whether a statement terminates a create/join
+// group: control transfers out of the list, or nested thread machinery the
+// group tracker would mis-attribute if it were swallowed into the
+// continuation thread.
+func blocksCreateGrouping(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.ReturnStmt, *ast.BreakStmt, *ast.ContinueStmt:
+		return true
+	}
+	found := false
+	walkStmt(s, func(st ast.Stmt) {
+		switch st.(type) {
+		case *ast.ThreadCreateStmt, *ast.JoinStmt, *ast.SpawnStmt, *ast.SyncStmt,
+			*ast.ParStmt, *ast.ParForStmt:
+			found = true
+		}
+	})
+	return found
+}
+
+// lowerRegionGroup lowers a create/join group. A fully joined group is
+// exactly a structured par and takes the identical path; a group with
+// detached threads keeps the region node and marks them.
+func (lo *lowerer) lowerRegionGroup(threads []spawnThread, pos token.Pos) {
+	if len(threads) == 0 {
+		return
+	}
+	anyDetached := false
+	for _, th := range threads {
+		if th.detached {
+			anyDetached = true
+		}
+	}
+	if !anyDetached {
+		lo.lowerParGroup(threads)
+		return
+	}
+	lo.prog.HasDetachedThreads = true
+	par := lo.newNode(NodePar)
+	par.Pos = pos
+	for _, th := range threads {
+		tb := lo.lowerThreadBody(th.stmts)
+		par.Threads = append(par.Threads, tb)
+		par.CondThread = append(par.CondThread, th.cond)
+		par.Detached = append(par.Detached, th.detached)
+	}
+	lo.cur.addSucc(par)
+	lo.cur = par
+	lo.startBlock()
 }
 
 // recogniseParLoop matches "for/while (...) { ... spawn ... }" shapes.
@@ -650,9 +808,53 @@ func (lo *lowerer) lowerStmt(s ast.Stmt) {
 		lo.lowerStmt(spawnAsCall(s))
 	case *ast.SyncStmt:
 		// A sync with no preceding spawns in this list: no-op.
+	case *ast.ThreadCreateStmt:
+		// A create outside any recognised statement-list group (e.g. the
+		// bare branch of an if): a one-thread detached region.
+		lo.prog.ThreadCreationSites++
+		lo.fn.CreateSites++
+		if s.Handle != nil {
+			lv := lo.lowerLValue(s.Handle)
+			lo.dataWrite(lv, s.CrPos)
+		}
+		lo.lowerRegionGroup([]spawnThread{{
+			stmts:    []ast.Stmt{&ast.ExprStmt{X: s.Call}},
+			detached: true,
+		}}, s.CrPos)
+	case *ast.JoinStmt:
+		// A join with no matching create in its statement list: the thread
+		// it names was analysed as detached, so waiting is a sound no-op.
+		lo.warnf(s.JoinPos, "join has no matching thread_create in this statement list; treated as a no-op")
+		lo.lowerExpr(s.Handle)
+	case *ast.LockStmt:
+		lo.lowerLockOp(OpLock, s.X, s.LockPos)
+	case *ast.UnlockStmt:
+		lo.lowerLockOp(OpUnlock, s.X, s.UnlockPos)
 	default:
 		panic(errs.ICE(s.Pos().String(), "ir: unknown statement %T", s))
 	}
+}
+
+// lowerLockOp lowers lock(m)/unlock(m). The mutex operand becomes the
+// instruction's Src location set when it is statically addressable; an
+// unknown mutex lowers to NoLoc, which the race client treats as "clears
+// every must-held lock" (sound: less suppression).
+func (lo *lowerer) lowerLockOp(op Op, x ast.Expr, pos token.Pos) {
+	src := NoLoc
+	if b, off, stride, _, _, ok := lo.tryDirect(x); ok {
+		src = lo.tab.Intern(b, off, stride, false)
+	} else {
+		lo.lowerExpr(x)
+		lo.warnf(pos, "%s on a statically unknown mutex", op)
+	}
+	if op == OpLock {
+		lo.prog.LockSites++
+		lo.fn.LockSites++
+	} else {
+		lo.prog.UnlockSites++
+		lo.fn.UnlockSites++
+	}
+	lo.emit(&Instr{Op: op, Dst: NoLoc, Src: src, Pos: pos})
 }
 
 func (lo *lowerer) lowerParFor(s *ast.ParForStmt) {

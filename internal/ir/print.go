@@ -50,6 +50,9 @@ func formatBody(sb *strings.Builder, b *Body, tab *locset.Table, depth int) {
 				if n.CondThread[i] {
 					cond = " (conditional)"
 				}
+				if n.DetachedThread(i) {
+					cond += " (detached)"
+				}
 				fmt.Fprintf(sb, "%s  thread %d%s:\n", ind, i, cond)
 				formatBody(sb, t, tab, depth+2)
 			}
@@ -112,6 +115,10 @@ func (in *Instr) Format(tab *locset.Table) string {
 		return fmt.Sprintf("regload %s", ls(in.Src))
 	case OpRegStore:
 		return fmt.Sprintf("regstore %s", ls(in.Dst))
+	case OpLock:
+		return fmt.Sprintf("lock %s", ls(in.Src))
+	case OpUnlock:
+		return fmt.Sprintf("unlock %s", ls(in.Src))
 	case OpReturn:
 		return "return"
 	case OpCall:

@@ -60,6 +60,32 @@ func Characteristics(name, description, source string, prog *ir.Program) Program
 	return st
 }
 
+// ThreadSiteRow is one row of the threads table: the
+// unstructured-concurrency sites lowered in one procedure.
+type ThreadSiteRow struct {
+	Program string
+	Proc    string
+	Creates int // thread_create statements
+	Joins   int // joins matched to a create in their statement list
+	Locks   int // lock(m) statements
+	Unlocks int // unlock(m) statements
+}
+
+// ThreadSites collects one threads-table row per procedure of prog, in
+// declaration order. Creates that exceed Joins are detached threads: no
+// join in their statement list ever closes them.
+func ThreadSites(name string, prog *ir.Program) []ThreadSiteRow {
+	rows := make([]ThreadSiteRow, 0, len(prog.Funcs))
+	for _, fn := range prog.Funcs {
+		rows = append(rows, ThreadSiteRow{
+			Program: name, Proc: fn.Name,
+			Creates: fn.CreateSites, Joins: fn.JoinSites,
+			Locks: fn.LockSites, Unlocks: fn.UnlockSites,
+		})
+	}
+	return rows
+}
+
 func countLoC(src string) int {
 	n := 0
 	for _, line := range strings.Split(src, "\n") {

@@ -212,6 +212,23 @@ func RenderTierTable(rows []TierRow) string {
 	return sb.String()
 }
 
+// RenderThreadSites renders the per-procedure concurrency-site counts of
+// the unstructured partition (-table threads): thread_create statements,
+// joins matched to a create, and lock/unlock statements. The counts are a
+// function of lowering alone, so the table is identical at every fixpoint
+// worker count.
+func RenderThreadSites(rows []ThreadSiteRow) string {
+	var sb strings.Builder
+	sb.WriteString("Thread and mutex sites per procedure (unstructured partition)\n")
+	fmt.Fprintf(&sb, "%-10s %-12s %8s %6s %6s %8s\n",
+		"Program", "Procedure", "Creates", "Joins", "Locks", "Unlocks")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-12s %8d %6d %6d %8d\n",
+			r.Program, r.Proc, r.Creates, r.Joins, r.Locks, r.Unlocks)
+	}
+	return sb.String()
+}
+
 // RenderBudgetStats renders the budget/degradation counters (not a table
 // of the paper; it reports the robustness machinery of the implementation).
 func RenderBudgetStats(rows []BudgetStats) string {

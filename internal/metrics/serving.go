@@ -25,6 +25,7 @@ type ServingCounters struct {
 	refStarted     int64
 	refCompleted   int64
 	refCancelled   int64
+	tokensExpired  int64
 }
 
 type tenantCounters struct {
@@ -81,6 +82,14 @@ func (c *ServingCounters) Timeout() {
 func (c *ServingCounters) BudgetDegraded() {
 	c.mu.Lock()
 	c.budgetDegraded++
+	c.mu.Unlock()
+}
+
+// TokenExpired records a refinement token dropped by the TTL garbage
+// collector before any client claimed its final answer.
+func (c *ServingCounters) TokenExpired() {
+	c.mu.Lock()
+	c.tokensExpired++
 	c.mu.Unlock()
 }
 
@@ -141,6 +150,7 @@ type ServingSnapshot struct {
 	RefinementsStarted   int64                    `json:"refinements_started"`
 	RefinementsCompleted int64                    `json:"refinements_completed"`
 	RefinementsCancelled int64                    `json:"refinements_cancelled"`
+	TokensExpired        int64                    `json:"tokens_expired"`
 	Tenants              map[string]TenantServing `json:"tenants"`
 }
 
@@ -155,6 +165,7 @@ func (c *ServingCounters) Snapshot() ServingSnapshot {
 		RefinementsStarted:   c.refStarted,
 		RefinementsCompleted: c.refCompleted,
 		RefinementsCancelled: c.refCancelled,
+		TokensExpired:        c.tokensExpired,
 		Tenants:              make(map[string]TenantServing, len(c.tenants)),
 	}
 	for name, tc := range c.tenants {

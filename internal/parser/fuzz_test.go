@@ -26,6 +26,21 @@ func FuzzParseRoundTrip(f *testing.F) {
 	f.Add("int g; private int h; int main(int argc) { par { { g = 1; } { h = 2; } } return 0; }")
 	f.Add("struct s { int v; struct s *next; }; int main(int argc) { struct s n; n.next = 0; return 0; }")
 
+	// Unstructured concurrency corners: create/join pairs, detached
+	// creates, handle reuse, and mutex regions.
+	unstr, err := bench.UnstrPrograms()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range unstr {
+		f.Add(p.Source)
+	}
+	f.Add("void w() {} int main(int argc) { thread t; t = thread_create(w); join(t); return 0; }")
+	f.Add("void w(int n) {} int main(int argc) { thread_create(w, 3); return 0; }")
+	f.Add("void w() {} int main(int argc) { thread t; t = thread_create(w); t = thread_create(w); join(t); return 0; }")
+	f.Add("int g; mutex m; int main(int argc) { lock(m); g = 1; unlock(m); return g; }")
+	f.Add("void w(int *p) {} int x; int main(int argc) { void (*f)(int *); f = &w; thread_create(f, &x); return 0; }")
+
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := parser.Parse("fuzz.clk", src)
 		if err != nil {

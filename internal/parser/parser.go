@@ -301,6 +301,10 @@ func (p *Parser) parseTypeSpec() *types.Type {
 		return types.DoubleType
 	case token.KwVoid:
 		return types.VoidType
+	case token.KwThread:
+		return types.ThreadType
+	case token.KwMutex:
+		return types.MutexType
 	case token.KwStruct:
 		nameTok := p.expect(token.IDENT)
 		return p.structType(nameTok.Lit)
@@ -601,6 +605,32 @@ func (p *Parser) parseStmt() ast.Stmt {
 		p.next()
 		p.expect(token.SEMI)
 		return &ast.SyncStmt{SyncPos: t.Pos}
+	case token.KwThreadCreate:
+		p.next()
+		call := p.parseThreadCreateArgs()
+		p.expect(token.SEMI)
+		return &ast.ThreadCreateStmt{CrPos: t.Pos, Call: call}
+	case token.KwJoin:
+		p.next()
+		p.expect(token.LPAREN)
+		h := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.JoinStmt{JoinPos: t.Pos, Handle: h}
+	case token.KwLock:
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.LockStmt{LockPos: t.Pos, X: x}
+	case token.KwUnlock:
+		p.next()
+		p.expect(token.LPAREN)
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.UnlockStmt{UnlockPos: t.Pos, X: x}
 	case token.KwReturn:
 		p.next()
 		var val ast.Expr
@@ -625,6 +655,11 @@ func (p *Parser) parseStmt() ast.Stmt {
 
 	// "lhs = spawn f(args);" — look for an assignment whose RHS is a spawn.
 	if st := p.trySpawnAssign(); st != nil {
+		return st
+	}
+
+	// "lhs = thread_create(f, args);" — the handle-assigning form.
+	if st := p.tryThreadCreateAssign(); st != nil {
 		return st
 	}
 
@@ -681,6 +716,10 @@ func (p *Parser) parseLocalDeclNoSemi() ast.Stmt {
 				p.errorf(p.tok().Pos, "spawn cannot initialise a declaration; assign separately")
 				panic(bailout{})
 			}
+			if p.at(token.KwThreadCreate) {
+				p.errorf(p.tok().Pos, "thread_create cannot initialise a declaration; assign separately")
+				panic(bailout{})
+			}
 			vd.Init = p.parseAssignExpr()
 		}
 		decls = append(decls, &ast.DeclStmt{Decl: vd})
@@ -722,6 +761,50 @@ func (p *Parser) trySpawnAssign() ast.Stmt {
 		p.errors = p.errors[:saveErrs]
 	}
 	return st
+}
+
+// tryThreadCreateAssign attempts "lvalue = thread_create(f, args);" with
+// backtracking, mirroring trySpawnAssign.
+func (p *Parser) tryThreadCreateAssign() ast.Stmt {
+	save := p.pos
+	saveErrs := len(p.errors)
+	st := func() (st ast.Stmt) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(bailout); !ok {
+					panic(r)
+				}
+				st = nil
+			}
+		}()
+		lhs := p.parseUnaryExpr()
+		if !p.at(token.ASSIGN) || p.peekAt(1).Kind != token.KwThreadCreate {
+			return nil
+		}
+		p.next() // =
+		cr := p.next()
+		call := p.parseThreadCreateArgs()
+		p.expect(token.SEMI)
+		return &ast.ThreadCreateStmt{CrPos: cr.Pos, Handle: lhs, Call: call}
+	}()
+	if st == nil {
+		p.pos = save
+		p.errors = p.errors[:saveErrs]
+	}
+	return st
+}
+
+// parseThreadCreateArgs parses "(f, args...)" after the thread_create
+// keyword, assembling the spawned call f(args...).
+func (p *Parser) parseThreadCreateArgs() *ast.CallExpr {
+	lp := p.expect(token.LPAREN)
+	fun := p.parseAssignExpr()
+	var args []ast.Expr
+	for p.accept(token.COMMA) {
+		args = append(args, p.parseAssignExpr())
+	}
+	p.expect(token.RPAREN)
+	return &ast.CallExpr{LparenPos: lp.Pos, Fun: fun, Args: args}
 }
 
 func (p *Parser) parseSpawnCall() *ast.CallExpr {

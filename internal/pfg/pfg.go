@@ -146,6 +146,24 @@ type ParRegion struct {
 	// CondThread flags conditionally created threads (§3.11); empty for
 	// parfor regions.
 	CondThread []bool
+	// Detached flags threads created by thread_create with no matching
+	// join: their interference scope extends past the parend to the end of
+	// the enclosing procedure (and, transitively, its callers). nil when
+	// every thread joins at the parend.
+	Detached []bool
+}
+
+// DetachedThread reports whether thread i of the region is detached.
+func (r *ParRegion) DetachedThread(i int) bool { return r.Detached != nil && r.Detached[i] }
+
+// HasDetached reports whether any thread of the region is detached.
+func (r *ParRegion) HasDetached() bool {
+	for _, d := range r.Detached {
+		if d {
+			return true
+		}
+	}
+	return false
 }
 
 // Graph is the parallel flow graph of one ir.Body. Entry and Exit are
@@ -387,6 +405,7 @@ func (p *Program) buildChain(g *Graph, b *ir.Body, n *ir.Node, thread bool) *Ver
 			region.Threads = []*Graph{p.buildBody(n.Body, true)}
 		} else {
 			region.CondThread = n.CondThread
+			region.Detached = n.Detached
 			for _, th := range n.Threads {
 				region.Threads = append(region.Threads, p.buildBody(th, true))
 			}

@@ -36,6 +36,9 @@ func formatInto(b *strings.Builder, g *Graph, indent string) {
 					kind = "parfor"
 				}
 				fmt.Fprintf(b, " %s(%d)", kind, len(v.Par.Threads))
+				if v.Par.HasDetached() {
+					b.WriteString(" detached")
+				}
 				nested = append(nested, v.Par.Threads...)
 			}
 			if v.Next != nil {

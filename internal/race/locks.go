@@ -1,0 +1,309 @@
+// Must-hold lockset analysis for the race detector. For every access the
+// detector attributes to a thread, this file computes the set of mutexes
+// the thread definitely holds when the access executes; a pair of parallel
+// accesses that both hold a common mutex is mutually exclusive and is not
+// reported as a race (race.go).
+//
+// The analysis is a forward must-dataflow over one ir.Body:
+//
+//	IN[n]  = ∩ OUT[pred]          (the body entry starts with ∅)
+//	OUT[n] = (IN[n] ∪ locks(n)) ∖ unlocks(n)
+//
+// lock(m) with a statically known mutex adds its location set; lock on an
+// unknown mutex adds nothing (must-hold may only under-approximate).
+// unlock(m) removes every mutex that may overlap m; unlock on an unknown
+// mutex clears the set. A call removes every mutex its callee closure may
+// unlock (all of them, if the closure contains an unknown unlock), and a
+// nested parallel region clears the set. Thread bodies and called
+// procedures start from the empty set: a created thread does not inherit
+// its creator's locks, and analysing callees from ∅ under-approximates the
+// call-site lockset, which only suppresses fewer pairs — never more.
+//
+// Suppression itself requires the common mutex to denote one single
+// mutex object: stride zero and a shared global or an enclosing local
+// (each thread has its own version of a private global, so two threads
+// locking one never exclude each other).
+
+package race
+
+import (
+	"sort"
+
+	"mtpa/internal/ir"
+	"mtpa/internal/locset"
+)
+
+// lockset is a must-hold set of mutex location sets. top is the ⊤ of the
+// must-lattice (the not-yet-visited state every meet shrinks); ids is
+// sorted and duplicate-free otherwise.
+type lockset struct {
+	top bool
+	ids []locset.ID
+}
+
+func (s lockset) equal(o lockset) bool {
+	if s.top != o.top || len(s.ids) != len(o.ids) {
+		return false
+	}
+	for i, id := range s.ids {
+		if o.ids[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+func (s lockset) clone() lockset {
+	return lockset{top: s.top, ids: append([]locset.ID(nil), s.ids...)}
+}
+
+// meet intersects two locksets (⊤ is the identity).
+func meet(a, b lockset) lockset {
+	if a.top {
+		return b.clone()
+	}
+	if b.top {
+		return a.clone()
+	}
+	var out []locset.ID
+	for _, id := range a.ids {
+		for _, o := range b.ids {
+			if id == o {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return lockset{ids: out}
+}
+
+func (s *lockset) add(id locset.ID) {
+	for _, o := range s.ids {
+		if o == id {
+			return
+		}
+	}
+	s.ids = append(s.ids, id)
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+}
+
+// removeOverlapping drops every held mutex that may overlap id (an
+// unlock of m[i] releases whichever element the index denotes).
+func (d *Detector) removeOverlapping(s *lockset, id locset.ID) {
+	kept := s.ids[:0]
+	for _, o := range s.ids {
+		if !d.tab.Overlap(o, id) {
+			kept = append(kept, o)
+		}
+	}
+	s.ids = kept
+}
+
+// bodyLocks runs the must-hold dataflow over one body and returns the
+// lockset holding at each instruction. Results are memoized per body.
+func (d *Detector) bodyLocks(b *ir.Body) map[*ir.Instr]lockset {
+	if d.lockAt == nil {
+		d.lockAt = map[*ir.Body]map[*ir.Instr]lockset{}
+	}
+	if m, ok := d.lockAt[b]; ok {
+		return m
+	}
+	out := map[*ir.Node]lockset{}
+	for _, n := range b.Nodes {
+		out[n] = lockset{top: true}
+	}
+	in := func(n *ir.Node) lockset {
+		if n == b.Entry {
+			return lockset{}
+		}
+		s := lockset{top: true}
+		for _, p := range n.Preds {
+			s = meet(s, out[p])
+		}
+		return s
+	}
+	// Chaotic iteration in node order until the OUT sets stabilise; body
+	// graphs are small and the lattice height is the number of lock sites.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range b.Nodes {
+			s := d.transferLocks(n, in(n))
+			if !s.equal(out[n]) {
+				out[n] = s
+				changed = true
+			}
+		}
+	}
+	m := map[*ir.Instr]lockset{}
+	for _, n := range b.Nodes {
+		if n.Kind != ir.NodeBlock {
+			continue
+		}
+		s := in(n)
+		for _, instr := range n.Instrs {
+			m[instr] = s.clone()
+			s = d.transferInstrLocks(instr, s)
+		}
+	}
+	d.lockAt[b] = m
+	return m
+}
+
+// transferLocks applies one node's effect to a lockset.
+func (d *Detector) transferLocks(n *ir.Node, s lockset) lockset {
+	if s.top {
+		return s
+	}
+	switch n.Kind {
+	case ir.NodeBlock:
+		for _, instr := range n.Instrs {
+			s = d.transferInstrLocks(instr, s)
+		}
+	case ir.NodePar, ir.NodeParFor:
+		// A nested region's threads may unlock anything; must-hold across
+		// the region is forfeited.
+		s = lockset{}
+	}
+	return s
+}
+
+func (d *Detector) transferInstrLocks(instr *ir.Instr, s lockset) lockset {
+	switch instr.Op {
+	case ir.OpLock:
+		if instr.Src != ir.NoLoc {
+			s = s.clone()
+			s.add(instr.Src)
+		}
+	case ir.OpUnlock:
+		s = s.clone()
+		if instr.Src == ir.NoLoc {
+			s.ids = nil
+		} else {
+			d.removeOverlapping(&s, instr.Src)
+		}
+	case ir.OpCall:
+		ids, unknown := d.closureUnlocks(instr.Call)
+		if unknown {
+			return lockset{}
+		}
+		if len(ids) > 0 {
+			s = s.clone()
+			for _, id := range ids {
+				d.removeOverlapping(&s, id)
+			}
+		}
+	}
+	return s
+}
+
+// closureUnlocks returns the mutexes a call's callee closure may unlock;
+// unknown is set when the closure contains an unlock of a statically
+// unknown mutex (or the call is unresolved), forfeiting the whole set.
+func (d *Detector) closureUnlocks(call *ir.Call) (ids []locset.ID, unknown bool) {
+	var targets []*ir.Func
+	switch {
+	case call.Builtin != 0:
+		return nil, false
+	case call.Callee != nil:
+		if cf := d.prog.FuncOf(call.Callee); cf != nil {
+			targets = append(targets, cf)
+		}
+	default:
+		targets = d.addrTaken
+	}
+	for _, fn := range targets {
+		fids, funk := d.funcUnlocks(fn, map[*ir.Func]bool{})
+		if funk {
+			return nil, true
+		}
+		ids = append(ids, fids...)
+	}
+	return ids, false
+}
+
+// funcUnlocks collects the unlock sites of a function and everything it
+// may call. Memoized; the visiting set breaks recursion.
+func (d *Detector) funcUnlocks(fn *ir.Func, visiting map[*ir.Func]bool) (ids []locset.ID, unknown bool) {
+	if d.unlockSet == nil {
+		d.unlockSet = map[*ir.Func]funcUnlockInfo{}
+	}
+	if info, ok := d.unlockSet[fn]; ok {
+		return info.ids, info.unknown
+	}
+	if visiting[fn] {
+		return nil, false // cycle: the root of the recursion accumulates
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	for _, n := range fn.AllNodes {
+		for _, instr := range n.Instrs {
+			switch instr.Op {
+			case ir.OpUnlock:
+				if instr.Src == ir.NoLoc {
+					unknown = true
+				} else {
+					ids = append(ids, instr.Src)
+				}
+			case ir.OpCall:
+				c := instr.Call
+				switch {
+				case c.Builtin != 0:
+				case c.Callee != nil:
+					if cf := d.prog.FuncOf(c.Callee); cf != nil {
+						cids, cunk := d.funcUnlocks(cf, visiting)
+						ids = append(ids, cids...)
+						unknown = unknown || cunk
+					}
+				default:
+					for _, tf := range d.addrTaken {
+						cids, cunk := d.funcUnlocks(tf, visiting)
+						ids = append(ids, cids...)
+						unknown = unknown || cunk
+					}
+				}
+			}
+		}
+	}
+	d.unlockSet[fn] = funcUnlockInfo{ids: ids, unknown: unknown}
+	return ids, unknown
+}
+
+// funcUnlockInfo is the memoized funcUnlocks result.
+type funcUnlockInfo struct {
+	ids     []locset.ID
+	unknown bool
+}
+
+// commonMutex reports whether two accesses both hold a mutex that
+// provably denotes the same single mutex object, making them mutually
+// exclusive.
+func (d *Detector) commonMutex(a, b *Access) bool {
+	for _, ma := range a.Locks {
+		for _, mb := range b.Locks {
+			if ma == mb && d.excludable(ma) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// excludable reports whether holding the given mutex location set in two
+// threads implies mutual exclusion: it must denote one single object — a
+// shared global or an enclosing frame's local, with stride zero (an
+// element of a mutex array indexed differently in each thread is not one
+// object, and each thread has its own version of a private global).
+func (d *Detector) excludable(id locset.ID) bool {
+	if id == locset.UnkID {
+		return false
+	}
+	ls := d.tab.Get(id)
+	if ls.Stride != 0 {
+		return false
+	}
+	switch ls.Block.Kind {
+	case locset.KindGlobal, locset.KindLocal:
+		return true
+	}
+	return false
+}

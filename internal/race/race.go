@@ -35,6 +35,11 @@ type Access struct {
 	// all analysis contexts with ghost location sets expanded to the
 	// actual location sets they stand for.
 	Locs []locset.ID
+	// Locks is the set of mutexes the executing thread definitely holds at
+	// this access (must-hold; see locks.go). A pair of parallel accesses
+	// holding a common single-object mutex is mutually exclusive and is
+	// not reported.
+	Locks []locset.ID
 }
 
 // Pos returns the source position of the access.
@@ -73,6 +78,11 @@ type Detector struct {
 	// addrTaken lists functions whose address is taken (targets of
 	// unresolved indirect calls).
 	addrTaken []*ir.Func
+
+	// lockAt memoizes the per-body must-hold lockset dataflow and
+	// unlockSet the per-function unlock closure (locks.go).
+	lockAt    map[*ir.Body]map[*ir.Instr]lockset
+	unlockSet map[*ir.Func]funcUnlockInfo
 }
 
 // New builds a detector from a completed multithreaded analysis.
@@ -149,91 +159,109 @@ func (d *Detector) buildCallGraph() {
 // address escapes are still covered by the pointer-mediated accesses,
 // whose location sets come from the ghost-expanded analysis samples).
 func (d *Detector) accessClosure(b *ir.Body) []*Access {
-	var out []*Access
-	visited := map[*ir.Func]bool{}
-	var visitFn func(fn *ir.Func)
-	var visitBody func(body *ir.Body, direct bool)
+	c := &collector{d: d, visited: map[*ir.Func]bool{}}
+	c.visitNodes(b.Nodes, d.bodyLocks(b), true)
+	return c.out
+}
 
-	addInstr := func(in *ir.Instr, fn *ir.Func, direct bool) {
-		var write bool
-		var locs []locset.ID
-		switch in.Op {
-		case ir.OpLoad, ir.OpDataLoad:
-			locs = d.accLocs[in.AccID]
-		case ir.OpStore, ir.OpDataStore:
-			write = true
-			locs = d.accLocs[in.AccID]
-		case ir.OpDirectLoad, ir.OpRegLoad:
-			locs = []locset.ID{in.Src}
-		case ir.OpDirectStore, ir.OpRegStore, ir.OpCopy:
-			if in.Op == ir.OpCopy && !d.isMemory(in.Dst) {
-				// Copies into temporaries are register traffic.
-				return
-			}
-			write = true
-			locs = []locset.ID{in.Dst}
-		default:
+// downstreamAccesses collects the accesses of the tail of a body starting
+// at node index from — the code a detached thread keeps racing with after
+// its region ends.
+func (d *Detector) downstreamAccesses(b *ir.Body, from int) []*Access {
+	c := &collector{d: d, visited: map[*ir.Func]bool{}}
+	c.visitNodes(b.Nodes[from:], d.bodyLocks(b), true)
+	return c.out
+}
+
+// collector accumulates one thread's access closure.
+type collector struct {
+	d       *Detector
+	out     []*Access
+	visited map[*ir.Func]bool
+}
+
+func (c *collector) addInstr(in *ir.Instr, fn *ir.Func, direct bool, held lockset) {
+	d := c.d
+	var write bool
+	var locs []locset.ID
+	switch in.Op {
+	case ir.OpLoad, ir.OpDataLoad:
+		locs = d.accLocs[in.AccID]
+	case ir.OpStore, ir.OpDataStore:
+		write = true
+		locs = d.accLocs[in.AccID]
+	case ir.OpDirectLoad, ir.OpRegLoad:
+		locs = []locset.ID{in.Src}
+	case ir.OpDirectStore, ir.OpRegStore, ir.OpCopy:
+		if in.Op == ir.OpCopy && !d.isMemory(in.Dst) {
+			// Copies into temporaries are register traffic.
 			return
 		}
+		write = true
+		locs = []locset.ID{in.Dst}
+	default:
+		return
+	}
+	if len(locs) == 0 {
+		return
+	}
+	if !direct {
+		var kept []locset.ID
+		for _, l := range locs {
+			switch d.tab.Get(l).Block.Kind {
+			case locset.KindLocal, locset.KindParam:
+				// Per-frame storage of the callee: cannot race across
+				// calls unless its address escapes (covered elsewhere).
+			default:
+				kept = append(kept, l)
+			}
+		}
+		locs = kept
 		if len(locs) == 0 {
 			return
 		}
-		if !direct {
-			var kept []locset.ID
-			for _, l := range locs {
-				switch d.tab.Get(l).Block.Kind {
-				case locset.KindLocal, locset.KindParam:
-					// Per-frame storage of the callee: cannot race across
-					// calls unless its address escapes (covered elsewhere).
-				default:
-					kept = append(kept, l)
-				}
-			}
-			locs = kept
-			if len(locs) == 0 {
-				return
-			}
-		}
-		out = append(out, &Access{Instr: in, Fn: fn, Write: write, Locs: locs})
 	}
+	c.out = append(c.out, &Access{Instr: in, Fn: fn, Write: write, Locs: locs, Locks: held.ids})
+}
 
-	visitBody = func(body *ir.Body, direct bool) {
-		for _, n := range body.Nodes {
-			switch n.Kind {
-			case ir.NodeBlock:
-				for _, in := range n.Instrs {
-					if in.Op == ir.OpCall {
-						if in.Call.Callee != nil {
-							if cf := d.prog.FuncOf(in.Call.Callee); cf != nil {
-								visitFn(cf)
-							}
-						} else if in.Call.Builtin == 0 {
-							for _, tf := range d.addrTaken {
-								visitFn(tf)
-							}
+func (c *collector) visitNodes(nodes []*ir.Node, lm map[*ir.Instr]lockset, direct bool) {
+	d := c.d
+	for _, n := range nodes {
+		switch n.Kind {
+		case ir.NodeBlock:
+			for _, in := range n.Instrs {
+				if in.Op == ir.OpCall {
+					if in.Call.Callee != nil {
+						if cf := d.prog.FuncOf(in.Call.Callee); cf != nil {
+							c.visitFn(cf)
 						}
-						continue
+					} else if in.Call.Builtin == 0 {
+						for _, tf := range d.addrTaken {
+							c.visitFn(tf)
+						}
 					}
-					addInstr(in, n.Fn, direct)
+					continue
 				}
-			case ir.NodePar:
-				for _, th := range n.Threads {
-					visitBody(th, direct)
-				}
-			case ir.NodeParFor:
-				visitBody(n.Body, direct)
+				c.addInstr(in, n.Fn, direct, lm[in])
 			}
+		case ir.NodePar:
+			for _, th := range n.Threads {
+				c.visitNodes(th.Nodes, d.bodyLocks(th), direct)
+			}
+		case ir.NodeParFor:
+			c.visitNodes(n.Body.Nodes, d.bodyLocks(n.Body), direct)
 		}
 	}
-	visitFn = func(fn *ir.Func) {
-		if visited[fn] {
-			return
-		}
-		visited[fn] = true
-		visitBody(fn.Body, false)
+}
+
+func (c *collector) visitFn(fn *ir.Func) {
+	if c.visited[fn] {
+		return
 	}
-	visitBody(b, true)
-	return out
+	c.visited[fn] = true
+	// The callee is analysed from the empty lockset: under-approximating
+	// the locks held at its call sites only suppresses fewer pairs.
+	c.visitNodes(fn.Body.Nodes, c.d.bodyLocks(fn.Body), false)
 }
 
 // isMemory reports whether a location set denotes addressable program
@@ -279,26 +307,46 @@ func (d *Detector) Detect() []*Race {
 	var races []*Race
 	seen := map[string]bool{}
 	for _, fn := range d.prog.Funcs {
-		for _, n := range fn.AllNodes {
-			switch n.Kind {
-			case ir.NodePar:
-				threadAccs := make([][]*Access, len(n.Threads))
-				for i, th := range n.Threads {
-					threadAccs[i] = d.accessClosure(th)
-				}
-				for i := 0; i < len(threadAccs); i++ {
-					for j := i + 1; j < len(threadAccs); j++ {
-						d.checkPairs(n, "par", threadAccs[i], threadAccs[j], &races, seen, false)
-					}
-				}
-			case ir.NodeParFor:
-				accs := d.accessClosure(n.Body)
-				d.checkPairs(n, "parfor", accs, accs, &races, seen, true)
-			}
-		}
+		d.detectBody(fn.Body, &races, seen)
 	}
 	sort.Slice(races, func(i, j int) bool { return races[i].String() < races[j].String() })
 	return races
+}
+
+// detectBody checks the regions of one body and recurses into nested
+// thread and loop bodies.
+func (d *Detector) detectBody(b *ir.Body, races *[]*Race, seen map[string]bool) {
+	for idx, n := range b.Nodes {
+		switch n.Kind {
+		case ir.NodePar:
+			threadAccs := make([][]*Access, len(n.Threads))
+			for i, th := range n.Threads {
+				threadAccs[i] = d.accessClosure(th)
+			}
+			for i := 0; i < len(threadAccs); i++ {
+				for j := i + 1; j < len(threadAccs); j++ {
+					d.checkPairs(n, "par", threadAccs[i], threadAccs[j], races, seen, false)
+				}
+			}
+			if n.HasDetached() {
+				// A detached thread outlives its region: it also races
+				// with the code after the region in the creating body.
+				down := d.downstreamAccesses(b, idx+1)
+				for i := range n.Threads {
+					if n.DetachedThread(i) {
+						d.checkPairs(n, "thread_create", threadAccs[i], down, races, seen, false)
+					}
+				}
+			}
+			for _, th := range n.Threads {
+				d.detectBody(th, races, seen)
+			}
+		case ir.NodeParFor:
+			accs := d.accessClosure(n.Body)
+			d.checkPairs(n, "parfor", accs, accs, races, seen, true)
+			d.detectBody(n.Body, races, seen)
+		}
+	}
 }
 
 func (d *Detector) checkPairs(n *ir.Node, kind string, as, bs []*Access, races *[]*Race, seen map[string]bool, self bool) {
@@ -309,6 +357,9 @@ func (d *Detector) checkPairs(n *ir.Node, kind string, as, bs []*Access, races *
 			}
 			if !a.Write && !b.Write {
 				continue
+			}
+			if d.commonMutex(a, b) {
+				continue // both hold the same mutex: mutually exclusive
 			}
 			shared := d.overlap(a.Locs, b.Locs)
 			if len(shared) == 0 {

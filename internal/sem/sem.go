@@ -312,6 +312,24 @@ func (c *checker) checkStmt(s ast.Stmt) {
 			c.checkAssignable(s.SpawnPos, lt, rt, s.Call)
 		}
 	case *ast.SyncStmt:
+	case *ast.ThreadCreateStmt:
+		c.checkCall(s.Call)
+		if s.Handle != nil {
+			ht := c.checkExpr(s.Handle)
+			c.requireLvalue(s.Handle)
+			if ht != nil && ht.Kind != types.Thread {
+				c.errorf(s.CrPos, "thread_create handle has type %s, want thread", ht)
+			}
+		}
+	case *ast.JoinStmt:
+		ht := c.checkExpr(s.Handle)
+		if ht != nil && ht.Kind != types.Thread {
+			c.errorf(s.JoinPos, "join operand has type %s, want thread", ht)
+		}
+	case *ast.LockStmt:
+		c.checkMutexOperand(s.LockPos, s.X)
+	case *ast.UnlockStmt:
+		c.checkMutexOperand(s.UnlockPos, s.X)
 	case *ast.ReturnStmt:
 		want := types.VoidType
 		if c.curFn != nil {
@@ -341,6 +359,14 @@ func (c *checker) checkStmt(s ast.Stmt) {
 	}
 }
 
+func (c *checker) checkMutexOperand(pos token.Pos, e ast.Expr) {
+	t := c.checkExpr(e)
+	c.requireLvalue(e)
+	if t != nil && t.Kind != types.Mutex {
+		c.errorf(pos, "lock/unlock operand has type %s, want mutex", t)
+	}
+}
+
 func (c *checker) checkCond(e ast.Expr) {
 	t := c.checkExpr(e)
 	if t != nil && !t.IsScalar() && t.Kind != types.Void {
@@ -352,6 +378,16 @@ func (c *checker) checkCond(e ast.Expr) {
 // pointers (except NULL and explicit casts, which the paper handles).
 func (c *checker) checkAssignable(pos token.Pos, dst, src *types.Type, rhs ast.Expr) {
 	if dst == nil || src == nil {
+		return
+	}
+	if dst.Kind == types.Mutex || src.Kind == types.Mutex {
+		c.errorf(pos, "mutexes cannot be copied")
+		return
+	}
+	if dst.Kind == types.Thread || src.Kind == types.Thread {
+		if dst.Kind != src.Kind {
+			c.errorf(pos, "cannot mix thread handles and %s values", src)
+		}
 		return
 	}
 	if dst.IsPointer() {

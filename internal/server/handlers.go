@@ -257,6 +257,7 @@ func (s *Server) respondRefinement(w http.ResponseWriter, r *http.Request, ref *
 		writeJSON(w, http.StatusGatewayTimeout, resp)
 		return
 	}
+	s.markClaimed(ref)
 	switch {
 	case rerr == nil:
 		resp.Status = "done"
@@ -283,7 +284,11 @@ func (s *Server) respondRefinement(w http.ResponseWriter, r *http.Request, ref *
 
 func (s *Server) handleRefinement(w http.ResponseWriter, r *http.Request) {
 	token := r.PathValue("token")
-	ref, ok := s.refinement(token)
+	ref, ok, expired := s.refinement(token)
+	if expired {
+		writeError(w, http.StatusGone, fmt.Sprintf("refinement token %q expired", token))
+		return
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown refinement %q", token))
 		return

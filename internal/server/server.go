@@ -41,6 +41,15 @@ type Config struct {
 	// DefaultWait is the long-poll wait applied when a request does not
 	// set wait_ms (0 = answer immediately).
 	DefaultWait time.Duration
+	// TokenTTL expires refinement tokens: once a refinement has landed
+	// for longer than the TTL its token is garbage-collected instead of
+	// living until the tenant closes. A token never redeemed by a
+	// refinement poll leaves a tombstone answering 410
+	// Gone (and counts in ServingSnapshot.TokensExpired); a claimed
+	// token is dropped silently, like after a tenant close. Per-file
+	// query state is untouched — only the token index is pruned.
+	// 0 disables expiry.
+	TokenTTL time.Duration
 }
 
 // Server is one daemon instance: the tenant registry, the shared store,
@@ -62,9 +71,13 @@ type Server struct {
 	closed      bool
 	tenants     map[string]*tenant
 	refinements map[string]*refinement
-	nextTenant  int
-	nextToken   int
-	analysis    AnalysisTotals
+	// expired tombstones unclaimed tokens the TTL collector dropped, so
+	// polling one answers 410 instead of 404; tombstones themselves are
+	// pruned after ten TTLs.
+	expired    map[string]time.Time
+	nextTenant int
+	nextToken  int
+	analysis   AnalysisTotals
 }
 
 // AnalysisTotals accumulates the engine's per-result cache, seed and
@@ -103,6 +116,12 @@ type refinement struct {
 	file     string
 	update   *mtpa.TieredUpdate
 	started  time.Time
+
+	// landed (guarded by Server.mu) is when the refinement completed
+	// (zero while in flight); claimed marks that some client received
+	// the final answer. Both drive the token TTL collector.
+	landed  time.Time
+	claimed bool
 }
 
 // New returns a running (but not yet listening) daemon.
@@ -123,6 +142,7 @@ func New(cfg Config) *Server {
 		slots:       make(chan struct{}, cfg.MaxInflight),
 		tenants:     map[string]*tenant{},
 		refinements: map[string]*refinement{},
+		expired:     map[string]time.Time{},
 	}
 }
 
@@ -253,6 +273,7 @@ func (s *Server) startUpdate(t *tenant, file, src string, maxWallTime time.Durat
 	}
 
 	s.mu.Lock()
+	s.gcTokensLocked(time.Now())
 	s.nextToken++
 	r := &refinement{
 		token:    "r-" + strconv.Itoa(s.nextToken),
@@ -280,6 +301,9 @@ func (s *Server) startUpdate(t *tenant, file, src string, maxWallTime time.Durat
 	// inflight.Done the shutdown path waits on cannot be lost or doubled.
 	up.Notify(func(res *mtpa.Result, err error) {
 		cancel()
+		s.mu.Lock()
+		r.landed = time.Now()
+		s.mu.Unlock()
 		cancelled := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 		s.counters.RefinementFinished(cancelled)
 		if res != nil {
@@ -306,11 +330,52 @@ func (s *Server) startUpdate(t *tenant, file, src string, maxWallTime time.Durat
 	return r, nil
 }
 
-func (s *Server) refinement(token string) (*refinement, bool) {
+// refinement resolves a token. expired distinguishes a token the TTL
+// collector dropped unclaimed (410) from one that never existed (404).
+func (s *Server) refinement(token string) (r *refinement, ok, expired bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.refinements[token]
-	return r, ok
+	s.gcTokensLocked(time.Now())
+	if _, gone := s.expired[token]; gone {
+		return nil, false, true
+	}
+	r, ok = s.refinements[token]
+	return r, ok, false
+}
+
+// gcTokensLocked (caller holds s.mu) drops every token whose refinement
+// landed more than TokenTTL ago. Unclaimed tokens tombstone into
+// s.expired and bump the TokensExpired counter; claimed ones vanish
+// like after a tenant close. Running refinements are never collected:
+// their token is the only path to the in-flight answer.
+func (s *Server) gcTokensLocked(now time.Time) {
+	ttl := s.cfg.TokenTTL
+	if ttl <= 0 {
+		return
+	}
+	for token, r := range s.refinements {
+		if r.landed.IsZero() || now.Sub(r.landed) <= ttl {
+			continue
+		}
+		delete(s.refinements, token)
+		if !r.claimed {
+			s.expired[token] = now
+			s.counters.TokenExpired()
+		}
+	}
+	for token, at := range s.expired {
+		if now.Sub(at) > 10*ttl {
+			delete(s.expired, token)
+		}
+	}
+}
+
+// markClaimed records that a client received the refinement's final
+// answer, so its token can later expire without a tombstone.
+func (s *Server) markClaimed(r *refinement) {
+	s.mu.Lock()
+	r.claimed = true
+	s.mu.Unlock()
 }
 
 // Sentinel serving errors, mapped to HTTP statuses in handlers.go.

@@ -382,3 +382,73 @@ func TestSupersededRefinementIsCancelled(t *testing.T) {
 		t.Fatalf("superseded token: %d %v", code, body)
 	}
 }
+
+// TestTokenTTLExpiry pins the refinement-token garbage collector: an
+// unclaimed token answers 410 Gone once its refinement has been landed
+// for longer than TokenTTL, the TokensExpired counter records it, a
+// claimed token is collected silently (404), and per-file query state
+// survives the expiry.
+func TestTokenTTLExpiry(t *testing.T) {
+	const ttl = 25 * time.Millisecond
+	srv := server.New(server.Config{TokenTTL: ttl})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("cleanup shutdown: %v", err)
+		}
+	})
+	h := srv.Handler()
+	do(t, h, "POST", "/v1/tenants", map[string]any{"id": "ttl"})
+
+	// Unclaimed token: a slow program with wait 0 answers 504 before the
+	// refinement lands, so the update response does not carry (and thus
+	// does not claim) the final answer.
+	code, body := do(t, h, "POST", "/v1/tenants/ttl/update",
+		map[string]any{"file": "mol.clk", "source": mustLoad(t, "mol")})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("slow update answered early: %d %v", code, body)
+	}
+	unclaimed := body["token"].(string)
+
+	// Claimed token: a tiny program long-polled to completion inside the
+	// update request redeems its own token.
+	src := "int x; int *p; int main(int argc) { p = &x; return 0; }"
+	code, body = do(t, h, "POST", "/v1/tenants/ttl/update",
+		map[string]any{"file": "tiny.clk", "source": src, "wait_ms": 60000})
+	if code != http.StatusOK {
+		t.Fatalf("claimed update: %d %v", code, body)
+	}
+	claimed := body["token"].(string)
+
+	// Land the slow refinement without touching its token (file queries
+	// do not claim), then wait out the TTL.
+	code, body = do(t, h, "POST", "/v1/tenants/ttl/query",
+		map[string]any{"file": "mol.clk", "wait_ms": 60000})
+	if code != http.StatusOK || body["status"] != "done" {
+		t.Fatalf("query to land mol: %d %v", code, body)
+	}
+	time.Sleep(4 * ttl)
+
+	code, body = do(t, h, "GET", "/v1/refinements/"+unclaimed, nil)
+	if code != http.StatusGone {
+		t.Fatalf("expired unclaimed token: %d %v, want 410", code, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "expired") {
+		t.Errorf("410 body should say expired: %v", body)
+	}
+	code, body = do(t, h, "GET", "/v1/refinements/"+claimed, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("expired claimed token: %d %v, want 404", code, body)
+	}
+	if snap := srv.Counters().Snapshot(); snap.TokensExpired != 1 {
+		t.Errorf("TokensExpired = %d, want 1 (only the unclaimed token)", snap.TokensExpired)
+	}
+
+	// File-level query state is untouched by token GC.
+	code, body = do(t, h, "POST", "/v1/tenants/ttl/query",
+		map[string]any{"file": "mol.clk", "wait_ms": 60000})
+	if code != http.StatusOK || body["status"] != "done" {
+		t.Errorf("query after token expiry: %d %v", code, body)
+	}
+}

@@ -87,6 +87,14 @@ const (
 	KwSync    // sync;
 	KwCilk    // cilk int f(...) — marks a spawnable procedure
 	KwPrivate // private int *p; — thread-private global
+
+	// Unstructured multithreading keywords.
+	KwThread       // thread t; — a thread handle variable
+	KwMutex        // mutex m; — a mutual-exclusion region variable
+	KwThreadCreate // t = thread_create(f, args...); or thread_create(f, args...);
+	KwJoin         // join(t);
+	KwLock         // lock(m);
+	KwUnlock       // unlock(m);
 )
 
 var kindNames = map[Kind]string{
@@ -106,6 +114,8 @@ var kindNames = map[Kind]string{
 	KwBreak: "break", KwContinue: "continue", KwSizeof: "sizeof", KwNull: "NULL",
 	KwPar: "par", KwParfor: "parfor", KwSpawn: "spawn", KwSync: "sync",
 	KwCilk: "cilk", KwPrivate: "private",
+	KwThread: "thread", KwMutex: "mutex", KwThreadCreate: "thread_create",
+	KwJoin: "join", KwLock: "lock", KwUnlock: "unlock",
 }
 
 // String returns a human-readable name for the token kind.
@@ -123,6 +133,8 @@ var keywords = map[string]Kind{
 	"break": KwBreak, "continue": KwContinue, "sizeof": KwSizeof, "NULL": KwNull,
 	"par": KwPar, "parfor": KwParfor, "spawn": KwSpawn, "sync": KwSync,
 	"cilk": KwCilk, "private": KwPrivate,
+	"thread": KwThread, "mutex": KwMutex, "thread_create": KwThreadCreate,
+	"join": KwJoin, "lock": KwLock, "unlock": KwUnlock,
 }
 
 // Lookup maps an identifier to its keyword kind, or IDENT if it is not a
@@ -172,7 +184,7 @@ func (t Token) String() string {
 // IsType reports whether the token can begin a type specifier.
 func (t Token) IsType() bool {
 	switch t.Kind {
-	case KwInt, KwChar, KwFloat, KwDouble, KwVoid, KwStruct:
+	case KwInt, KwChar, KwFloat, KwDouble, KwVoid, KwStruct, KwThread, KwMutex:
 		return true
 	}
 	return false

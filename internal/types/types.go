@@ -24,6 +24,8 @@ const (
 	Array
 	Struct
 	Func
+	Thread // opaque thread handle (thread t;)
+	Mutex  // mutual-exclusion region (mutex m;) — not copyable
 )
 
 // Sizes in bytes. All scalars except char occupy one word so that layout
@@ -62,6 +64,8 @@ var (
 	CharType   = &Type{Kind: Char}
 	FloatType  = &Type{Kind: Float}
 	DoubleType = &Type{Kind: Double}
+	ThreadType = &Type{Kind: Thread}
+	MutexType  = &Type{Kind: Mutex}
 )
 
 // PointerTo returns the type *elem.
@@ -129,7 +133,7 @@ func (t *Type) Size() int64 {
 		return 0
 	case Char:
 		return CharSize
-	case Int, Float, Double, Pointer:
+	case Int, Float, Double, Pointer, Thread, Mutex:
 		return WordSize
 	case Array:
 		return t.Len * t.Elem.Size()
@@ -267,6 +271,10 @@ func (t *Type) String() string {
 		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
 	case Struct:
 		return "struct " + t.Name
+	case Thread:
+		return "thread"
+	case Mutex:
+		return "mutex"
 	case Func:
 		var sb strings.Builder
 		sb.WriteString(t.Result.String())
